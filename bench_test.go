@@ -1,0 +1,610 @@
+// The benchmark harness regenerates every table and figure in the paper's
+// evaluation (experiments E1-E13 of DESIGN.md). Each benchmark prints its
+// artifact once and times the analysis pass that produces it. The underlying
+// traces are collected once per process and shared.
+//
+// Run all of it:
+//
+//	go test -bench=. -benchmem
+package ethkv
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ethkv/internal/analysis"
+	"ethkv/internal/cache"
+	"ethkv/internal/chain"
+	"ethkv/internal/hashstore"
+	"ethkv/internal/hybrid"
+	"ethkv/internal/lab"
+	"ethkv/internal/logstore"
+	"ethkv/internal/lsm"
+	"ethkv/internal/rawdb"
+	"ethkv/internal/report"
+	"ethkv/internal/trace"
+	"ethkv/internal/trie"
+)
+
+// benchBlocks scales the shared pipeline run. The artifact's sampled traces
+// cover 1000 blocks; we default to 150 to keep `go test -bench=.` brisk.
+// Override with ETHKV_BENCH_BLOCKS.
+const benchBlocks = 150
+
+var (
+	runOnce    sync.Once
+	bareRun    *lab.Result
+	cachedRun  *lab.Result
+	runErr     error
+	printGuard sync.Mutex
+	printed    = map[string]bool{}
+)
+
+// sharedRuns collects the bare and cached traces once.
+func sharedRuns(b *testing.B) (*lab.Result, *lab.Result) {
+	b.Helper()
+	runOnce.Do(func() {
+		workload := chain.DefaultWorkload()
+		workload.Accounts = 8000
+		workload.Contracts = 800
+		workload.TxPerBlock = 120
+		bareRun, cachedRun, runErr = lab.RunBoth(benchBlocks, workload)
+	})
+	if runErr != nil {
+		b.Fatal(runErr)
+	}
+	return bareRun, cachedRun
+}
+
+// printOnce emits an artifact the first time a benchmark produces it.
+func printOnce(key string, emit func()) {
+	printGuard.Lock()
+	defer printGuard.Unlock()
+	if !printed[key] {
+		printed[key] = true
+		emit()
+	}
+}
+
+// BenchmarkTable1ClassInventory regenerates Table I: the per-class pair
+// counts and mean key/value sizes of the post-sync store (E1).
+func BenchmarkTable1ClassInventory(b *testing.B) {
+	_, cached := sharedRuns(b)
+	b.ResetTimer()
+	var dist *analysis.SizeDist
+	for i := 0; i < b.N; i++ {
+		dist = cached.Store
+		_ = dist.DominantShare()
+		_ = dist.SingletonClasses()
+		_ = dist.Classes()
+	}
+	b.StopTimer()
+	printOnce("table1", func() {
+		fmt.Println("\n=== Table I (E1) ===")
+		report.WriteTable1(os.Stdout, dist)
+	})
+	b.ReportMetric(dist.DominantShare()*100, "dominant-share-%")
+	b.ReportMetric(float64(dist.SingletonClasses()), "singleton-classes")
+}
+
+// BenchmarkFigure2SizeDistribution regenerates Figure 2: the KV size
+// scatter series of the four world-state classes (E2).
+func BenchmarkFigure2SizeDistribution(b *testing.B) {
+	_, cached := sharedRuns(b)
+	classes := []rawdb.Class{
+		rawdb.ClassTrieNodeAccount, rawdb.ClassTrieNodeStorage,
+		rawdb.ClassSnapshotAccount, rawdb.ClassSnapshotStorage,
+	}
+	b.ResetTimer()
+	var points int
+	for i := 0; i < b.N; i++ {
+		points = 0
+		for _, class := range classes {
+			points += len(cached.Store.ValueSizeSeries(class))
+		}
+	}
+	b.StopTimer()
+	printOnce("figure2", func() {
+		fmt.Println("\n=== Figure 2 (E2) ===")
+		report.WriteFigure2(os.Stdout, cached.Store, classes)
+	})
+	b.ReportMetric(float64(points), "distinct-sizes")
+}
+
+// BenchmarkTable2OpDistCache regenerates Table II: the CacheTrace op mix (E3).
+func BenchmarkTable2OpDistCache(b *testing.B) {
+	_, cached := sharedRuns(b)
+	b.ResetTimer()
+	var dist *analysis.OpDist
+	for i := 0; i < b.N; i++ {
+		dist = analysis.CollectOpDistSlice(cached.Ops, nil)
+	}
+	b.StopTimer()
+	printOnce("table2", func() {
+		fmt.Println("\n=== Table II (E3) ===")
+		report.WriteOpTable(os.Stdout, "CacheTrace", dist)
+	})
+	b.ReportMetric(float64(dist.Total), "ops")
+}
+
+// BenchmarkTable3OpDistBare regenerates Table III: the BareTrace op mix (E4).
+func BenchmarkTable3OpDistBare(b *testing.B) {
+	bare, _ := sharedRuns(b)
+	b.ResetTimer()
+	var dist *analysis.OpDist
+	for i := 0; i < b.N; i++ {
+		dist = analysis.CollectOpDistSlice(bare.Ops, nil)
+	}
+	b.StopTimer()
+	printOnce("table3", func() {
+		fmt.Println("\n=== Table III (E4) ===")
+		report.WriteOpTable(os.Stdout, "BareTrace", dist)
+	})
+	b.ReportMetric(float64(dist.Total), "ops")
+}
+
+// BenchmarkTable4ReadRatios regenerates Table IV: per-class read ratios (E5).
+func BenchmarkTable4ReadRatios(b *testing.B) {
+	bare, cached := sharedRuns(b)
+	bareOps := analysis.CollectOpDistSlice(bare.Ops, nil)
+	cachedOps := analysis.CollectOpDistSlice(cached.Ops, nil)
+	b.ResetTimer()
+	var ta float64
+	for i := 0; i < b.N; i++ {
+		for _, class := range analysis.DefaultTrackedClasses() {
+			var pairs uint64
+			if cs := cached.Store.PerClass[class]; cs != nil {
+				pairs = cs.Pairs
+			}
+			r := cachedOps.ReadRatio(class, pairs)
+			if class == rawdb.ClassTrieNodeAccount {
+				ta = r
+			}
+		}
+	}
+	b.StopTimer()
+	printOnce("table4", func() {
+		fmt.Println("\n=== Table IV (E5) ===")
+		report.WriteTable4(os.Stdout, bareOps, cachedOps, bare.Store, cached.Store)
+	})
+	b.ReportMetric(ta*100, "TA-read-ratio-%")
+}
+
+// BenchmarkFigure3OpFrequency regenerates Figure 3: per-key operation
+// frequency distributions of the world-state classes (E6).
+func BenchmarkFigure3OpFrequency(b *testing.B) {
+	bare, cached := sharedRuns(b)
+	cachedOps := analysis.CollectOpDistSlice(cached.Ops, nil)
+	bareOps := analysis.CollectOpDistSlice(bare.Ops, nil)
+	b.ResetTimer()
+	var once float64
+	for i := 0; i < b.N; i++ {
+		for _, class := range analysis.DefaultTrackedClasses() {
+			if co := cachedOps.PerClass[class]; co != nil {
+				_ = analysis.FrequencyDistribution(co.ReadFreq)
+				once = analysis.ReadOnceShare(co.ReadFreq)
+			}
+		}
+	}
+	b.StopTimer()
+	printOnce("figure3", func() {
+		fmt.Println("\n=== Figure 3 (E6) ===")
+		report.WriteFigure3(os.Stdout, "CacheTrace", cachedOps)
+		report.WriteFigure3(os.Stdout, "BareTrace", bareOps)
+	})
+	b.ReportMetric(once*100, "read-once-%")
+}
+
+// BenchmarkFinding67CacheSnapshotEffect regenerates the Finding 6/7
+// comparison: read/write reductions and storage overhead (E7).
+func BenchmarkFinding67CacheSnapshotEffect(b *testing.B) {
+	bare, cached := sharedRuns(b)
+	bareOps := analysis.CollectOpDistSlice(bare.Ops, nil)
+	cachedOps := analysis.CollectOpDistSlice(cached.Ops, nil)
+	b.ResetTimer()
+	var cmp *analysis.TraceComparison
+	for i := 0; i < b.N; i++ {
+		cmp = analysis.Compare(bareOps, cachedOps, bare.Store, cached.Store)
+	}
+	b.StopTimer()
+	printOnce("finding67", func() {
+		fmt.Println("\n=== Findings 6-7 (E7) ===")
+		report.WriteComparison(os.Stdout, cmp)
+	})
+	b.ReportMetric(cmp.WorldStateReadReduction()*100, "ws-read-reduction-%")
+	b.ReportMetric(cmp.StorageOverhead()*100, "storage-overhead-%")
+}
+
+// BenchmarkFigure4ReadCorrelation regenerates Figure 4: distance-based read
+// correlations (E8). The timed section is the full correlation pass.
+func BenchmarkFigure4ReadCorrelation(b *testing.B) {
+	bare, cached := sharedRuns(b)
+	cfg := analysis.CorrConfig{Op: trace.OpRead}
+	b.ResetTimer()
+	var bareCorr *analysis.Correlator
+	for i := 0; i < b.N; i++ {
+		bareCorr = analysis.CollectCorrelationsSlice(bare.Ops, cfg)
+	}
+	b.StopTimer()
+	cachedCorr := analysis.CollectCorrelationsSlice(cached.Ops, cfg)
+	printOnce("figure4", func() {
+		fmt.Println("\n=== Figure 4 (E8) ===")
+		report.WriteCorrelationFigure(os.Stdout, "CacheTrace reads", cachedCorr, 3)
+		report.WriteCorrelationFigure(os.Stdout, "BareTrace reads", bareCorr, 3)
+	})
+	if top := bareCorr.TopPairs(0, 1, true); len(top) > 0 {
+		b.ReportMetric(float64(top[0].Counts[0]), "top-intra-d0")
+	}
+}
+
+// BenchmarkFigure5ReadCorrFrequency regenerates Figure 5: correlated-read
+// frequency distributions at d=0 and d=1024 (E9).
+func BenchmarkFigure5ReadCorrFrequency(b *testing.B) {
+	bare, cached := sharedRuns(b)
+	cfg := analysis.CorrConfig{Op: trace.OpRead}
+	bareCorr := analysis.CollectCorrelationsSlice(bare.Ops, cfg)
+	cachedCorr := analysis.CollectCorrelationsSlice(cached.Ops, cfg)
+	b.ResetTimer()
+	var maxFreq uint64
+	for i := 0; i < b.N; i++ {
+		for _, series := range bareCorr.TopPairs(0, 3, true) {
+			_ = bareCorr.FrequencyDistribution(0, series.Pair)
+			if f := bareCorr.MaxPairFrequency(0, series.Pair); f > maxFreq {
+				maxFreq = f
+			}
+		}
+	}
+	b.StopTimer()
+	printOnce("figure5", func() {
+		fmt.Println("\n=== Figure 5 (E9) ===")
+		report.WriteFrequencyFigure(os.Stdout, "CacheTrace", cachedCorr, 3)
+		report.WriteFrequencyFigure(os.Stdout, "BareTrace", bareCorr, 3)
+	})
+	b.ReportMetric(float64(maxFreq), "max-pair-freq-d0")
+}
+
+// BenchmarkFigure6UpdateCorrelation regenerates Figure 6: distance-based
+// update correlations (E10).
+func BenchmarkFigure6UpdateCorrelation(b *testing.B) {
+	bare, cached := sharedRuns(b)
+	cfg := analysis.CorrConfig{Op: trace.OpUpdate}
+	b.ResetTimer()
+	var cachedCorr *analysis.Correlator
+	for i := 0; i < b.N; i++ {
+		cachedCorr = analysis.CollectCorrelationsSlice(cached.Ops, cfg)
+	}
+	b.StopTimer()
+	bareCorr := analysis.CollectCorrelationsSlice(bare.Ops, cfg)
+	printOnce("figure6", func() {
+		fmt.Println("\n=== Figure 6 (E10) ===")
+		report.WriteCorrelationFigure(os.Stdout, "CacheTrace updates", cachedCorr, 3)
+		report.WriteCorrelationFigure(os.Stdout, "BareTrace updates", bareCorr, 3)
+	})
+	meta := analysis.MakeClassPair(rawdb.ClassLastFast, rawdb.ClassLastHeader)
+	b.ReportMetric(float64(cachedCorr.Counts(0, meta)), "meta-pair-d0")
+}
+
+// BenchmarkFigure7UpdateCorrFrequency regenerates Figure 7: intra-class
+// correlated-update frequency distributions (E11).
+func BenchmarkFigure7UpdateCorrFrequency(b *testing.B) {
+	bare, cached := sharedRuns(b)
+	cfg := analysis.CorrConfig{Op: trace.OpUpdate}
+	cachedCorr := analysis.CollectCorrelationsSlice(cached.Ops, cfg)
+	bareCorr := analysis.CollectCorrelationsSlice(bare.Ops, cfg)
+	tsPair := analysis.MakeClassPair(rawdb.ClassTrieNodeStorage, rawdb.ClassTrieNodeStorage)
+	b.ResetTimer()
+	var ts0 uint64
+	for i := 0; i < b.N; i++ {
+		ts0 = bareCorr.MaxPairFrequency(0, tsPair)
+		_ = bareCorr.FrequencyDistribution(0, tsPair)
+	}
+	b.StopTimer()
+	printOnce("figure7", func() {
+		fmt.Println("\n=== Figure 7 (E11) ===")
+		report.WriteFrequencyFigure(os.Stdout, "CacheTrace", cachedCorr, 3)
+		report.WriteFrequencyFigure(os.Stdout, "BareTrace", bareCorr, 3)
+	})
+	b.ReportMetric(float64(ts0), "TS-TS-max-freq-d0")
+}
+
+// BenchmarkAblationHybridStore replays the measured workload against the
+// LSM-only baseline and the class-routed hybrid (E12, §V design claim).
+func BenchmarkAblationHybridStore(b *testing.B) {
+	bare, _ := sharedRuns(b)
+	b.ResetTimer()
+	var baseStats, hybStats struct {
+		physWrite, tombstones uint64
+	}
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		baseDB, err := lsm.Open(filepath.Join(dir, "base"), ablationLSMOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseRes, err := hybrid.Replay(baseDB, bare.Ops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseDB.Close()
+
+		orderedDB, err := lsm.Open(filepath.Join(dir, "ordered"), ablationLSMOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hashDB, err := hashstore.Open(filepath.Join(dir, "hash"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		hybStore := hybrid.New(orderedDB, logstore.New(), hashDB, nil)
+		hybRes, err := hybrid.Replay(hybStore, bare.Ops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hybStore.Close()
+
+		baseStats.physWrite = baseRes.Stats.PhysicalBytesWrite
+		baseStats.tombstones = baseRes.Stats.TombstonesLive
+		hybStats.physWrite = hybRes.Stats.PhysicalBytesWrite
+		hybStats.tombstones = hybRes.Stats.TombstonesLive
+	}
+	b.StopTimer()
+	printOnce("ablation-hybrid", func() {
+		fmt.Println("\n=== Ablation E12: LSM-only vs hybrid routing ===")
+		fmt.Printf("LSM-only: physWrite=%.1f MiB tombstones=%d\n",
+			float64(baseStats.physWrite)/(1<<20), baseStats.tombstones)
+		fmt.Printf("hybrid:   physWrite=%.1f MiB tombstones=%d\n",
+			float64(hybStats.physWrite)/(1<<20), hybStats.tombstones)
+	})
+	b.ReportMetric(float64(baseStats.physWrite)/(1<<20), "lsm-write-MiB")
+	b.ReportMetric(float64(hybStats.physWrite)/(1<<20), "hybrid-write-MiB")
+}
+
+// BenchmarkAblationCorrelationCache replays the measured read stream
+// against LRU and the correlation-aware cache (E13, §V design claim).
+func BenchmarkAblationCorrelationCache(b *testing.B) {
+	bare, _ := sharedRuns(b)
+	backing := map[string][]byte{}
+	var reads []trace.Op
+	for _, op := range bare.Ops {
+		switch op.Type {
+		case trace.OpWrite, trace.OpUpdate:
+			backing[string(op.Key)] = make([]byte, op.ValueSize)
+		case trace.OpRead:
+			if op.ValueSize > 0 {
+				backing[string(op.Key)] = make([]byte, op.ValueSize)
+			}
+			reads = append(reads, op)
+		}
+	}
+	const budget = 1 << 20
+	b.ResetTimer()
+	var lruRate, corrRate float64
+	for i := 0; i < b.N; i++ {
+		lru := cache.NewLRU(budget)
+		for _, op := range reads {
+			if _, ok := lru.Get(op.Key); !ok {
+				if v, exists := backing[string(op.Key)]; exists {
+					lru.Add(op.Key, v)
+				}
+			}
+		}
+		corr := cache.NewCorrelationCache(budget, func(key []byte) ([]byte, bool) {
+			v, ok := backing[string(key)]
+			return v, ok
+		})
+		for _, op := range reads {
+			if _, ok := corr.Get(op.Key); !ok {
+				if v, exists := backing[string(op.Key)]; exists {
+					corr.Add(op.Key, v)
+				}
+			}
+		}
+		lruRate = lru.HitRate()
+		corrRate = corr.HitRate()
+	}
+	b.StopTimer()
+	printOnce("ablation-cache", func() {
+		fmt.Println("\n=== Ablation E13: LRU vs correlation-aware cache ===")
+		fmt.Printf("LRU hit rate:               %.2f%%\n", lruRate*100)
+		fmt.Printf("correlation-aware hit rate: %.2f%%\n", corrRate*100)
+	})
+	b.ReportMetric(lruRate*100, "lru-hit-%")
+	b.ReportMetric(corrRate*100, "corr-hit-%")
+}
+
+// BenchmarkPipelineImport times raw block import throughput through the
+// cached stack (context metric for the harness).
+func BenchmarkPipelineImport(b *testing.B) {
+	workload := chain.DefaultWorkload()
+	workload.Accounts = 2000
+	workload.Contracts = 200
+	workload.TxPerBlock = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Run(lab.Config{Mode: lab.Cached, Blocks: 10, Workload: workload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ablationLSMOpts tunes the LSM for the ablation replays: a small memtable
+// so flush and compaction costs actually materialize at replay scale (with
+// the default 4 MiB buffer the whole workload would sit in RAM and the LSM
+// would never pay its background I/O).
+func ablationLSMOpts() lsm.Options {
+	return lsm.Options{
+		DisableWAL:          true,
+		MemtableBytes:       256 << 10,
+		L0CompactionTrigger: 4,
+		LevelBaseBytes:      1 << 20,
+	}
+}
+
+// BenchmarkAblationCacheAdmission flips Geth's write-path cache admission
+// (Finding 6's critique: never-read pairs pollute the cache when admitted
+// on write). It runs the cached pipeline both ways and compares the
+// world-state reads that reach the store.
+func BenchmarkAblationCacheAdmission(b *testing.B) {
+	workload := chain.DefaultWorkload()
+	workload.Accounts = 4000
+	workload.Contracts = 400
+	workload.TxPerBlock = 80
+	run := func(admit bool) uint64 {
+		pcfg := chain.DefaultProcessorConfig(true)
+		pcfg.AdmitOnWrite = admit
+		res, err := lab.Run(lab.Config{
+			Mode: lab.Cached, Blocks: 60, Workload: workload, Processor: &pcfg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dist := analysis.CollectOpDistSlice(res.Ops, nil)
+		return dist.WorldStateReads()
+	}
+	b.ResetTimer()
+	var withAdmit, without uint64
+	for i := 0; i < b.N; i++ {
+		withAdmit = run(true)
+		without = run(false)
+	}
+	b.StopTimer()
+	printOnce("ablation-admission", func() {
+		fmt.Println("\n=== Ablation: cache write-path admission (Finding 6) ===")
+		fmt.Printf("world-state store reads with admit-on-write:    %d\n", withAdmit)
+		fmt.Printf("world-state store reads without admit-on-write: %d\n", without)
+	})
+	b.ReportMetric(float64(withAdmit), "reads-admit")
+	b.ReportMetric(float64(without), "reads-no-admit")
+}
+
+// BenchmarkAblationStorageModel contrasts the path-based and hash-based
+// trie storage models (§II-A "Evolution of Geth"): same logical updates,
+// very different stored-node growth.
+func BenchmarkAblationStorageModel(b *testing.B) {
+	b.ResetTimer()
+	var pathNodes, hashNodes int
+	for i := 0; i < b.N; i++ {
+		pathStore := map[string][]byte{}
+		hashStore := map[string][]byte{}
+		pathTrie := trie.NewEmpty()
+		hashTrie := trie.NewEmpty()
+		for round := 0; round < 20; round++ {
+			for j := 0; j < 200; j++ {
+				k := []byte(fmt.Sprintf("acct-%03d", j))
+				v := []byte(fmt.Sprintf("bal-%d-%d", round, j))
+				pathTrie.Update(k, v)
+				hashTrie.Update(k, v)
+			}
+			set, _ := pathTrie.Commit()
+			for p, blob := range set.Writes {
+				pathStore[p] = blob
+			}
+			for _, p := range set.Deletes {
+				delete(pathStore, p)
+			}
+			writes, _ := hashTrie.CommitHashed()
+			for h, blob := range writes {
+				hashStore[h] = blob
+			}
+		}
+		pathNodes, hashNodes = len(pathStore), len(hashStore)
+	}
+	b.StopTimer()
+	printOnce("ablation-storage-model", func() {
+		fmt.Println("\n=== Ablation: path-based vs hash-based trie storage ===")
+		fmt.Printf("path-keyed live nodes: %d\n", pathNodes)
+		fmt.Printf("hash-keyed stored nodes: %d (%.1fx redundancy)\n",
+			hashNodes, float64(hashNodes)/float64(pathNodes))
+	})
+	b.ReportMetric(float64(pathNodes), "path-nodes")
+	b.ReportMetric(float64(hashNodes), "hash-nodes")
+}
+
+// BenchmarkSweepZipfSkew sweeps the workload generator's account-popularity
+// skew and reports how the read-once share (Finding 3) and dominant-class
+// share respond — the sensitivity analysis behind the calibration choices
+// in EXPERIMENTS.md.
+func BenchmarkSweepZipfSkew(b *testing.B) {
+	type point struct {
+		s        float64
+		readOnce float64
+	}
+	var results []point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results = results[:0]
+		for _, s := range []float64{1.05, 1.2, 1.5, 2.0} {
+			workload := chain.DefaultWorkload()
+			workload.Accounts = 3000
+			workload.Contracts = 300
+			workload.TxPerBlock = 60
+			workload.ZipfS = s
+			res, err := lab.Run(lab.Config{Mode: lab.Cached, Blocks: 30, Workload: workload})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dist := analysis.CollectOpDistSlice(res.Ops, nil)
+			var once float64
+			if co := dist.PerClass[rawdb.ClassTrieNodeAccount]; co != nil {
+				once = analysis.ReadOnceShare(co.ReadFreq)
+			}
+			results = append(results, point{s, once})
+		}
+	}
+	b.StopTimer()
+	printOnce("sweep-zipf", func() {
+		fmt.Println("\n=== Sweep: Zipf skew vs read-once share (TrieNodeAccount) ===")
+		for _, p := range results {
+			fmt.Printf("ZipfS=%.2f  read-once=%.1f%%\n", p.s, p.readOnce*100)
+		}
+	})
+	if len(results) > 0 {
+		b.ReportMetric(results[0].readOnce*100, "read-once-lowskew-%")
+		b.ReportMetric(results[len(results)-1].readOnce*100, "read-once-highskew-%")
+	}
+}
+
+// BenchmarkSweepCacheBudget sweeps the shared cache budget and reports the
+// world-state reads that still reach the store — the knob behind Geth's
+// --cache flag (1 GiB default at mainnet scale).
+func BenchmarkSweepCacheBudget(b *testing.B) {
+	workload := chain.DefaultWorkload()
+	workload.Accounts = 3000
+	workload.Contracts = 300
+	workload.TxPerBlock = 60
+	type point struct {
+		budget int
+		reads  uint64
+	}
+	var results []point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results = results[:0]
+		for _, budget := range []int{32 << 10, 128 << 10, 512 << 10, 4 << 20} {
+			pcfg := chain.DefaultProcessorConfig(true)
+			pcfg.CacheBytes = budget
+			res, err := lab.Run(lab.Config{
+				Mode: lab.Cached, Blocks: 30, Workload: workload, Processor: &pcfg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dist := analysis.CollectOpDistSlice(res.Ops, nil)
+			results = append(results, point{budget, dist.WorldStateReads()})
+		}
+	}
+	b.StopTimer()
+	printOnce("sweep-cache", func() {
+		fmt.Println("\n=== Sweep: cache budget vs world-state store reads ===")
+		for _, p := range results {
+			fmt.Printf("budget %6d KiB  world-state reads %d\n", p.budget>>10, p.reads)
+		}
+	})
+	if len(results) > 1 {
+		b.ReportMetric(float64(results[0].reads), "reads-smallest-cache")
+		b.ReportMetric(float64(results[len(results)-1].reads), "reads-largest-cache")
+	}
+}

@@ -1,0 +1,57 @@
+// Command corranalysis runs the distance-based correlation analysis over a
+// trace file — the equivalent of the artifact's readCorrelationAnalysis.sh
+// and updateCorrelationAnalysis.sh. It prints the top class-pair correlated
+// counts per distance (Figures 4/6) and the per-key-pair frequency
+// distributions at distances 0 and 1024 (Figures 5/7).
+//
+// Usage:
+//
+//	corranalysis -trace traces/BareTrace/BareTrace.bin -op read
+//	corranalysis -trace traces/CacheTrace/CacheTrace.bin -op update
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ethkv/internal/analysis"
+	"ethkv/internal/report"
+	"ethkv/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file to analyze")
+		op        = flag.String("op", "read", "correlation stream: read or update")
+		topN      = flag.Int("top", 3, "class pairs to report per panel")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		log.Fatal("usage: corranalysis -trace <file> [-op read|update]")
+	}
+	cfg := analysis.CorrConfig{}
+	switch *op {
+	case "read":
+		cfg.Op = trace.OpRead
+	case "update":
+		cfg.Op = trace.OpUpdate
+	default:
+		log.Fatalf("unknown -op %q (want read or update)", *op)
+	}
+
+	r, err := trace.OpenFile(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	corr, err := analysis.CollectCorrelations(r, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	name := filepath.Base(*tracePath) + " (" + *op + ")"
+	report.WriteCorrelationFigure(os.Stdout, name, corr, *topN)
+	report.WriteFrequencyFigure(os.Stdout, name, corr, *topN)
+}

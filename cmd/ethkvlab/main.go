@@ -1,0 +1,138 @@
+// Command ethkvlab is the one-shot reproduction driver: it collects both
+// traces over the same synthetic workload, runs every analysis of the
+// paper, and prints every table and figure plus the 11-findings checklist.
+//
+// Usage:
+//
+//	ethkvlab -blocks 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ethkv/internal/analysis"
+	"ethkv/internal/chain"
+	"ethkv/internal/lab"
+	"ethkv/internal/rawdb"
+	"ethkv/internal/report"
+	"ethkv/internal/trace"
+)
+
+func main() {
+	var (
+		blocks    = flag.Int("blocks", 300, "blocks per trace")
+		accounts  = flag.Int("accounts", 20000, "pre-seeded EOA population")
+		contracts = flag.Int("contracts", 1500, "pre-seeded contract population")
+		tx        = flag.Int("tx", 150, "transactions per block")
+		seed      = flag.Int64("seed", 42, "workload RNG seed")
+		outDir    = flag.String("out", "", "also write the artifact-layout output tree to this directory")
+	)
+	flag.Parse()
+
+	workload := chain.DefaultWorkload()
+	workload.Accounts = *accounts
+	workload.Contracts = *contracts
+	workload.TxPerBlock = *tx
+	workload.Seed = *seed
+
+	start := time.Now()
+	fmt.Printf("== collecting traces: %d blocks, %d EOAs, %d contracts, %d tx/block\n",
+		*blocks, *accounts, *contracts, *tx)
+	bare, cached, err := lab.RunBoth(*blocks, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   BareTrace: %d ops   CacheTrace: %d ops   (%.1fs)\n\n",
+		len(bare.Ops), len(cached.Ops), time.Since(start).Seconds())
+
+	out := os.Stdout
+	// E1: Table I.
+	fmt.Fprintln(out, "== Table I: class inventory (CacheTrace store)")
+	report.WriteTable1(out, cached.Store)
+	fmt.Fprintln(out)
+
+	// E2: Figure 2.
+	fmt.Fprintln(out, "== Figure 2: KV size distributions")
+	report.WriteFigure2(out, cached.Store, []rawdb.Class{
+		rawdb.ClassTrieNodeAccount, rawdb.ClassTrieNodeStorage,
+		rawdb.ClassSnapshotAccount, rawdb.ClassSnapshotStorage,
+	})
+	fmt.Fprintln(out)
+
+	// E3/E4: Tables II and III.
+	cachedOps := analysis.CollectOpDistSlice(cached.Ops, nil)
+	bareOps := analysis.CollectOpDistSlice(bare.Ops, nil)
+	fmt.Fprintln(out, "== Table II: operation distribution (CacheTrace)")
+	report.WriteOpTable(out, "CacheTrace", cachedOps)
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "== Table III: operation distribution (BareTrace)")
+	report.WriteOpTable(out, "BareTrace", bareOps)
+	fmt.Fprintln(out)
+
+	// E5: Table IV.
+	fmt.Fprintln(out, "== Table IV: read ratios")
+	report.WriteTable4(out, bareOps, cachedOps, bare.Store, cached.Store)
+	fmt.Fprintln(out)
+
+	// E6: Figure 3.
+	fmt.Fprintln(out, "== Figure 3: per-key op frequency (world state)")
+	report.WriteFigure3(out, "CacheTrace", cachedOps)
+	report.WriteFigure3(out, "BareTrace", bareOps)
+	fmt.Fprintln(out)
+
+	// E7: cache/snapshot effect.
+	fmt.Fprintln(out, "== Findings 6-7: caching and snapshot acceleration effect")
+	cmp := analysis.Compare(bareOps, cachedOps, bare.Store, cached.Store)
+	report.WriteComparison(out, cmp)
+	fmt.Fprintln(out)
+
+	// E8/E9: read correlations.
+	readCfg := analysis.CorrConfig{Op: trace.OpRead}
+	cachedRead := analysis.CollectCorrelationsSlice(cached.Ops, readCfg)
+	bareRead := analysis.CollectCorrelationsSlice(bare.Ops, readCfg)
+	fmt.Fprintln(out, "== Figure 4: read correlations")
+	report.WriteCorrelationFigure(out, "CacheTrace reads", cachedRead, 3)
+	report.WriteCorrelationFigure(out, "BareTrace reads", bareRead, 3)
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "== Figure 5: correlated-read frequency distributions")
+	report.WriteFrequencyFigure(out, "CacheTrace", cachedRead, 3)
+	report.WriteFrequencyFigure(out, "BareTrace", bareRead, 3)
+	fmt.Fprintln(out)
+
+	// E10/E11: update correlations.
+	updCfg := analysis.CorrConfig{Op: trace.OpUpdate}
+	cachedUpd := analysis.CollectCorrelationsSlice(cached.Ops, updCfg)
+	bareUpd := analysis.CollectCorrelationsSlice(bare.Ops, updCfg)
+	fmt.Fprintln(out, "== Figure 6: update correlations")
+	report.WriteCorrelationFigure(out, "CacheTrace updates", cachedUpd, 3)
+	report.WriteCorrelationFigure(out, "BareTrace updates", bareUpd, 3)
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "== Figure 7: correlated-update frequency distributions")
+	report.WriteFrequencyFigure(out, "CacheTrace", cachedUpd, 3)
+	fmt.Fprintln(out)
+
+	// The findings checklist.
+	fmt.Fprintln(out, "== Findings checklist")
+	input := &analysis.FindingsInput{
+		CachedOps: cachedOps, BareOps: bareOps,
+		CachedStore: cached.Store, BareStore: bare.Store,
+		CachedReadCorr: cachedRead, BareReadCorr: bareRead,
+		CachedUpdateCorr: cachedUpd, BareUpdateCorr: bareUpd,
+	}
+	report.WriteFindings(out, analysis.CheckFindings(input))
+
+	if *outDir != "" {
+		if err := lab.WriteArtifacts(*outDir+"/CacheTrace", cached); err != nil {
+			log.Fatal(err)
+		}
+		if err := lab.WriteArtifacts(*outDir+"/BareTrace", bare); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nartifact output tree written to %s\n", *outDir)
+	}
+	fmt.Printf("\ntotal runtime: %.1fs\n", time.Since(start).Seconds())
+}

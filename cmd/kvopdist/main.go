@@ -1,0 +1,41 @@
+// Command kvopdist analyzes the operation distribution of a trace file —
+// the equivalent of the artifact's kvOpDistributionAnalysis.sh. It prints
+// the per-class operation mix (Tables II/III) and the per-key frequency
+// summaries behind Figure 3.
+//
+// Usage:
+//
+//	kvopdist -trace traces/CacheTrace/CacheTrace.bin
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ethkv/internal/analysis"
+	"ethkv/internal/report"
+	"ethkv/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file to analyze")
+	flag.Parse()
+	if *tracePath == "" {
+		log.Fatal("usage: kvopdist -trace <file>")
+	}
+	r, err := trace.OpenFile(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	dist, err := analysis.CollectOpDist(r, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	name := filepath.Base(*tracePath)
+	report.WriteOpTable(os.Stdout, name, dist)
+	report.WriteFigure3(os.Stdout, name, dist)
+}

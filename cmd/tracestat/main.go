@@ -1,0 +1,34 @@
+// Command tracestat prints a fast single-pass summary of a trace file:
+// per-class op counts and byte volumes. Useful as a first look at very
+// large traces before running the heavier analyses.
+//
+// Usage:
+//
+//	tracestat -trace traces/CacheTrace/CacheTrace.bin
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"ethkv/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file to summarize")
+	flag.Parse()
+	if *tracePath == "" {
+		log.Fatal("usage: tracestat -trace <file>")
+	}
+	r, err := trace.OpenFile(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	summary, err := trace.Summarize(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	summary.Render(os.Stdout)
+}

@@ -1,0 +1,45 @@
+package ethkv_test
+
+import (
+	"fmt"
+
+	"ethkv"
+)
+
+// Example demonstrates the minimal end-to-end use of the library: collect
+// both traces over a small workload and check which findings reproduce.
+func Example() {
+	workload := ethkv.DefaultWorkload()
+	workload.Accounts = 1000
+	workload.Contracts = 100
+	workload.TxPerBlock = 30
+
+	bare, cached, err := ethkv.CollectTraces(10, workload)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	findings := ethkv.CheckFindings(bare, cached)
+	fmt.Printf("checked %d findings; traces non-empty: %v/%v\n",
+		len(findings), len(bare.Ops) > 0, len(cached.Ops) > 0)
+	// Output:
+	// checked 11 findings; traces non-empty: true/true
+}
+
+// ExampleCollect shows a single-mode run and its store census.
+func ExampleCollect() {
+	workload := ethkv.DefaultWorkload()
+	workload.Accounts = 500
+	workload.Contracts = 50
+	workload.TxPerBlock = 20
+
+	res, err := ethkv.Collect(ethkv.Cached, 5, workload)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("store has pairs: %v; singleton classes: %v\n",
+		res.Store.Total > 0, res.Store.SingletonClasses() > 0)
+	// Output:
+	// store has pairs: true; singleton classes: true
+}

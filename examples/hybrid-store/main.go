@@ -1,0 +1,98 @@
+// Hybrid store: replay a measured workload against the single-LSM baseline
+// and against §V's class-routed hybrid design, and compare I/O costs — the
+// paper's central design recommendation, evaluated (ablation E12).
+//
+//	go run ./examples/hybrid-store
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ethkv/internal/chain"
+	"ethkv/internal/hashstore"
+	"ethkv/internal/hybrid"
+	"ethkv/internal/kv"
+	"ethkv/internal/lab"
+	"ethkv/internal/logstore"
+	"ethkv/internal/lsm"
+)
+
+func main() {
+	// Collect a real workload trace first.
+	workload := chain.DefaultWorkload()
+	workload.Accounts = 4000
+	workload.Contracts = 400
+	workload.TxPerBlock = 80
+	fmt.Println("collecting a 120-block BareTrace workload...")
+	res, err := lab.Run(lab.Config{Mode: lab.Bare, Blocks: 120, Workload: workload})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d operations\n\n", len(res.Ops))
+
+	tmp, err := os.MkdirTemp("", "hybrid-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	// Baseline: everything on one LSM store (Geth's configuration).
+	baselineDB, err := lsm.Open(filepath.Join(tmp, "baseline"), ablationLSMOpts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := hybrid.Replay(baselineDB, res.Ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baselineDB.Close()
+
+	// Hybrid: scan classes on the LSM, lifecycle-delete classes on the log,
+	// world-state point reads on the hash store.
+	orderedDB, err := lsm.Open(filepath.Join(tmp, "ordered"), ablationLSMOpts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	hashDB, err := hashstore.Open(filepath.Join(tmp, "hash"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hybridStore := hybrid.New(orderedDB, logstore.New(), hashDB, nil)
+	hyb, err := hybrid.Replay(hybridStore, res.Ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hybridStore.Close()
+
+	fmt.Println("replaying the same measured workload against both designs:")
+	printRow := func(name string, r *hybrid.ReplayResult) {
+		fmt.Printf("  %-10s physWrite=%8.1f MiB  physRead=%8.1f MiB  writeAmp=%.2f  tombstones=%d  compactions=%d\n",
+			name,
+			float64(r.Stats.PhysicalBytesWrite)/(1<<20),
+			float64(r.Stats.PhysicalBytesRead)/(1<<20),
+			r.Stats.WriteAmplification(),
+			r.Stats.TombstonesLive,
+			r.Stats.CompactionCount)
+	}
+	printRow("LSM-only", baseline)
+	printRow("hybrid", hyb)
+
+	save := 1 - float64(hyb.Stats.PhysicalBytesWrite)/float64(baseline.Stats.PhysicalBytesWrite)
+	fmt.Printf("\nhybrid writes %.1f%% fewer physical bytes; %d tombstones avoided entirely\n",
+		save*100, baseline.Stats.TombstonesLive)
+	_ = kv.Stats{}
+}
+
+// ablationLSMOpts shrinks the memtable so LSM flush/compaction costs
+// materialize at example scale.
+func ablationLSMOpts() lsm.Options {
+	return lsm.Options{
+		DisableWAL:          true,
+		MemtableBytes:       256 << 10,
+		L0CompactionTrigger: 4,
+		LevelBaseBytes:      1 << 20,
+	}
+}

@@ -1,0 +1,3 @@
+module ethkv
+
+go 1.23

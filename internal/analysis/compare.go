@@ -1,0 +1,87 @@
+package analysis
+
+import "ethkv/internal/rawdb"
+
+// TraceComparison quantifies the effect of caching + snapshot acceleration
+// by contrasting the two traces — the evidence behind Findings 6 and 7.
+type TraceComparison struct {
+	// Read/write totals from the op censuses.
+	BareReads, CacheReads             uint64
+	BareWorldReads, CacheWorldReads   uint64
+	BareWorldWrites, CacheWorldWrites uint64
+	BareTrieReads, CacheTrieReads     uint64
+
+	// Store pair counts after each run.
+	BarePairs, CachePairs uint64
+}
+
+// Compare builds the comparison from the two op censuses and store
+// censuses.
+func Compare(bare, cached *OpDist, bareStore, cachedStore *SizeDist) *TraceComparison {
+	trieReads := func(d *OpDist) uint64 {
+		var total uint64
+		for _, class := range []rawdb.Class{rawdb.ClassTrieNodeAccount, rawdb.ClassTrieNodeStorage} {
+			if co := d.PerClass[class]; co != nil {
+				total += co.Reads
+			}
+		}
+		return total
+	}
+	return &TraceComparison{
+		BareReads:        bare.TotalReads(),
+		CacheReads:       cached.TotalReads(),
+		BareWorldReads:   bare.WorldStateReads(),
+		CacheWorldReads:  cached.WorldStateReads(),
+		BareWorldWrites:  bare.WorldStateWrites(),
+		CacheWorldWrites: cached.WorldStateWrites(),
+		BareTrieReads:    trieReads(bare),
+		CacheTrieReads:   trieReads(cached),
+		BarePairs:        bareStore.Total,
+		CachePairs:       cachedStore.Total,
+	}
+}
+
+// reduction computes 1 - after/before, clamped to [0, 1]; 0 when before=0.
+func reduction(before, after uint64) float64 {
+	if before == 0 {
+		return 0
+	}
+	r := 1 - float64(after)/float64(before)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// ReadReduction is the total-read reduction from caching+snapshot
+// (the paper: 4.65B -> 0.96B, a 79% cut).
+func (c *TraceComparison) ReadReduction() float64 {
+	return reduction(c.BareReads, c.CacheReads)
+}
+
+// WorldStateReadReduction covers the four world-state classes
+// (the paper reports 79.7%).
+func (c *TraceComparison) WorldStateReadReduction() float64 {
+	return reduction(c.BareWorldReads, c.CacheWorldReads)
+}
+
+// TrieReadReduction covers TrieNodeAccount+TrieNodeStorage only
+// (the paper reports 82.7% and 87.5% respectively).
+func (c *TraceComparison) TrieReadReduction() float64 {
+	return reduction(c.BareTrieReads, c.CacheTrieReads)
+}
+
+// WorldStateWriteReduction covers world-state writes+updates
+// (the paper reports 64.2%: 4.11B -> 1.47B).
+func (c *TraceComparison) WorldStateWriteReduction() float64 {
+	return reduction(c.BareWorldWrites, c.CacheWorldWrites)
+}
+
+// StorageOverhead is the pair-count increase from snapshot acceleration
+// (the paper reports +61.5%: 2.44B -> 3.94B).
+func (c *TraceComparison) StorageOverhead() float64 {
+	if c.BarePairs == 0 {
+		return 0
+	}
+	return float64(c.CachePairs)/float64(c.BarePairs) - 1
+}

@@ -1,0 +1,232 @@
+// Package analysis implements the paper's trace-analysis suite: per-class
+// KV size distributions (Findings 1-2), operation distributions and read
+// ratios (Findings 3-7), and distance-based read/update correlation
+// analysis (Findings 8-11). It is the repository's core contribution,
+// mirroring the artifact's countKVSizeDistribution,
+// kvOpDistributionAnalysis, readCorrelationAnalysis and
+// updateCorrelationAnalysis tools.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"ethkv/internal/kv"
+	"ethkv/internal/rawdb"
+)
+
+// ClassSize aggregates the stored pairs of one class.
+type ClassSize struct {
+	Class      rawdb.Class
+	Pairs      uint64
+	KeyBytes   uint64
+	ValueBytes uint64
+	// Sums of squares, for the 95% confidence intervals Table I reports.
+	KeySquares   float64
+	ValueSquares float64
+	// KeySizes / ValueSizes are exact size histograms (size -> count),
+	// the raw data behind Figure 2's scatter plots.
+	KeySizes   map[int]uint64
+	ValueSizes map[int]uint64
+}
+
+// KeySizeCI95 returns the 95%% confidence half-width of the mean key size
+// under the paper's normality assumption (1.96 * stderr).
+func (c *ClassSize) KeySizeCI95() float64 {
+	return ci95(c.KeySquares, float64(c.KeyBytes), c.Pairs)
+}
+
+// ValueSizeCI95 returns the 95%% confidence half-width of the mean value
+// size.
+func (c *ClassSize) ValueSizeCI95() float64 {
+	return ci95(c.ValueSquares, float64(c.ValueBytes), c.Pairs)
+}
+
+// ci95 computes 1.96 * sqrt(variance/n) from raw moments.
+func ci95(sumSquares, sum float64, n uint64) float64 {
+	if n < 2 {
+		return 0
+	}
+	mean := sum / float64(n)
+	variance := sumSquares/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return 1.96 * math.Sqrt(variance/float64(n))
+}
+
+// MeanKeySize returns the average key size in bytes.
+func (c *ClassSize) MeanKeySize() float64 {
+	if c.Pairs == 0 {
+		return 0
+	}
+	return float64(c.KeyBytes) / float64(c.Pairs)
+}
+
+// MeanValueSize returns the average value size in bytes.
+func (c *ClassSize) MeanValueSize() float64 {
+	if c.Pairs == 0 {
+		return 0
+	}
+	return float64(c.ValueBytes) / float64(c.Pairs)
+}
+
+// MeanKVSize returns the average key+value size.
+func (c *ClassSize) MeanKVSize() float64 {
+	if c.Pairs == 0 {
+		return 0
+	}
+	return float64(c.KeyBytes+c.ValueBytes) / float64(c.Pairs)
+}
+
+// SizeDist is the per-class size census of a store (Table I's raw data).
+type SizeDist struct {
+	PerClass map[rawdb.Class]*ClassSize
+	Total    uint64 // total pairs
+	Unknown  uint64 // pairs outside the schema
+}
+
+// CollectSizeDist scans every pair in the store and buckets it by class —
+// the equivalent of running countKVSizeDistribution over the post-sync
+// database.
+func CollectSizeDist(store kv.Iterable) *SizeDist {
+	dist := &SizeDist{PerClass: make(map[rawdb.Class]*ClassSize)}
+	it := store.NewIterator(nil, nil)
+	defer it.Release()
+	for it.Next() {
+		key, value := it.Key(), it.Value()
+		class := rawdb.Classify(key)
+		if class == rawdb.ClassUnknown {
+			dist.Unknown++
+			continue
+		}
+		cs := dist.PerClass[class]
+		if cs == nil {
+			cs = &ClassSize{
+				Class:      class,
+				KeySizes:   make(map[int]uint64),
+				ValueSizes: make(map[int]uint64),
+			}
+			dist.PerClass[class] = cs
+		}
+		cs.Pairs++
+		cs.KeyBytes += uint64(len(key))
+		cs.ValueBytes += uint64(len(value))
+		cs.KeySquares += float64(len(key)) * float64(len(key))
+		cs.ValueSquares += float64(len(value)) * float64(len(value))
+		cs.KeySizes[len(key)]++
+		cs.ValueSizes[len(value)]++
+		dist.Total++
+	}
+	return dist
+}
+
+// Share returns a class's fraction of all pairs.
+func (d *SizeDist) Share(class rawdb.Class) float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	cs := d.PerClass[class]
+	if cs == nil {
+		return 0
+	}
+	return float64(cs.Pairs) / float64(d.Total)
+}
+
+// DominantShare sums the share of the five dominant classes of Finding 1.
+func (d *SizeDist) DominantShare() float64 {
+	return d.Share(rawdb.ClassTrieNodeStorage) +
+		d.Share(rawdb.ClassSnapshotStorage) +
+		d.Share(rawdb.ClassTxLookup) +
+		d.Share(rawdb.ClassTrieNodeAccount) +
+		d.Share(rawdb.ClassSnapshotAccount)
+}
+
+// SingletonClasses counts classes holding exactly one pair.
+func (d *SizeDist) SingletonClasses() int {
+	n := 0
+	for _, cs := range d.PerClass {
+		if cs.Pairs == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// DominantMeanKVSize is the pair-weighted mean KV size across the five
+// dominant classes (the paper reports 79.1 bytes).
+func (d *SizeDist) DominantMeanKVSize() float64 {
+	var pairs, bytes uint64
+	for _, class := range []rawdb.Class{
+		rawdb.ClassTrieNodeStorage, rawdb.ClassSnapshotStorage,
+		rawdb.ClassTxLookup, rawdb.ClassTrieNodeAccount,
+		rawdb.ClassSnapshotAccount,
+	} {
+		if cs := d.PerClass[class]; cs != nil {
+			pairs += cs.Pairs
+			bytes += cs.KeyBytes + cs.ValueBytes
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(bytes) / float64(pairs)
+}
+
+// LargePairShare is the fraction of pairs whose key+value exceeds 1 KiB
+// (the paper reports 0.04%).
+func (d *SizeDist) LargePairShare() float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	var large uint64
+	for _, cs := range d.PerClass {
+		// Approximate per-pair size by the value histogram plus mean key
+		// size (keys are small and near-constant within a class).
+		meanKey := int(cs.MeanKeySize())
+		for size, count := range cs.ValueSizes {
+			if size+meanKey > 1024 {
+				large += count
+			}
+		}
+	}
+	return float64(large) / float64(d.Total)
+}
+
+// SizePoint is one (size, count) sample of a distribution.
+type SizePoint struct {
+	Size  int
+	Count uint64
+}
+
+// ValueSizeSeries returns a class's value-size distribution as sorted
+// scatter points — one Figure 2 panel.
+func (d *SizeDist) ValueSizeSeries(class rawdb.Class) []SizePoint {
+	cs := d.PerClass[class]
+	if cs == nil {
+		return nil
+	}
+	points := make([]SizePoint, 0, len(cs.ValueSizes))
+	for size, count := range cs.ValueSizes {
+		points = append(points, SizePoint{size, count})
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Size < points[j].Size })
+	return points
+}
+
+// Classes returns the classes present, ordered by pair count descending —
+// Table I's row order.
+func (d *SizeDist) Classes() []rawdb.Class {
+	out := make([]rawdb.Class, 0, len(d.PerClass))
+	for class := range d.PerClass {
+		out = append(out, class)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := d.PerClass[out[i]], d.PerClass[out[j]]
+		if a.Pairs != b.Pairs {
+			return a.Pairs > b.Pairs
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,448 @@
+// Package hashstore implements a hash-indexed key-value store with in-place
+// deletion — one of the alternatives the paper's Finding 5 recommends for
+// classes where scans never happen and deletes are frequent.
+//
+// Layout: values live in append-only segment files; an in-memory hash index
+// maps each key to (segment, offset, length). Deletes remove the index entry
+// immediately (no tombstone) and account garbage; when a segment's garbage
+// ratio passes a threshold it is rewritten, reclaiming space without the
+// global ordering work an LSM compaction performs.
+package hashstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ethkv/internal/kv"
+)
+
+// record layout within a segment:
+//
+//	keyLen uvarint | key | valueLen uvarint | value
+
+// segmentTargetBytes is the roll-over size for the active segment.
+const segmentTargetBytes = 4 << 20
+
+// gcGarbageRatio triggers segment rewrite once dead bytes exceed this share.
+const gcGarbageRatio = 0.5
+
+// location addresses one live record.
+type location struct {
+	segment uint32
+	offset  uint32
+	length  uint32
+}
+
+// segment is one append-only value file held in memory with its backing
+// file (the file is the durability story; reads come from memory).
+type segment struct {
+	id      uint32
+	buf     []byte
+	garbage int // dead bytes from deleted/overwritten records
+}
+
+// Store is the hash-based KV store. It implements kv.Store except ordered
+// iteration, which it refuses by design (scans require order maintenance —
+// exactly the cost this structure avoids). NewIterator returns entries in
+// unspecified order.
+type Store struct {
+	mu     sync.RWMutex
+	dir    string
+	index  map[string]location
+	segs   map[uint32]*segment
+	active *segment
+	nextID uint32
+	closed bool
+	stats  kv.Stats
+	gcRuns uint64
+}
+
+var _ kv.Store = (*Store)(nil)
+var _ kv.StatsProvider = (*Store)(nil)
+
+// Open creates or reopens a hash store in dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:   dir,
+		index: make(map[string]location),
+		segs:  make(map[uint32]*segment),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	if s.active == nil {
+		s.rollSegment()
+	}
+	return s, nil
+}
+
+// load replays existing segment files into the index, newest last so later
+// records win.
+func (s *Store) load() error {
+	names, err := filepath.Glob(filepath.Join(s.dir, "seg-*.dat"))
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		var id uint32
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%d.dat", &id); err != nil {
+			continue
+		}
+		buf, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		seg := &segment{id: id, buf: buf}
+		s.segs[id] = seg
+		if id >= s.nextID {
+			s.nextID = id + 1
+			s.active = seg
+		}
+		// Rebuild index; overwritten slots become garbage.
+		off := 0
+		for off < len(buf) {
+			rec := buf[off:]
+			klen, n := binary.Uvarint(rec)
+			if n <= 0 {
+				break
+			}
+			rec = rec[n:]
+			if uint64(len(rec)) < klen {
+				break
+			}
+			key := rec[:klen]
+			rec = rec[klen:]
+			vlen, m := binary.Uvarint(rec)
+			if m <= 0 || uint64(len(rec)-m) < vlen {
+				break
+			}
+			total := n + int(klen) + m + int(vlen)
+			if old, ok := s.index[string(key)]; ok {
+				s.segs[old.segment].garbage += int(old.length)
+			}
+			s.index[string(key)] = location{segment: id, offset: uint32(off), length: uint32(total)}
+			off += total
+		}
+	}
+	return nil
+}
+
+// rollSegment starts a fresh active segment.
+func (s *Store) rollSegment() {
+	seg := &segment{id: s.nextID}
+	s.nextID++
+	s.segs[seg.id] = seg
+	s.active = seg
+}
+
+// segPath names a segment file.
+func (s *Store) segPath(id uint32) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%06d.dat", id))
+}
+
+// Put implements kv.Writer.
+func (s *Store) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	var rec []byte
+	rec = binary.AppendUvarint(rec, uint64(len(key)))
+	rec = append(rec, key...)
+	rec = binary.AppendUvarint(rec, uint64(len(value)))
+	rec = append(rec, value...)
+
+	if old, ok := s.index[string(key)]; ok {
+		s.segs[old.segment].garbage += int(old.length)
+	}
+	off := len(s.active.buf)
+	s.active.buf = append(s.active.buf, rec...)
+	s.index[string(key)] = location{segment: s.active.id, offset: uint32(off), length: uint32(len(rec))}
+
+	s.stats.Puts++
+	s.stats.LogicalBytesWritten += uint64(len(key) + len(value))
+	s.stats.PhysicalBytesWrite += uint64(len(rec))
+	if len(s.active.buf) >= segmentTargetBytes {
+		if err := s.persistSegment(s.active); err != nil {
+			return err
+		}
+		s.rollSegment()
+	}
+	return s.maybeGC()
+}
+
+// Delete implements kv.Writer: the index entry vanishes immediately and the
+// record bytes become garbage — no tombstone is ever written.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	s.stats.Deletes++
+	loc, ok := s.index[string(key)]
+	if !ok {
+		return nil
+	}
+	delete(s.index, string(key))
+	s.segs[loc.segment].garbage += int(loc.length)
+	return s.maybeGC()
+}
+
+// Get implements kv.Reader: a single index probe and one record read.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, kv.ErrClosed
+	}
+	s.stats.Gets++
+	loc, ok := s.index[string(key)]
+	if !ok {
+		return nil, kv.ErrNotFound
+	}
+	value := s.readValue(loc)
+	s.stats.LogicalBytesRead += uint64(len(value))
+	s.stats.PhysicalBytesRead += uint64(loc.length)
+	return value, nil
+}
+
+// readValue decodes the value portion of the record at loc.
+func (s *Store) readValue(loc location) []byte {
+	rec := s.segs[loc.segment].buf[loc.offset : loc.offset+loc.length]
+	klen, n := binary.Uvarint(rec)
+	rec = rec[n+int(klen):]
+	vlen, m := binary.Uvarint(rec)
+	return append([]byte(nil), rec[m:m+int(vlen)]...)
+}
+
+// Has implements kv.Reader.
+func (s *Store) Has(key []byte) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false, kv.ErrClosed
+	}
+	_, ok := s.index[string(key)]
+	return ok, nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// maybeGC rewrites sealed segments whose garbage share exceeds the
+// threshold. Called with s.mu held.
+func (s *Store) maybeGC() error {
+	for id, seg := range s.segs {
+		if seg == s.active || len(seg.buf) == 0 {
+			continue
+		}
+		if float64(seg.garbage)/float64(len(seg.buf)) < gcGarbageRatio {
+			continue
+		}
+		if err := s.rewriteSegment(id, seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rewriteSegment copies the live records of seg into the active segment and
+// drops the old file. Only records in this one segment move — this is the
+// "limited GC range" property §V calls out.
+func (s *Store) rewriteSegment(id uint32, seg *segment) error {
+	for keyStr, loc := range s.index {
+		if loc.segment != id {
+			continue
+		}
+		rec := seg.buf[loc.offset : loc.offset+loc.length]
+		off := len(s.active.buf)
+		s.active.buf = append(s.active.buf, rec...)
+		s.index[keyStr] = location{segment: s.active.id, offset: uint32(off), length: loc.length}
+		s.stats.PhysicalBytesWrite += uint64(len(rec))
+		s.stats.PhysicalBytesRead += uint64(len(rec))
+	}
+	delete(s.segs, id)
+	s.gcRuns++
+	if err := os.Remove(s.segPath(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	if len(s.active.buf) >= segmentTargetBytes {
+		if err := s.persistSegment(s.active); err != nil {
+			return err
+		}
+		s.rollSegment()
+	}
+	return nil
+}
+
+// persistSegment writes a sealed segment to disk.
+func (s *Store) persistSegment(seg *segment) error {
+	return os.WriteFile(s.segPath(seg.id), seg.buf, 0o644)
+}
+
+// GCRuns reports how many segment rewrites have occurred.
+func (s *Store) GCRuns() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gcRuns
+}
+
+// NewIterator implements kv.Iterable. Order is UNSPECIFIED (hash order):
+// this structure intentionally does not maintain key order. Callers that
+// need ordered scans must use an ordered store.
+func (s *Store) NewIterator(prefix, start []byte) kv.Iterator {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.stats.Scans++
+	var keys []string
+	var values [][]byte
+	for keyStr, loc := range s.index {
+		key := []byte(keyStr)
+		if len(prefix) > 0 && !hasPrefix(key, prefix) {
+			continue
+		}
+		keys = append(keys, keyStr)
+		values = append(values, s.readValue(loc))
+	}
+	return &unorderedIterator{keys: keys, values: values, pos: -1}
+}
+
+func hasPrefix(b, prefix []byte) bool {
+	if len(b) < len(prefix) {
+		return false
+	}
+	for i, p := range prefix {
+		if b[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+type unorderedIterator struct {
+	keys   []string
+	values [][]byte
+	pos    int
+}
+
+func (it *unorderedIterator) Next() bool {
+	if it.pos+1 >= len(it.keys) {
+		return false
+	}
+	it.pos++
+	return true
+}
+
+func (it *unorderedIterator) Key() []byte {
+	if it.pos < 0 {
+		return nil
+	}
+	return []byte(it.keys[it.pos])
+}
+
+func (it *unorderedIterator) Value() []byte {
+	if it.pos < 0 {
+		return nil
+	}
+	return it.values[it.pos]
+}
+
+func (it *unorderedIterator) Release()     {}
+func (it *unorderedIterator) Error() error { return nil }
+
+// NewBatch implements kv.Batcher.
+func (s *Store) NewBatch() kv.Batch { return &batch{store: s} }
+
+type batchOp struct {
+	key, value []byte
+	delete     bool
+}
+
+type batch struct {
+	store *Store
+	ops   []batchOp
+	size  int
+}
+
+func (b *batch) Put(key, value []byte) error {
+	b.ops = append(b.ops, batchOp{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	b.size += len(key) + len(value)
+	return nil
+}
+
+func (b *batch) Delete(key []byte) error {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), delete: true})
+	b.size += len(key)
+	return nil
+}
+
+func (b *batch) ValueSize() int { return b.size }
+
+func (b *batch) Write() error {
+	for _, op := range b.ops {
+		var err error
+		if op.delete {
+			err = b.store.Delete(op.key)
+		} else {
+			err = b.store.Put(op.key, op.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *batch) Reset() { b.ops, b.size = b.ops[:0], 0 }
+
+func (b *batch) Replay(w kv.Writer) error {
+	for _, op := range b.ops {
+		var err error
+		if op.delete {
+			err = w.Delete(op.key)
+		} else {
+			err = w.Put(op.key, op.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats implements kv.StatsProvider.
+func (s *Store) Stats() kv.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Close seals the active segment to disk and shuts the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if len(s.active.buf) > 0 {
+		return s.persistSegment(s.active)
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+// Package hybrid implements §V's conceptual design: a class-routed key-value
+// store that picks the data structure by the class's measured access
+// pattern, plus the correlation-aware cache wiring. It exists to evaluate
+// the paper's design recommendations against the single-LSM baseline
+// (ablation experiments E12/E13 in DESIGN.md).
+//
+// Routing, justified by the findings:
+//
+//   - Scan classes (SnapshotAccount, SnapshotStorage, BlockHeader) need key
+//     order: they stay on an ordered store (the LSM) — Finding 4.
+//   - High-deletion lifecycle classes (TxLookup, BlockBody, BlockReceipts)
+//     go to the append-only log store with batched chunk retirement —
+//     Finding 5.
+//   - World-state point-read classes (TrieNodeAccount, TrieNodeStorage,
+//     Code) go to the hash store with in-place deletes — Findings 3-5.
+//   - Everything else (small classes, singletons) stays on the LSM.
+package hybrid
+
+import (
+	"ethkv/internal/kv"
+	"ethkv/internal/rawdb"
+)
+
+// Route identifies the backing structure for a class.
+type Route int
+
+// The three routes.
+const (
+	RouteOrdered Route = iota // LSM/B+-tree style ordered store
+	RouteLog                  // append-only log with batched deletion
+	RouteHash                 // hash store with in-place deletes
+)
+
+func (r Route) String() string {
+	switch r {
+	case RouteLog:
+		return "log"
+	case RouteHash:
+		return "hash"
+	default:
+		return "ordered"
+	}
+}
+
+// DefaultRouting maps every class per the package comment.
+func DefaultRouting() map[rawdb.Class]Route {
+	return map[rawdb.Class]Route{
+		// Scan classes stay ordered (Finding 4).
+		rawdb.ClassSnapshotAccount: RouteOrdered,
+		rawdb.ClassSnapshotStorage: RouteOrdered,
+		rawdb.ClassBlockHeader:     RouteOrdered,
+		// Lifecycle-deleted classes ride the log (Finding 5).
+		rawdb.ClassTxLookup:      RouteLog,
+		rawdb.ClassBlockBody:     RouteLog,
+		rawdb.ClassBlockReceipts: RouteLog,
+		// Point-read world state rides the hash store (Finding 3).
+		rawdb.ClassTrieNodeAccount: RouteHash,
+		rawdb.ClassTrieNodeStorage: RouteHash,
+		rawdb.ClassCode:            RouteHash,
+	}
+}
+
+// Store is the class-routed hybrid store. It implements kv.Store: every
+// operation classifies its key and dispatches to the route's backend.
+type Store struct {
+	routing map[rawdb.Class]Route
+	ordered kv.Store
+	log     kv.Store
+	hash    kv.Store
+}
+
+var _ kv.Store = (*Store)(nil)
+
+// New assembles a hybrid store from the three backends. routing may be nil
+// for DefaultRouting.
+func New(ordered, log, hash kv.Store, routing map[rawdb.Class]Route) *Store {
+	if routing == nil {
+		routing = DefaultRouting()
+	}
+	return &Store{routing: routing, ordered: ordered, log: log, hash: hash}
+}
+
+// backend picks the store for a key.
+func (s *Store) backend(key []byte) kv.Store {
+	switch s.routing[rawdb.Classify(key)] {
+	case RouteLog:
+		return s.log
+	case RouteHash:
+		return s.hash
+	default:
+		return s.ordered
+	}
+}
+
+// Get implements kv.Reader.
+func (s *Store) Get(key []byte) ([]byte, error) { return s.backend(key).Get(key) }
+
+// Has implements kv.Reader.
+func (s *Store) Has(key []byte) (bool, error) { return s.backend(key).Has(key) }
+
+// Put implements kv.Writer.
+func (s *Store) Put(key, value []byte) error { return s.backend(key).Put(key, value) }
+
+// Delete implements kv.Writer.
+func (s *Store) Delete(key []byte) error { return s.backend(key).Delete(key) }
+
+// NewIterator implements kv.Iterable. Ordered iteration is only meaningful
+// for classes routed to the ordered store; other routes return their
+// backend's (unordered) iterator, which the workload never uses (Finding 4:
+// scans are confined to ordered classes).
+func (s *Store) NewIterator(prefix, start []byte) kv.Iterator {
+	return s.backend(prefix).NewIterator(prefix, start)
+}
+
+// NewBatch implements kv.Batcher with a routing batch.
+func (s *Store) NewBatch() kv.Batch {
+	return &routedBatch{store: s}
+}
+
+// Close closes all three backends.
+func (s *Store) Close() error {
+	err1 := s.ordered.Close()
+	err2 := s.log.Close()
+	err3 := s.hash.Close()
+	if err1 != nil {
+		return err1
+	}
+	if err2 != nil {
+		return err2
+	}
+	return err3
+}
+
+// Stats merges the backends' counters.
+func (s *Store) Stats() kv.Stats {
+	var out kv.Stats
+	for _, b := range []kv.Store{s.ordered, s.log, s.hash} {
+		if sp, ok := b.(kv.StatsProvider); ok {
+			st := sp.Stats()
+			out.Gets += st.Gets
+			out.Puts += st.Puts
+			out.Deletes += st.Deletes
+			out.Scans += st.Scans
+			out.LogicalBytesRead += st.LogicalBytesRead
+			out.LogicalBytesWritten += st.LogicalBytesWritten
+			out.PhysicalBytesRead += st.PhysicalBytesRead
+			out.PhysicalBytesWrite += st.PhysicalBytesWrite
+			out.CompactionCount += st.CompactionCount
+			out.TombstonesLive += st.TombstonesLive
+		}
+	}
+	return out
+}
+
+// BackendStats returns per-route counters for ablation reporting.
+func (s *Store) BackendStats() map[Route]kv.Stats {
+	out := make(map[Route]kv.Stats, 3)
+	if sp, ok := s.ordered.(kv.StatsProvider); ok {
+		out[RouteOrdered] = sp.Stats()
+	}
+	if sp, ok := s.log.(kv.StatsProvider); ok {
+		out[RouteLog] = sp.Stats()
+	}
+	if sp, ok := s.hash.(kv.StatsProvider); ok {
+		out[RouteHash] = sp.Stats()
+	}
+	return out
+}
+
+// routedBatch groups batched ops per backend and commits each backend's
+// batch.
+type routedBatch struct {
+	store *Store
+	ops   []batchOp
+	size  int
+}
+
+type batchOp struct {
+	key, value []byte
+	delete     bool
+}
+
+func (b *routedBatch) Put(key, value []byte) error {
+	b.ops = append(b.ops, batchOp{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	b.size += len(key) + len(value)
+	return nil
+}
+
+func (b *routedBatch) Delete(key []byte) error {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), delete: true})
+	b.size += len(key)
+	return nil
+}
+
+func (b *routedBatch) ValueSize() int { return b.size }
+
+func (b *routedBatch) Write() error {
+	for _, op := range b.ops {
+		backend := b.store.backend(op.key)
+		var err error
+		if op.delete {
+			err = backend.Delete(op.key)
+		} else {
+			err = backend.Put(op.key, op.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *routedBatch) Reset() { b.ops, b.size = b.ops[:0], 0 }
+
+func (b *routedBatch) Replay(w kv.Writer) error {
+	for _, op := range b.ops {
+		var err error
+		if op.delete {
+			err = w.Delete(op.key)
+		} else {
+			err = w.Put(op.key, op.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

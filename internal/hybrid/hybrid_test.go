@@ -1,0 +1,248 @@
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ethkv/internal/hashstore"
+	"ethkv/internal/kv"
+	"ethkv/internal/logstore"
+	"ethkv/internal/rawdb"
+	"ethkv/internal/trace"
+)
+
+// newTestStore builds a hybrid over memstore/log/hash backends.
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	hs, err := hashstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(kv.NewMemStore(), logstore.New(), hs, nil)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func hash(b byte) rawdb.Hash {
+	var h rawdb.Hash
+	for i := range h {
+		h[i] = b
+	}
+	return h
+}
+
+func TestRoutingDispatch(t *testing.T) {
+	s := newTestStore(t)
+	// One key per route.
+	orderedKey := rawdb.SnapshotAccountKey(hash(1)) // ordered
+	logKey := rawdb.TxLookupKey(hash(2))            // log
+	hashKey := rawdb.CodeKey(hash(3))               // hash
+
+	for _, key := range [][]byte{orderedKey, logKey, hashKey} {
+		if err := s.Put(key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.Get(key)
+		if err != nil || string(v) != "v" {
+			t.Fatalf("Get(%x) = %q, %v", key[:4], v, err)
+		}
+	}
+	// Verify physical placement: ordered backend holds only the ordered key.
+	if ok, _ := s.ordered.Has(orderedKey); !ok {
+		t.Fatal("ordered key not in ordered backend")
+	}
+	if ok, _ := s.ordered.Has(logKey); ok {
+		t.Fatal("log key leaked into ordered backend")
+	}
+	if ok, _ := s.log.Has(logKey); !ok {
+		t.Fatal("log key not in log backend")
+	}
+	if ok, _ := s.hash.Has(hashKey); !ok {
+		t.Fatal("hash key not in hash backend")
+	}
+}
+
+func TestDeleteRouting(t *testing.T) {
+	s := newTestStore(t)
+	key := rawdb.TxLookupKey(hash(9))
+	s.Put(key, []byte("1"))
+	if err := s.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+	// The log backend never writes tombstones.
+	if st := s.BackendStats()[RouteLog]; st.TombstonesLive != 0 {
+		t.Fatal("log backend produced tombstones")
+	}
+}
+
+func TestOrderedScan(t *testing.T) {
+	s := newTestStore(t)
+	acct := hash(1)
+	for i := 0; i < 10; i++ {
+		s.Put(rawdb.SnapshotStorageKey(acct, hash(byte(i+10))), []byte{byte(i)})
+	}
+	it := s.NewIterator(rawdb.SnapshotStoragePrefix(acct), nil)
+	defer it.Release()
+	n := 0
+	var last []byte
+	for it.Next() {
+		if last != nil && string(it.Key()) <= string(last) {
+			t.Fatal("ordered route scan out of order")
+		}
+		last = append(last[:0], it.Key()...)
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("scan saw %d keys", n)
+	}
+}
+
+func TestBatchRouting(t *testing.T) {
+	s := newTestStore(t)
+	b := s.NewBatch()
+	b.Put(rawdb.TxLookupKey(hash(1)), []byte("l"))
+	b.Put(rawdb.CodeKey(hash(2)), []byte("h"))
+	b.Delete(rawdb.TxLookupKey(hash(1)))
+	if b.ValueSize() == 0 {
+		t.Fatal("ValueSize")
+	}
+	if err := b.Write(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Has(rawdb.TxLookupKey(hash(1))); ok {
+		t.Fatal("batched delete lost")
+	}
+	if v, _ := s.Get(rawdb.CodeKey(hash(2))); string(v) != "h" {
+		t.Fatal("batched put lost")
+	}
+	// Replay into a memstore.
+	ms := kv.NewMemStore()
+	defer ms.Close()
+	if err := b.Replay(ms); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	s := newTestStore(t)
+	s.Put(rawdb.CodeKey(hash(1)), []byte("abc"))
+	s.Put(rawdb.TxLookupKey(hash(2)), []byte("d"))
+	s.Get(rawdb.CodeKey(hash(1)))
+	st := s.Stats()
+	if st.Puts != 2 || st.Gets != 1 {
+		t.Fatalf("merged stats: %+v", st)
+	}
+	per := s.BackendStats()
+	if per[RouteHash].Puts != 1 || per[RouteLog].Puts != 1 {
+		t.Fatalf("per-backend stats: %+v", per)
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	if RouteOrdered.String() != "ordered" || RouteLog.String() != "log" || RouteHash.String() != "hash" {
+		t.Fatal("Route.String")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	s := newTestStore(t)
+	var ops []trace.Op
+	// Write, read, delete a log-routed key; write a hash-routed key; scan.
+	lk := rawdb.TxLookupKey(hash(1))
+	ck := rawdb.CodeKey(hash(2))
+	ops = append(ops,
+		trace.Op{Type: trace.OpWrite, Class: rawdb.ClassTxLookup, Key: lk, ValueSize: 4},
+		trace.Op{Type: trace.OpRead, Class: rawdb.ClassTxLookup, Key: lk},
+		trace.Op{Type: trace.OpDelete, Class: rawdb.ClassTxLookup, Key: lk},
+		trace.Op{Type: trace.OpWrite, Class: rawdb.ClassCode, Key: ck, ValueSize: 6000},
+		trace.Op{Type: trace.OpScan, Class: rawdb.ClassSnapshotAccount, Key: []byte("a")},
+		trace.Op{Type: trace.OpRead, Class: rawdb.ClassCode, Key: ck, Hit: true}, // skipped
+	)
+	res, err := Replay(s, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 5 {
+		t.Fatalf("replayed %d ops, want 5 (hit skipped)", res.Ops)
+	}
+	if res.Reads != 1 || res.Writes != 2 || res.Deletes != 1 || res.Scans != 1 {
+		t.Fatalf("replay counters: %+v", res)
+	}
+	// The code key must exist with the synthesized size.
+	v, err := s.Get(ck)
+	if err != nil || len(v) != 6000 {
+		t.Fatalf("code after replay: %d bytes, %v", len(v), err)
+	}
+}
+
+func TestReplayMissingReadTolerated(t *testing.T) {
+	s := newTestStore(t)
+	ops := []trace.Op{
+		{Type: trace.OpRead, Class: rawdb.ClassCode, Key: rawdb.CodeKey(hash(1))},
+	}
+	if _, err := Replay(s, ops); err != nil {
+		t.Fatalf("read of absent key must be tolerated: %v", err)
+	}
+}
+
+// TestHybridBeatsLSMOnDeletionWorkload is ablation E12 in miniature: on a
+// TxLookup-style insert-then-delete lifecycle, the hybrid's log route must
+// finish with zero tombstones, while an LSM would accumulate them.
+func TestHybridLogRouteNoTombstones(t *testing.T) {
+	s := newTestStore(t)
+	var ops []trace.Op
+	for i := 0; i < 2000; i++ {
+		ops = append(ops, trace.Op{
+			Type: trace.OpWrite, Class: rawdb.ClassTxLookup,
+			Key: rawdb.TxLookupKey(hash32(i)), ValueSize: 4,
+		})
+	}
+	for i := 0; i < 1000; i++ {
+		ops = append(ops, trace.Op{
+			Type: trace.OpDelete, Class: rawdb.ClassTxLookup,
+			Key: rawdb.TxLookupKey(hash32(i)),
+		})
+	}
+	res, err := Replay(s, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TombstonesLive != 0 {
+		t.Fatalf("hybrid produced %d tombstones", res.Stats.TombstonesLive)
+	}
+	if res.Deletes != 1000 {
+		t.Fatalf("deletes = %d", res.Deletes)
+	}
+}
+
+func hash32(i int) rawdb.Hash {
+	var h rawdb.Hash
+	for j := 0; j < 4; j++ {
+		h[j] = byte(i >> (8 * j))
+	}
+	return h
+}
+
+func BenchmarkHybridPut(b *testing.B) {
+	hs, err := hashstore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(kv.NewMemStore(), logstore.New(), hs, nil)
+	defer s.Close()
+	val := make([]byte, 70)
+	var h rawdb.Hash
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			h[j] = byte(i >> (8 * j))
+		}
+		s.Put(rawdb.TxLookupKey(h), val[:4])
+		s.Put(rawdb.StorageTrieNodeKey(h, []byte{1, 2, 3}), val)
+	}
+	_ = fmt.Sprint()
+}

@@ -1,0 +1,173 @@
+// Package keccak implements the Keccak-f[1600] permutation and the
+// Keccak-256/512 hash functions used by Ethereum.
+//
+// Ethereum predates the final FIPS-202 standard and uses the original Keccak
+// padding (0x01) rather than the SHA-3 padding (0x06). This package
+// implements that original variant, so Hash256 matches Ethereum's
+// "keccak256" exactly.
+package keccak
+
+import "encoding/binary"
+
+// roundConstants are the 24 iota-step round constants of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a,
+	0x8000000080008000, 0x000000000000808b, 0x0000000080000001,
+	0x8000000080008081, 0x8000000000008009, 0x000000000000008a,
+	0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089,
+	0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+	0x000000000000800a, 0x800000008000000a, 0x8000000080008081,
+	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotc holds the rho-step rotation offsets in the order visited by the
+// combined rho+pi loop below.
+var rotc = [24]uint{
+	1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14,
+	27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44,
+}
+
+// piln holds the pi-step lane permutation in the same visitation order.
+var piln = [24]int{
+	10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4,
+	15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1,
+}
+
+// permute applies the full 24-round Keccak-f[1600] permutation to the state.
+func permute(a *[25]uint64) {
+	var bc [5]uint64
+	for round := 0; round < 24; round++ {
+		// Theta.
+		for i := 0; i < 5; i++ {
+			bc[i] = a[i] ^ a[i+5] ^ a[i+10] ^ a[i+15] ^ a[i+20]
+		}
+		for i := 0; i < 5; i++ {
+			t := bc[(i+4)%5] ^ rotl(bc[(i+1)%5], 1)
+			for j := 0; j < 25; j += 5 {
+				a[j+i] ^= t
+			}
+		}
+		// Rho and Pi.
+		t := a[1]
+		for i := 0; i < 24; i++ {
+			j := piln[i]
+			bc[0] = a[j]
+			a[j] = rotl(t, rotc[i])
+			t = bc[0]
+		}
+		// Chi.
+		for j := 0; j < 25; j += 5 {
+			for i := 0; i < 5; i++ {
+				bc[i] = a[j+i]
+			}
+			for i := 0; i < 5; i++ {
+				a[j+i] ^= (^bc[(i+1)%5]) & bc[(i+2)%5]
+			}
+		}
+		// Iota.
+		a[0] ^= roundConstants[round]
+	}
+}
+
+func rotl(x uint64, n uint) uint64 { return x<<n | x>>(64-n) }
+
+// Hasher is a streaming Keccak sponge. The zero value is not usable; create
+// one with New256 or New512.
+type Hasher struct {
+	state   [25]uint64
+	buf     [144]byte // up to the largest rate used (136 for Keccak-256)
+	rate    int       // sponge rate in bytes
+	outLen  int       // digest length in bytes
+	bufLen  int       // bytes currently buffered
+	written bool
+}
+
+// New256 returns a Keccak-256 hasher (rate 136, 32-byte digest).
+func New256() *Hasher { return &Hasher{rate: 136, outLen: 32} }
+
+// New512 returns a Keccak-512 hasher (rate 72, 64-byte digest).
+func New512() *Hasher { return &Hasher{rate: 72, outLen: 64} }
+
+// Reset restores the hasher to its initial state.
+func (h *Hasher) Reset() {
+	h.state = [25]uint64{}
+	h.bufLen = 0
+	h.written = false
+}
+
+// Size returns the digest length in bytes.
+func (h *Hasher) Size() int { return h.outLen }
+
+// BlockSize returns the sponge rate in bytes.
+func (h *Hasher) BlockSize() int { return h.rate }
+
+// Write absorbs p into the sponge. It never fails.
+func (h *Hasher) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		space := h.rate - h.bufLen
+		if space > len(p) {
+			space = len(p)
+		}
+		copy(h.buf[h.bufLen:], p[:space])
+		h.bufLen += space
+		p = p[space:]
+		if h.bufLen == h.rate {
+			h.absorb()
+		}
+	}
+	return n, nil
+}
+
+// absorb XORs a full rate-sized buffer into the state and permutes.
+func (h *Hasher) absorb() {
+	for i := 0; i < h.rate/8; i++ {
+		h.state[i] ^= binary.LittleEndian.Uint64(h.buf[i*8:])
+	}
+	permute(&h.state)
+	h.bufLen = 0
+}
+
+// Sum appends the digest to b and returns the result. The hasher state is
+// not modified, so Sum may be called repeatedly and Write may continue.
+func (h *Hasher) Sum(b []byte) []byte {
+	// Clone the state so the caller can keep writing.
+	clone := *h
+	// Original Keccak padding: 0x01 ... 0x80 (multi-rate pad10*1).
+	clone.buf[clone.bufLen] = 0x01
+	for i := clone.bufLen + 1; i < clone.rate; i++ {
+		clone.buf[i] = 0
+	}
+	clone.buf[clone.rate-1] |= 0x80
+	clone.bufLen = clone.rate
+	clone.absorb()
+
+	out := make([]byte, clone.outLen)
+	for i := 0; i < clone.outLen/8; i++ {
+		binary.LittleEndian.PutUint64(out[i*8:], clone.state[i])
+	}
+	return append(b, out...)
+}
+
+// Hash256 computes the Keccak-256 digest of data.
+func Hash256(data ...[]byte) [32]byte {
+	h := New256()
+	for _, d := range data {
+		h.Write(d)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Hash512 computes the Keccak-512 digest of data.
+func Hash512(data ...[]byte) [64]byte {
+	h := New512()
+	for _, d := range data {
+		h.Write(d)
+	}
+	var out [64]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

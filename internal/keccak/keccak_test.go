@@ -1,0 +1,154 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer vectors for the original Keccak (Ethereum variant, 0x01 pad).
+var kat256 = []struct {
+	in  string
+	out string
+}{
+	// keccak256("") — the famous Ethereum empty hash.
+	{"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+	// keccak256("abc")
+	{"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+	// keccak256 of the ASCII alphabet.
+	{"abcdefghijklmnopqrstuvwxyz", "9230175b13981da14d2f3334f321eb78fa0473133f6da3de896feb22fb258936"},
+	// RLP of empty string 0x80 hashes to the empty-trie root.
+	{"\x80", "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421"},
+}
+
+var kat512 = []struct {
+	in  string
+	out string
+}{
+	{"", "0eab42de4c3ceb9235fc91acffe746b29c29a8c366b7c60e4e67c466f36a4304c00fa9caf9d87976ba469bcbe06713b435f091ef2769fb160cdab33d3670680e"},
+	{"abc", "18587dc2ea106b9a1563e32b3312421ca164c7f1f07bc922a9c83d77cea3a1e5d0c69910739025372dc14ac9642629379540c17e2a65b19d77aa511a9d00bb96"},
+}
+
+func TestKeccak256KnownAnswers(t *testing.T) {
+	for _, kat := range kat256 {
+		got := Hash256([]byte(kat.in))
+		want, err := hex.DecodeString(kat.out)
+		if err != nil {
+			t.Fatalf("bad vector %q: %v", kat.out, err)
+		}
+		if !bytes.Equal(got[:], want) {
+			t.Errorf("Hash256(%q) = %x, want %s", kat.in, got, kat.out)
+		}
+	}
+}
+
+func TestKeccak512KnownAnswers(t *testing.T) {
+	for _, kat := range kat512 {
+		got := Hash512([]byte(kat.in))
+		want, err := hex.DecodeString(kat.out)
+		if err != nil {
+			t.Fatalf("bad vector %q: %v", kat.out, err)
+		}
+		if !bytes.Equal(got[:], want) {
+			t.Errorf("Hash512(%q) = %x, want %s", kat.in, got, kat.out)
+		}
+	}
+}
+
+// TestStreamingEqualsOneShot checks that chunked Write sequences produce the
+// same digest as a single Write, for arbitrary chunkings.
+func TestStreamingEqualsOneShot(t *testing.T) {
+	f := func(data []byte, split uint8) bool {
+		whole := Hash256(data)
+
+		h := New256()
+		n := int(split) % (len(data) + 1)
+		h.Write(data[:n])
+		h.Write(data[n:])
+		var chunked [32]byte
+		copy(chunked[:], h.Sum(nil))
+		return whole == chunked
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSumDoesNotConsume checks Sum can be called mid-stream without
+// disturbing subsequent writes.
+func TestSumDoesNotConsume(t *testing.T) {
+	h := New256()
+	h.Write([]byte("hello "))
+	first := h.Sum(nil)
+	second := h.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("consecutive Sum calls differ: %x vs %x", first, second)
+	}
+	h.Write([]byte("world"))
+	full := Hash256([]byte("hello world"))
+	if !bytes.Equal(h.Sum(nil), full[:]) {
+		t.Fatalf("Sum after continued Write mismatch")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New256()
+	h.Write([]byte("garbage"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	want := Hash256([]byte("abc"))
+	if !bytes.Equal(h.Sum(nil), want[:]) {
+		t.Fatal("Reset did not restore initial state")
+	}
+}
+
+func TestMultiSliceHash(t *testing.T) {
+	a := Hash256([]byte("foo"), []byte("bar"))
+	b := Hash256([]byte("foobar"))
+	if a != b {
+		t.Fatalf("multi-slice hash mismatch: %x vs %x", a, b)
+	}
+}
+
+func TestSizesAndRates(t *testing.T) {
+	if got := New256().Size(); got != 32 {
+		t.Errorf("New256 Size = %d, want 32", got)
+	}
+	if got := New256().BlockSize(); got != 136 {
+		t.Errorf("New256 BlockSize = %d, want 136", got)
+	}
+	if got := New512().Size(); got != 64 {
+		t.Errorf("New512 Size = %d, want 64", got)
+	}
+	if got := New512().BlockSize(); got != 72 {
+		t.Errorf("New512 BlockSize = %d, want 72", got)
+	}
+}
+
+// TestRateBoundary exercises inputs straddling the 136-byte rate boundary,
+// where padding bugs typically hide.
+func TestRateBoundary(t *testing.T) {
+	for _, n := range []int{135, 136, 137, 271, 272, 273} {
+		data := bytes.Repeat([]byte{0xaa}, n)
+		one := Hash256(data)
+
+		h := New256()
+		for _, b := range data {
+			h.Write([]byte{b})
+		}
+		var streamed [32]byte
+		copy(streamed[:], h.Sum(nil))
+		if one != streamed {
+			t.Errorf("length %d: byte-at-a-time digest differs", n)
+		}
+	}
+}
+
+func BenchmarkKeccak256_1KiB(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Hash256(data)
+	}
+}

@@ -1,0 +1,337 @@
+// Package kv defines the key-value store interfaces shared by every storage
+// backend in this repository, mirroring the surface Geth expects from its
+// database (Pebble): point reads, writes, deletes, ordered scans, and
+// atomic batches.
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned by Get when the key does not exist.
+var ErrNotFound = errors.New("kv: key not found")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kv: store closed")
+
+// Reader provides read access to a store.
+type Reader interface {
+	// Has reports whether the key exists.
+	Has(key []byte) (bool, error)
+	// Get returns the value for key, or ErrNotFound.
+	Get(key []byte) ([]byte, error)
+}
+
+// Writer provides write access to a store.
+type Writer interface {
+	// Put inserts or overwrites a key.
+	Put(key, value []byte) error
+	// Delete removes a key. Deleting an absent key is not an error.
+	Delete(key []byte) error
+}
+
+// Iterator walks a key range in ascending key order. The caller must call
+// Release when done. Key/Value are only valid until the next call to Next.
+type Iterator interface {
+	// Next advances the iterator and reports whether an entry is available.
+	Next() bool
+	// Key returns the current key.
+	Key() []byte
+	// Value returns the current value.
+	Value() []byte
+	// Release frees resources held by the iterator.
+	Release()
+	// Error returns any accumulated error.
+	Error() error
+}
+
+// Iterable provides ordered range scans.
+type Iterable interface {
+	// NewIterator returns an iterator over keys with the given prefix,
+	// starting at prefix+start. Both may be nil.
+	NewIterator(prefix, start []byte) Iterator
+}
+
+// Batcher creates write batches.
+type Batcher interface {
+	// NewBatch returns an empty write batch.
+	NewBatch() Batch
+}
+
+// Batch accumulates writes and deletes for an atomic commit.
+type Batch interface {
+	Writer
+	// ValueSize returns the byte size of pending data, for flush heuristics.
+	ValueSize() int
+	// Write atomically applies the batch to the store.
+	Write() error
+	// Reset clears the batch for reuse.
+	Reset()
+	// Replay applies the batch contents to the given writer.
+	Replay(w Writer) error
+}
+
+// Store is the full database interface.
+type Store interface {
+	Reader
+	Writer
+	Iterable
+	Batcher
+	// Close releases all resources.
+	Close() error
+}
+
+// StatsProvider is implemented by stores that track I/O statistics.
+type StatsProvider interface {
+	// Stats returns a snapshot of cumulative I/O counters.
+	Stats() Stats
+}
+
+// Stats holds cumulative I/O counters for a store. Logical counters track
+// the operations issued by the client; physical counters track the bytes the
+// backend actually moved (including compaction), which exposes write
+// amplification.
+type Stats struct {
+	Gets    uint64 // point lookups served
+	Puts    uint64 // keys written
+	Deletes uint64 // keys deleted (tombstones for LSM backends)
+	Scans   uint64 // iterators opened
+
+	LogicalBytesRead    uint64 // value bytes returned to clients
+	LogicalBytesWritten uint64 // key+value bytes accepted from clients
+	PhysicalBytesRead   uint64 // bytes read from the storage layer
+	PhysicalBytesWrite  uint64 // bytes written to the storage layer
+
+	CompactionCount uint64 // background compactions run
+	TombstonesLive  uint64 // tombstones not yet purged by compaction
+}
+
+// WriteAmplification returns physical/logical write ratio, or 0 if no
+// logical writes occurred.
+func (s Stats) WriteAmplification() float64 {
+	if s.LogicalBytesWritten == 0 {
+		return 0
+	}
+	return float64(s.PhysicalBytesWrite) / float64(s.LogicalBytesWritten)
+}
+
+// ReadAmplification returns physical/logical read ratio, or 0 if no logical
+// reads occurred.
+func (s Stats) ReadAmplification() float64 {
+	if s.LogicalBytesRead == 0 {
+		return 0
+	}
+	return float64(s.PhysicalBytesRead) / float64(s.LogicalBytesRead)
+}
+
+// MemStore is a sorted in-memory Store used as the reference implementation
+// in tests and as the backing for small metadata databases. It is safe for
+// concurrent use.
+type MemStore struct {
+	mu     sync.RWMutex
+	data   map[string][]byte
+	closed bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{data: make(map[string][]byte)}
+}
+
+// Has implements Reader.
+func (m *MemStore) Has(key []byte) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return false, ErrClosed
+	}
+	_, ok := m.data[string(key)]
+	return ok, nil
+}
+
+// Get implements Reader.
+func (m *MemStore) Get(key []byte) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	v, ok := m.data[string(key)]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// Put implements Writer.
+func (m *MemStore) Put(key, value []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	m.data[string(key)] = v
+	return nil
+}
+
+// Delete implements Writer.
+func (m *MemStore) Delete(key []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	delete(m.data, string(key))
+	return nil
+}
+
+// Len returns the number of stored keys.
+func (m *MemStore) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.data)
+}
+
+// NewIterator implements Iterable. The iterator operates on a snapshot of
+// the matching keys taken at creation time.
+func (m *MemStore) NewIterator(prefix, start []byte) Iterator {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	lower := append(append([]byte{}, prefix...), start...)
+	var keys []string
+	for k := range m.data {
+		if bytes.HasPrefix([]byte(k), prefix) && bytes.Compare([]byte(k), lower) >= 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	values := make([][]byte, len(keys))
+	for i, k := range keys {
+		v := m.data[k]
+		values[i] = make([]byte, len(v))
+		copy(values[i], v)
+	}
+	return &sliceIterator{keys: keys, values: values, pos: -1}
+}
+
+// NewBatch implements Batcher.
+func (m *MemStore) NewBatch() Batch {
+	return &memBatch{store: m}
+}
+
+// Close implements Store.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// sliceIterator iterates a materialized key/value snapshot.
+type sliceIterator struct {
+	keys   []string
+	values [][]byte
+	pos    int
+}
+
+func (it *sliceIterator) Next() bool {
+	if it.pos+1 >= len(it.keys) {
+		return false
+	}
+	it.pos++
+	return true
+}
+
+func (it *sliceIterator) Key() []byte {
+	if it.pos < 0 || it.pos >= len(it.keys) {
+		return nil
+	}
+	return []byte(it.keys[it.pos])
+}
+
+func (it *sliceIterator) Value() []byte {
+	if it.pos < 0 || it.pos >= len(it.values) {
+		return nil
+	}
+	return it.values[it.pos]
+}
+
+func (it *sliceIterator) Release()     { it.keys, it.values = nil, nil }
+func (it *sliceIterator) Error() error { return nil }
+
+// batchOp is one pending batch operation.
+type batchOp struct {
+	key    []byte
+	value  []byte
+	delete bool
+}
+
+// memBatch is the Batch implementation shared by MemStore.
+type memBatch struct {
+	store *MemStore
+	ops   []batchOp
+	size  int
+}
+
+func (b *memBatch) Put(key, value []byte) error {
+	k := make([]byte, len(key))
+	copy(k, key)
+	v := make([]byte, len(value))
+	copy(v, value)
+	b.ops = append(b.ops, batchOp{key: k, value: v})
+	b.size += len(k) + len(v)
+	return nil
+}
+
+func (b *memBatch) Delete(key []byte) error {
+	k := make([]byte, len(key))
+	copy(k, key)
+	b.ops = append(b.ops, batchOp{key: k, delete: true})
+	b.size += len(k)
+	return nil
+}
+
+func (b *memBatch) ValueSize() int { return b.size }
+
+func (b *memBatch) Write() error {
+	b.store.mu.Lock()
+	defer b.store.mu.Unlock()
+	if b.store.closed {
+		return ErrClosed
+	}
+	for _, op := range b.ops {
+		if op.delete {
+			delete(b.store.data, string(op.key))
+		} else {
+			b.store.data[string(op.key)] = op.value
+		}
+	}
+	return nil
+}
+
+func (b *memBatch) Reset() {
+	b.ops = b.ops[:0]
+	b.size = 0
+}
+
+func (b *memBatch) Replay(w Writer) error {
+	for _, op := range b.ops {
+		var err error
+		if op.delete {
+			err = w.Delete(op.key)
+		} else {
+			err = w.Put(op.key, op.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package kvtest
+
+import (
+	"testing"
+
+	"ethkv/internal/hashstore"
+	"ethkv/internal/hybrid"
+	"ethkv/internal/kv"
+	"ethkv/internal/logstore"
+	"ethkv/internal/lsm"
+	"ethkv/internal/trace"
+)
+
+// Every store backend in the repository passes the same contract.
+
+func TestMemStoreConformance(t *testing.T) {
+	Run(t, func(t *testing.T) kv.Store {
+		s := kv.NewMemStore()
+		t.Cleanup(func() { s.Close() })
+		return s
+	}, Options{OrderedScans: true})
+}
+
+func TestLSMConformance(t *testing.T) {
+	Run(t, func(t *testing.T) kv.Store {
+		db, err := lsm.Open(t.TempDir(), lsm.Options{
+			MemtableBytes:       8 << 10, // force flushes mid-suite
+			L0CompactionTrigger: 2,
+			LevelBaseBytes:      32 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		return db
+	}, Options{OrderedScans: true})
+}
+
+func TestHashStoreConformance(t *testing.T) {
+	Run(t, func(t *testing.T) kv.Store {
+		s, err := hashstore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}, Options{OrderedScans: false})
+}
+
+func TestLogStoreConformance(t *testing.T) {
+	Run(t, func(t *testing.T) kv.Store {
+		s := logstore.New()
+		t.Cleanup(func() { s.Close() })
+		return s
+	}, Options{OrderedScans: false})
+}
+
+func TestHybridConformance(t *testing.T) {
+	Run(t, func(t *testing.T) kv.Store {
+		hs, err := hashstore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := hybrid.New(kv.NewMemStore(), logstore.New(), hs, nil)
+		t.Cleanup(func() { s.Close() })
+		return s
+	}, Options{
+		// Conformance keys are schema-unknown and route to the ordered
+		// backend, so ordered scans hold.
+		OrderedScans: true,
+	})
+}
+
+func TestLazyStoreConformance(t *testing.T) {
+	Run(t, func(t *testing.T) kv.Store {
+		s := hybrid.NewLazyStore(kv.NewMemStore())
+		t.Cleanup(func() { s.Close() })
+		return s
+	}, Options{OrderedScans: true})
+}
+
+func TestTracedStoreConformance(t *testing.T) {
+	Run(t, func(t *testing.T) kv.Store {
+		s := trace.WrapStore(kv.NewMemStore(), &trace.SliceSink{})
+		t.Cleanup(func() { s.Close() })
+		return s
+	}, Options{OrderedScans: true})
+}

@@ -1,0 +1,229 @@
+// Package kvtest provides a conformance suite for kv.Store
+// implementations. Every backend in this repository (memory, LSM, hash,
+// log, hybrid, lazy) runs the same contract checks, so behavioural
+// divergence between store designs — the thing the ablations measure on
+// purpose — never includes accidental semantic differences.
+package kvtest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ethkv/internal/kv"
+)
+
+// Options tunes the suite for backends with relaxed guarantees.
+type Options struct {
+	// OrderedScans asserts iterators yield ascending keys. Hash- and
+	// log-structured stores intentionally do not maintain order.
+	OrderedScans bool
+}
+
+// Factory builds a fresh empty store for one subtest.
+type Factory func(t *testing.T) kv.Store
+
+// Run executes the full conformance suite against stores built by factory.
+func Run(t *testing.T, factory Factory, opts Options) {
+	t.Run("PutGetDelete", func(t *testing.T) { testPutGetDelete(t, factory) })
+	t.Run("EmptyAndAbsent", func(t *testing.T) { testEmptyAndAbsent(t, factory) })
+	t.Run("Overwrite", func(t *testing.T) { testOverwrite(t, factory) })
+	t.Run("ValueIsolation", func(t *testing.T) { testValueIsolation(t, factory) })
+	t.Run("Batch", func(t *testing.T) { testBatch(t, factory) })
+	t.Run("BatchReset", func(t *testing.T) { testBatchReset(t, factory) })
+	t.Run("IteratorPrefix", func(t *testing.T) { testIteratorPrefix(t, factory, opts) })
+	t.Run("RandomizedModel", func(t *testing.T) { testRandomizedModel(t, factory) })
+}
+
+func testPutGetDelete(t *testing.T, factory Factory) {
+	s := factory(t)
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	v, err := s.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	ok, err := s.Has([]byte("k"))
+	if err != nil || !ok {
+		t.Fatalf("Has = %v, %v", ok, err)
+	}
+	if err := s.Delete([]byte("k")); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get([]byte("k")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+	// Deleting an absent key must not error.
+	if err := s.Delete([]byte("k")); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func testEmptyAndAbsent(t *testing.T, factory Factory) {
+	s := factory(t)
+	if _, err := s.Get([]byte("absent")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("absent Get: %v", err)
+	}
+	if ok, err := s.Has([]byte("absent")); err != nil || ok {
+		t.Fatalf("absent Has: %v, %v", ok, err)
+	}
+	// Empty values are legal and distinct from absence.
+	if err := s.Put([]byte("empty"), nil); err != nil {
+		t.Fatalf("Put empty: %v", err)
+	}
+	v, err := s.Get([]byte("empty"))
+	if err != nil || len(v) != 0 {
+		t.Fatalf("Get empty = %q, %v", v, err)
+	}
+	if ok, _ := s.Has([]byte("empty")); !ok {
+		t.Fatal("empty value reported absent")
+	}
+}
+
+func testOverwrite(t *testing.T, factory Factory) {
+	s := factory(t)
+	s.Put([]byte("k"), []byte("first"))
+	s.Put([]byte("k"), []byte("second"))
+	v, err := s.Get([]byte("k"))
+	if err != nil || string(v) != "second" {
+		t.Fatalf("overwrite: %q, %v", v, err)
+	}
+	// Shrinking overwrite.
+	s.Put([]byte("k"), []byte("x"))
+	if v, _ := s.Get([]byte("k")); string(v) != "x" {
+		t.Fatalf("shrinking overwrite: %q", v)
+	}
+}
+
+func testValueIsolation(t *testing.T, factory Factory) {
+	s := factory(t)
+	buf := []byte("mutable")
+	s.Put([]byte("k"), buf)
+	buf[0] = 'X'
+	v, _ := s.Get([]byte("k"))
+	if string(v) != "mutable" {
+		t.Fatalf("store aliased caller's buffer: %q", v)
+	}
+}
+
+func testBatch(t *testing.T, factory Factory) {
+	s := factory(t)
+	s.Put([]byte("victim"), []byte("x"))
+	b := s.NewBatch()
+	b.Put([]byte("b1"), []byte("v1"))
+	b.Put([]byte("b2"), []byte("v2"))
+	b.Delete([]byte("victim"))
+	if b.ValueSize() <= 0 {
+		t.Fatal("ValueSize not accumulating")
+	}
+	if err := b.Write(); err != nil {
+		t.Fatalf("batch Write: %v", err)
+	}
+	for _, k := range []string{"b1", "b2"} {
+		if _, err := s.Get([]byte(k)); err != nil {
+			t.Fatalf("batched %s missing: %v", k, err)
+		}
+	}
+	if ok, _ := s.Has([]byte("victim")); ok {
+		t.Fatal("batched delete lost")
+	}
+	// Replay must mirror the batch into any writer.
+	mirror := kv.NewMemStore()
+	defer mirror.Close()
+	if err := b.Replay(mirror); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if v, _ := mirror.Get([]byte("b1")); string(v) != "v1" {
+		t.Fatal("replay diverged")
+	}
+}
+
+func testBatchReset(t *testing.T, factory Factory) {
+	s := factory(t)
+	b := s.NewBatch()
+	b.Put([]byte("gone"), []byte("1"))
+	b.Reset()
+	if b.ValueSize() != 0 {
+		t.Fatal("Reset kept size")
+	}
+	b.Put([]byte("kept"), []byte("2"))
+	if err := b.Write(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Has([]byte("gone")); ok {
+		t.Fatal("reset op applied")
+	}
+	if ok, _ := s.Has([]byte("kept")); !ok {
+		t.Fatal("post-reset op lost")
+	}
+}
+
+func testIteratorPrefix(t *testing.T, factory Factory, opts Options) {
+	s := factory(t)
+	for i := 0; i < 20; i++ {
+		s.Put([]byte(fmt.Sprintf("p/%02d", i)), []byte{byte(i)})
+	}
+	s.Put([]byte("q/other"), []byte("x"))
+
+	it := s.NewIterator([]byte("p/"), nil)
+	defer it.Release()
+	seen := map[string]bool{}
+	var last []byte
+	for it.Next() {
+		key := it.Key()
+		if !bytes.HasPrefix(key, []byte("p/")) {
+			t.Fatalf("iterator escaped prefix: %q", key)
+		}
+		if opts.OrderedScans && last != nil && bytes.Compare(key, last) <= 0 {
+			t.Fatalf("keys not strictly ascending: %q after %q", key, last)
+		}
+		last = append(last[:0], key...)
+		seen[string(key)] = true
+	}
+	if err := it.Error(); err != nil {
+		t.Fatalf("iterator error: %v", err)
+	}
+	if len(seen) != 20 {
+		t.Fatalf("iterator saw %d keys, want 20", len(seen))
+	}
+}
+
+func testRandomizedModel(t *testing.T, factory Factory) {
+	s := factory(t)
+	rng := rand.New(rand.NewSource(77))
+	model := map[string][]byte{}
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("key-%03d", rng.Intn(250))
+		switch rng.Intn(10) {
+		case 0, 1:
+			if err := s.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		case 2:
+			v, err := s.Get([]byte(k))
+			want, present := model[k]
+			if present && (err != nil || !bytes.Equal(v, want)) {
+				t.Fatalf("Get(%s) = %q, %v; want %q", k, v, err, want)
+			}
+			if !present && !errors.Is(err, kv.ErrNotFound) {
+				t.Fatalf("Get(absent %s): %v", k, err)
+			}
+		default:
+			v := []byte(fmt.Sprintf("val-%d", i))
+			if err := s.Put([]byte(k), v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		}
+	}
+	for k, want := range model {
+		v, err := s.Get([]byte(k))
+		if err != nil || !bytes.Equal(v, want) {
+			t.Fatalf("final Get(%s) = %q, %v; want %q", k, v, err, want)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package lab orchestrates end-to-end experiments: build a genesis state,
+// import blocks through the instrumented storage stack in bare or cached
+// mode, collect the trace, and run the paper's analyses. It is the shared
+// engine behind the command-line tools, the examples, and the benchmark
+// harness.
+package lab
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ethkv/internal/analysis"
+	"ethkv/internal/chain"
+	"ethkv/internal/kv"
+	"ethkv/internal/lsm"
+	"ethkv/internal/rawdb"
+	"ethkv/internal/trace"
+)
+
+// Mode selects the trace configuration.
+type Mode int
+
+// The two trace configurations of §III-A.
+const (
+	// Bare reproduces BareTrace: no caching, no snapshot acceleration.
+	Bare Mode = iota
+	// Cached reproduces CacheTrace: caching + snapshot acceleration.
+	Cached
+)
+
+func (m Mode) String() string {
+	if m == Cached {
+		return "CacheTrace"
+	}
+	return "BareTrace"
+}
+
+// Config parameterizes one run.
+type Config struct {
+	Mode     Mode
+	Blocks   int
+	Workload chain.WorkloadConfig
+	// Dir is the working directory for the store, freezer, and trace
+	// file. Empty = in-memory store, in-memory trace.
+	Dir string
+	// UseLSM backs the run with the real LSM store instead of the
+	// in-memory reference store (slower; used for I/O-cost experiments).
+	UseLSM bool
+	// TraceBootstrap routes the genesis state build through the tracer,
+	// modelling the bulk state-download phase of snap synchronization
+	// (§II-A): the trace then opens with the write burst a snap-syncing
+	// node issues before block-by-block full sync takes over. The paper's
+	// traces use full sync (bootstrap untraced), the default here.
+	TraceBootstrap bool
+	// Processor overrides the default processor configuration when set.
+	Processor *chain.ProcessorConfig
+}
+
+// DefaultConfig returns a laptop-scale run mirroring the artifact's
+// 1000-block sampled traces.
+func DefaultConfig(mode Mode, blocks int) Config {
+	return Config{
+		Mode:     mode,
+		Blocks:   blocks,
+		Workload: chain.DefaultWorkload(),
+	}
+}
+
+// Result is everything one run produces.
+type Result struct {
+	Mode  Mode
+	Ops   []trace.Op         // in-memory trace (nil when traced to file)
+	Path  string             // trace file path (when Dir set)
+	Store *analysis.SizeDist // post-run store census
+	Stats chain.Stats        // import counters
+	// KVStats reports the backing store's I/O counters (LSM runs).
+	KVStats kv.Stats
+}
+
+// Run executes one full trace collection: genesis (untraced, mirroring the
+// pre-existing 20.5M blocks), then traced block import, then the store
+// census.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Blocks <= 0 {
+		return nil, fmt.Errorf("lab: block count must be positive")
+	}
+	// Backing store.
+	var inner kv.Store
+	if cfg.UseLSM {
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("lab: LSM mode requires a directory")
+		}
+		db, err := lsm.Open(filepath.Join(cfg.Dir, "lsm"), lsm.Options{DisableWAL: true})
+		if err != nil {
+			return nil, err
+		}
+		inner = db
+	} else {
+		inner = kv.NewMemStore()
+	}
+	defer inner.Close()
+
+	// Tracing sink: file when Dir set, else in-memory.
+	var (
+		sink      trace.Sink
+		slice     *trace.SliceSink
+		writer    *trace.Writer
+		tracePath string
+		err       error
+	)
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		tracePath = filepath.Join(cfg.Dir, cfg.Mode.String()+".bin")
+		writer, err = trace.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		sink = writer
+	} else {
+		slice = &trace.SliceSink{}
+		sink = slice
+	}
+	traced := trace.WrapStore(inner, sink)
+
+	// Genesis: by default below the tracer — pre-existing state is not
+	// traced (§III-B: the traces cover the 1M-block window over prior
+	// state). With TraceBootstrap the state build itself is traced,
+	// modelling snap sync's download phase.
+	var genesisStore kv.Store = inner
+	if cfg.TraceBootstrap {
+		genesisStore = traced
+	}
+	genesis, err := (&chain.Genesis{
+		Config:       cfg.Workload,
+		SeedSnapshot: cfg.Mode == Cached,
+	}).Commit(genesisStore)
+	if err != nil {
+		return nil, err
+	}
+
+	freezerDir := cfg.Dir
+	if freezerDir == "" {
+		freezerDir, err = os.MkdirTemp("", "ethkv-freezer-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(freezerDir)
+	}
+	freezer, err := rawdb.OpenFreezer(filepath.Join(freezerDir, "ancient"))
+	if err != nil {
+		return nil, err
+	}
+	defer freezer.Close()
+
+	pcfg := chain.DefaultProcessorConfig(cfg.Mode == Cached)
+	if cfg.Processor != nil {
+		pcfg = *cfg.Processor
+		pcfg.CachingEnabled = cfg.Mode == Cached
+	}
+	proc, err := chain.NewProcessor(traced, freezer, genesis, chain.NewWorkload(cfg.Workload), pcfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := proc.ImportBlocks(cfg.Blocks); err != nil {
+		return nil, err
+	}
+	if err := proc.Shutdown(); err != nil {
+		return nil, err
+	}
+	if writer != nil {
+		if err := writer.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Settle the backing store before the census (LSM: flush the memtable
+	// so amplification counters include the final flush).
+	if flusher, ok := inner.(interface{ Flush() error }); ok {
+		if err := flusher.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	result := &Result{
+		Mode:  cfg.Mode,
+		Path:  tracePath,
+		Store: analysis.CollectSizeDist(inner),
+		Stats: proc.Stats(),
+	}
+	if slice != nil {
+		result.Ops = slice.Ops
+	}
+	if sp, ok := inner.(kv.StatsProvider); ok {
+		result.KVStats = sp.Stats()
+	}
+	return result, nil
+}
+
+// RunBoth executes the bare and cached configurations over the same
+// workload, the setup every comparative finding needs.
+func RunBoth(blocks int, workload chain.WorkloadConfig) (bare, cached *Result, err error) {
+	bareCfg := Config{Mode: Bare, Blocks: blocks, Workload: workload}
+	cachedCfg := Config{Mode: Cached, Blocks: blocks, Workload: workload}
+	bare, err = Run(bareCfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lab: bare run: %w", err)
+	}
+	cached, err = Run(cachedCfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lab: cached run: %w", err)
+	}
+	return bare, cached, nil
+}
+
+// BuildFindings assembles the Findings checker input from two in-memory
+// runs.
+func BuildFindings(bare, cached *Result) []analysis.Finding {
+	input := analysis.BuildFindingsInput(cached.Ops, bare.Ops, cached.Store, bare.Store)
+	return analysis.CheckFindings(input)
+}

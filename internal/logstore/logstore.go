@@ -1,0 +1,333 @@
+// Package logstore implements an append-only log store with batched
+// deletion — the structure §V of the paper recommends for high-deletion
+// classes (TxLookup) and immutable block data (BlockHeader/Body/Receipts).
+//
+// Records append to fixed-capacity chunks in arrival order; no key ordering
+// is maintained (scans are rare, Finding 4) and no tombstones are written
+// (deletions are common, Finding 5). Deletes drop the index entry and mark
+// garbage; whole chunks retire at once when their live share drains — the
+// "remove old KV pairs in batches" behaviour the paper asks for, matching
+// blockchain lifecycle where deletions sweep contiguous old block ranges.
+package logstore
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"ethkv/internal/kv"
+)
+
+// chunkCapacity is the record budget of one log chunk. Lifecycle deletions
+// in blockchains sweep old data, so whole chunks drain together.
+const chunkCapacity = 1 << 12
+
+// chunk is one append-only run of records.
+type chunk struct {
+	id   uint64
+	buf  []byte
+	live int // live record count; retire at zero
+}
+
+// location addresses one record.
+type location struct {
+	chunk  uint64
+	offset uint32
+	length uint32
+}
+
+// Store is the append-only log store. Purely in-memory: it models I/O
+// behaviour for experiments (counters track what a disk-backed variant
+// would transfer); the durability story of its production shape is the
+// freezer pattern in internal/rawdb.
+type Store struct {
+	mu     sync.RWMutex
+	index  map[string]location
+	chunks map[uint64]*chunk
+	active *chunk
+	nextID uint64
+	closed bool
+	stats  kv.Stats
+
+	retired uint64 // chunks dropped whole
+}
+
+var _ kv.Store = (*Store)(nil)
+var _ kv.StatsProvider = (*Store)(nil)
+
+// New returns an empty log store.
+func New() *Store {
+	s := &Store{
+		index:  make(map[string]location),
+		chunks: make(map[uint64]*chunk),
+	}
+	s.roll()
+	return s
+}
+
+// roll starts a new active chunk.
+func (s *Store) roll() {
+	c := &chunk{id: s.nextID}
+	s.nextID++
+	s.chunks[c.id] = c
+	s.active = c
+}
+
+// Put implements kv.Writer: append-only, O(1), no ordering work.
+func (s *Store) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	var rec []byte
+	rec = binary.AppendUvarint(rec, uint64(len(key)))
+	rec = append(rec, key...)
+	rec = binary.AppendUvarint(rec, uint64(len(value)))
+	rec = append(rec, value...)
+
+	if old, ok := s.index[string(key)]; ok {
+		s.releaseRecord(old)
+	}
+	off := len(s.active.buf)
+	s.active.buf = append(s.active.buf, rec...)
+	s.active.live++
+	s.index[string(key)] = location{chunk: s.active.id, offset: uint32(off), length: uint32(len(rec))}
+
+	s.stats.Puts++
+	s.stats.LogicalBytesWritten += uint64(len(key) + len(value))
+	s.stats.PhysicalBytesWrite += uint64(len(rec))
+	if s.active.live >= chunkCapacity {
+		s.roll()
+	}
+	return nil
+}
+
+// Delete implements kv.Writer. No tombstone: the index entry vanishes and
+// the chunk's live count drops; a drained chunk retires whole.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	s.stats.Deletes++
+	loc, ok := s.index[string(key)]
+	if !ok {
+		return nil
+	}
+	delete(s.index, string(key))
+	s.releaseRecord(loc)
+	return nil
+}
+
+// releaseRecord decrements the owning chunk's live count and retires the
+// chunk when it drains (batched reclamation — zero copy, zero compaction).
+func (s *Store) releaseRecord(loc location) {
+	c, ok := s.chunks[loc.chunk]
+	if !ok {
+		return
+	}
+	c.live--
+	if c.live == 0 && c != s.active {
+		delete(s.chunks, loc.chunk)
+		s.retired++
+	}
+}
+
+// Get implements kv.Reader.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, kv.ErrClosed
+	}
+	s.stats.Gets++
+	loc, ok := s.index[string(key)]
+	if !ok {
+		return nil, kv.ErrNotFound
+	}
+	v := s.readValue(loc)
+	s.stats.LogicalBytesRead += uint64(len(v))
+	s.stats.PhysicalBytesRead += uint64(loc.length)
+	return v, nil
+}
+
+func (s *Store) readValue(loc location) []byte {
+	rec := s.chunks[loc.chunk].buf[loc.offset : loc.offset+loc.length]
+	klen, n := binary.Uvarint(rec)
+	rec = rec[n+int(klen):]
+	vlen, m := binary.Uvarint(rec)
+	return append([]byte(nil), rec[m:m+int(vlen)]...)
+}
+
+// Has implements kv.Reader.
+func (s *Store) Has(key []byte) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false, kv.ErrClosed
+	}
+	_, ok := s.index[string(key)]
+	return ok, nil
+}
+
+// Len returns the live key count.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// RetiredChunks reports how many chunks were reclaimed whole.
+func (s *Store) RetiredChunks() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.retired
+}
+
+// LiveChunks reports the number of resident chunks.
+func (s *Store) LiveChunks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chunks)
+}
+
+// NewIterator implements kv.Iterable in UNSPECIFIED order (this structure
+// deliberately maintains no key order; see Finding 4).
+func (s *Store) NewIterator(prefix, start []byte) kv.Iterator {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.stats.Scans++
+	var keys []string
+	var values [][]byte
+	for keyStr, loc := range s.index {
+		if len(prefix) > 0 {
+			key := []byte(keyStr)
+			if len(key) < len(prefix) {
+				continue
+			}
+			match := true
+			for i, p := range prefix {
+				if key[i] != p {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+		}
+		keys = append(keys, keyStr)
+		values = append(values, s.readValue(loc))
+	}
+	return &logIterator{keys: keys, values: values, pos: -1}
+}
+
+type logIterator struct {
+	keys   []string
+	values [][]byte
+	pos    int
+}
+
+func (it *logIterator) Next() bool {
+	if it.pos+1 >= len(it.keys) {
+		return false
+	}
+	it.pos++
+	return true
+}
+
+func (it *logIterator) Key() []byte {
+	if it.pos < 0 {
+		return nil
+	}
+	return []byte(it.keys[it.pos])
+}
+
+func (it *logIterator) Value() []byte {
+	if it.pos < 0 {
+		return nil
+	}
+	return it.values[it.pos]
+}
+
+func (it *logIterator) Release()     {}
+func (it *logIterator) Error() error { return nil }
+
+// NewBatch implements kv.Batcher.
+func (s *Store) NewBatch() kv.Batch { return &batch{store: s} }
+
+type batchOp struct {
+	key, value []byte
+	delete     bool
+}
+
+type batch struct {
+	store *Store
+	ops   []batchOp
+	size  int
+}
+
+func (b *batch) Put(key, value []byte) error {
+	b.ops = append(b.ops, batchOp{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	b.size += len(key) + len(value)
+	return nil
+}
+
+func (b *batch) Delete(key []byte) error {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), delete: true})
+	b.size += len(key)
+	return nil
+}
+
+func (b *batch) ValueSize() int { return b.size }
+
+func (b *batch) Write() error {
+	for _, op := range b.ops {
+		var err error
+		if op.delete {
+			err = b.store.Delete(op.key)
+		} else {
+			err = b.store.Put(op.key, op.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *batch) Reset() { b.ops, b.size = b.ops[:0], 0 }
+
+func (b *batch) Replay(w kv.Writer) error {
+	for _, op := range b.ops {
+		var err error
+		if op.delete {
+			err = w.Delete(op.key)
+		} else {
+			err = w.Put(op.key, op.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats implements kv.StatsProvider.
+func (s *Store) Stats() kv.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Close shuts the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

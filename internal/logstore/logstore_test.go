@@ -1,0 +1,190 @@
+package logstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ethkv/internal/kv"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New()
+	defer s.Close()
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	s.Put([]byte("k"), []byte("v2"))
+	if v, _ := s.Get([]byte("k")); string(v) != "v2" {
+		t.Fatalf("overwrite: %q", v)
+	}
+	s.Delete([]byte("k"))
+	if _, err := s.Get([]byte("k")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("deleted: %v", err)
+	}
+	if s.Stats().TombstonesLive != 0 {
+		t.Fatal("log store must never hold tombstones")
+	}
+}
+
+// TestBatchedChunkRetirement is the core design claim: deleting an old
+// contiguous range reclaims whole chunks with zero copying.
+func TestBatchedChunkRetirement(t *testing.T) {
+	s := New()
+	defer s.Close()
+	n := chunkCapacity * 4
+	for i := 0; i < n; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte("payload"))
+	}
+	if got := s.LiveChunks(); got < 4 {
+		t.Fatalf("expected >=4 chunks, got %d", got)
+	}
+	// Lifecycle deletion: sweep the oldest half in insertion order.
+	for i := 0; i < n/2; i++ {
+		s.Delete([]byte(fmt.Sprintf("key-%08d", i)))
+	}
+	if s.RetiredChunks() < 1 {
+		t.Fatal("no chunks retired after draining the oldest half")
+	}
+	// Physical write bytes must not grow from deletion (no tombstones, no GC copying).
+	st := s.Stats()
+	var wantWrite uint64
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%08d", i)
+		wantWrite += uint64(len(key) + len("payload"))
+	}
+	if st.LogicalBytesWritten != wantWrite {
+		t.Fatalf("LogicalBytesWritten = %d, want %d", st.LogicalBytesWritten, wantWrite)
+	}
+	// Survivors intact.
+	for i := n / 2; i < n; i++ {
+		if _, err := s.Get([]byte(fmt.Sprintf("key-%08d", i))); err != nil {
+			t.Fatalf("survivor %d lost: %v", i, err)
+		}
+	}
+}
+
+func TestModelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := New()
+	defer s.Close()
+	model := map[string]string{}
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key-%03d", rng.Intn(250))
+		if rng.Intn(4) == 0 {
+			s.Delete([]byte(k))
+			delete(model, k)
+		} else {
+			v := fmt.Sprintf("val-%d", i)
+			s.Put([]byte(k), []byte(v))
+			model[k] = v
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+	}
+	for k, want := range model {
+		v, err := s.Get([]byte(k))
+		if err != nil || string(v) != want {
+			t.Fatalf("Get(%s) = %q, %v", k, v, err)
+		}
+	}
+}
+
+func TestIterator(t *testing.T) {
+	s := New()
+	defer s.Close()
+	for i := 0; i < 30; i++ {
+		s.Put([]byte(fmt.Sprintf("a%02d", i)), []byte("v"))
+	}
+	s.Put([]byte("b0"), []byte("other"))
+	it := s.NewIterator([]byte("a"), nil)
+	defer it.Release()
+	n := 0
+	for it.Next() {
+		if it.Key()[0] != 'a' {
+			t.Fatalf("prefix escape: %q", it.Key())
+		}
+		n++
+	}
+	if n != 30 {
+		t.Fatalf("saw %d keys, want 30", n)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	s := New()
+	defer s.Close()
+	b := s.NewBatch()
+	b.Put([]byte("k1"), []byte("v1"))
+	b.Delete([]byte("k1"))
+	b.Put([]byte("k2"), []byte("v2"))
+	if err := b.Write(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Has([]byte("k1")); ok {
+		t.Fatal("k1 should be deleted")
+	}
+	if v, _ := s.Get([]byte("k2")); string(v) != "v2" {
+		t.Fatal("k2 lost")
+	}
+	ms := kv.NewMemStore()
+	if err := b.Replay(ms); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ms.Get([]byte("k2")); string(v) != "v2" {
+		t.Fatal("replay lost k2")
+	}
+}
+
+func TestClosed(t *testing.T) {
+	s := New()
+	s.Close()
+	if err := s.Put([]byte("k"), nil); !errors.Is(err, kv.ErrClosed) {
+		t.Errorf("Put: %v", err)
+	}
+	if _, err := s.Get([]byte("k")); !errors.Is(err, kv.ErrClosed) {
+		t.Errorf("Get: %v", err)
+	}
+}
+
+func TestEmptyAndLargeValues(t *testing.T) {
+	s := New()
+	defer s.Close()
+	s.Put([]byte("empty"), nil)
+	if v, err := s.Get([]byte("empty")); err != nil || len(v) != 0 {
+		t.Fatalf("empty: %q, %v", v, err)
+	}
+	big := bytes.Repeat([]byte{0x5a}, 1<<20)
+	s.Put([]byte("big"), big)
+	v, err := s.Get([]byte("big"))
+	if err != nil || !bytes.Equal(v, big) {
+		t.Fatalf("big value round-trip failed: %v", err)
+	}
+}
+
+func BenchmarkPutDelete(b *testing.B) {
+	s := New()
+	defer s.Close()
+	val := bytes.Repeat([]byte{1}, 40)
+	key := make([]byte, 33)
+	b.SetBytes(73)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			key[j] = byte(i >> (8 * j))
+		}
+		s.Put(key, val)
+		if i > chunkCapacity {
+			for j := 0; j < 8; j++ {
+				key[j] = byte((i - chunkCapacity) >> (8 * j))
+			}
+			s.Delete(key)
+		}
+	}
+}

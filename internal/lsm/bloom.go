@@ -1,0 +1,68 @@
+package lsm
+
+import "ethkv/internal/keccak"
+
+// bloomFilter is a fixed-width Bloom filter attached to each SSTable to
+// short-circuit point lookups for absent keys. We use ~10 bits per key and
+// 7 hash probes (k = m/n * ln2), the classic LevelDB parameters.
+type bloomFilter struct {
+	bits []byte
+	k    int
+}
+
+// bloomBitsPerKey controls the filter size; 10 gives ~1% false positives.
+const bloomBitsPerKey = 10
+
+// newBloomFilter sizes a filter for n expected keys.
+func newBloomFilter(n int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	nbits := n * bloomBitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	return &bloomFilter{bits: make([]byte, (nbits+7)/8), k: 7}
+}
+
+// bloomFromBytes wraps a serialized filter (as written by sstable writer).
+func bloomFromBytes(bits []byte, k int) *bloomFilter {
+	return &bloomFilter{bits: bits, k: k}
+}
+
+// hashPair derives two independent 32-bit hashes for double hashing.
+// Keccak is already in the dependency tree and is plenty fast at these key
+// sizes; first 8 digest bytes provide both hashes.
+func hashPair(key []byte) (uint32, uint32) {
+	d := keccak.Hash256(key)
+	h1 := uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+	h2 := uint32(d[4]) | uint32(d[5])<<8 | uint32(d[6])<<16 | uint32(d[7])<<24
+	return h1, h2
+}
+
+// add inserts key into the filter.
+func (f *bloomFilter) add(key []byte) {
+	h1, h2 := hashPair(key)
+	nbits := uint32(len(f.bits) * 8)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint32(i)*h2) % nbits
+		f.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+// mayContain reports whether key might be in the set (false positives
+// possible, false negatives impossible).
+func (f *bloomFilter) mayContain(key []byte) bool {
+	if len(f.bits) == 0 {
+		return true
+	}
+	h1, h2 := hashPair(key)
+	nbits := uint32(len(f.bits) * 8)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint32(i)*h2) % nbits
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}

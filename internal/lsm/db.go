@@ -1,0 +1,837 @@
+// Package lsm implements a log-structured merge-tree key-value store: the
+// repository's stand-in for Pebble, the store Geth uses by default.
+//
+// Architecture: writes land in a WAL and a skiplist memtable; full memtables
+// flush to level-0 SSTables; a leveled compactor merges L0 into
+// non-overlapping runs on L1+ with exponentially growing level capacities.
+// Deletes write tombstones that survive until they compact into the bottom
+// level — exactly the cost model the paper's Finding 5 critiques. The store
+// tracks logical vs physical I/O so experiments can report write/read
+// amplification.
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ethkv/internal/kv"
+)
+
+// Options tunes a DB. The zero value is usable; unset fields assume
+// defaults scaled for simulator workloads.
+type Options struct {
+	// MemtableBytes is the flush threshold for the write buffer.
+	MemtableBytes int
+	// L0CompactionTrigger is the number of L0 tables that triggers a
+	// compaction into L1.
+	L0CompactionTrigger int
+	// LevelBaseBytes is the target size of L1; each deeper level is
+	// LevelMultiplier times larger.
+	LevelBaseBytes int64
+	// LevelMultiplier is the size ratio between adjacent levels.
+	LevelMultiplier int64
+	// MaxLevels bounds the tree depth.
+	MaxLevels int
+	// DisableWAL skips write-ahead logging (pure benchmarks).
+	DisableWAL bool
+	// Seed makes skiplist heights deterministic across runs.
+	Seed int64
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes == 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.L0CompactionTrigger == 0 {
+		o.L0CompactionTrigger = 4
+	}
+	if o.LevelBaseBytes == 0 {
+		o.LevelBaseBytes = 16 << 20
+	}
+	if o.LevelMultiplier == 0 {
+		o.LevelMultiplier = 10
+	}
+	if o.MaxLevels == 0 {
+		o.MaxLevels = 7
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// DB is the LSM store. It implements kv.Store and kv.StatsProvider.
+type DB struct {
+	mu   sync.RWMutex
+	opts Options
+	dir  string
+	wal  *wal
+	mem  *memtable
+	// imm holds frozen memtables awaiting flush (newest last). Flushes are
+	// currently synchronous, so this stays empty; the read path already
+	// consults it so an async flusher can be added without touching reads.
+	imm    []*memtable
+	levels [][]tableMeta
+	// open caches tableReaders. Guarded by openMu, not mu: Get (holding
+	// only the read lock) opens tables lazily, and concurrent readers must
+	// not race on the map.
+	openMu sync.Mutex
+	open   map[uint64]*tableReader
+	next   uint64 // next file number
+	closed bool
+
+	// I/O counters. Atomics: Get mutates them under the read lock, which
+	// many readers hold concurrently.
+	stats dbStats
+}
+
+// dbStats mirrors kv.Stats with atomic fields.
+type dbStats struct {
+	gets, puts, deletes, scans            atomic.Uint64
+	logicalBytesRead, logicalBytesWritten atomic.Uint64
+	physicalBytesRead, physicalBytesWrite atomic.Uint64
+	compactionCount, tombstonesLive       atomic.Uint64
+}
+
+var _ kv.Store = (*DB)(nil)
+var _ kv.StatsProvider = (*DB)(nil)
+
+// Open creates or reopens an LSM database in dir.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		opts:   opts,
+		dir:    dir,
+		mem:    newMemtable(opts.Seed),
+		levels: make([][]tableMeta, opts.MaxLevels),
+		open:   make(map[uint64]*tableReader),
+		next:   1,
+	}
+	if err := db.loadManifest(); err != nil {
+		return nil, err
+	}
+	if !opts.DisableWAL {
+		// Recover the durable tail of the previous run into the memtable.
+		if err := replayWAL(db.walPath(), func(op byte, key, value []byte) error {
+			if op == walOpDelete {
+				db.mem.del(key)
+			} else {
+				db.mem.put(key, value)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		w, err := openWAL(db.walPath())
+		if err != nil {
+			return nil, err
+		}
+		db.wal = w
+	}
+	return db, nil
+}
+
+func (db *DB) walPath() string      { return filepath.Join(db.dir, "wal.log") }
+func (db *DB) manifestPath() string { return filepath.Join(db.dir, "MANIFEST") }
+
+// Put implements kv.Writer.
+func (db *DB) Put(key, value []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return kv.ErrClosed
+	}
+	if db.wal != nil {
+		n, err := db.wal.appendRecord(walOpPut, key, value)
+		if err != nil {
+			return err
+		}
+		db.stats.physicalBytesWrite.Add(uint64(n))
+	}
+	db.mem.put(key, value)
+	db.stats.puts.Add(1)
+	db.stats.logicalBytesWritten.Add(uint64(len(key) + len(value)))
+	return db.maybeFlushLocked()
+}
+
+// Delete implements kv.Writer: it writes a tombstone.
+func (db *DB) Delete(key []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return kv.ErrClosed
+	}
+	if db.wal != nil {
+		n, err := db.wal.appendRecord(walOpDelete, key, nil)
+		if err != nil {
+			return err
+		}
+		db.stats.physicalBytesWrite.Add(uint64(n))
+	}
+	db.mem.del(key)
+	db.stats.deletes.Add(1)
+	db.stats.tombstonesLive.Add(1)
+	db.stats.logicalBytesWritten.Add(uint64(len(key)))
+	return db.maybeFlushLocked()
+}
+
+// Get implements kv.Reader.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, kv.ErrClosed
+	}
+	db.stats.gets.Add(1)
+	// Memtable, then frozen memtables newest-first.
+	if v, found, deleted := db.mem.get(key); found {
+		return db.finishGet(v, deleted)
+	}
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		if v, found, deleted := db.imm[i].get(key); found {
+			return db.finishGet(v, deleted)
+		}
+	}
+	// L0 newest-first (files may overlap).
+	l0 := db.levels[0]
+	for i := len(l0) - 1; i >= 0; i-- {
+		t, err := db.reader(l0[i])
+		if err != nil {
+			return nil, err
+		}
+		v, found, deleted, br := t.get(key)
+		db.stats.physicalBytesRead.Add(uint64(br))
+		if found {
+			return db.finishGet(v, deleted)
+		}
+	}
+	// Deeper levels: at most one candidate file per level.
+	for level := 1; level < len(db.levels); level++ {
+		metas := db.levels[level]
+		i := sort.Search(len(metas), func(i int) bool {
+			return bytes.Compare(metas[i].largest, key) >= 0
+		})
+		if i == len(metas) || bytes.Compare(metas[i].smallest, key) > 0 {
+			continue
+		}
+		t, err := db.reader(metas[i])
+		if err != nil {
+			return nil, err
+		}
+		v, found, deleted, br := t.get(key)
+		db.stats.physicalBytesRead.Add(uint64(br))
+		if found {
+			return db.finishGet(v, deleted)
+		}
+	}
+	return nil, kv.ErrNotFound
+}
+
+// finishGet translates an internal lookup result and accounts logical I/O.
+func (db *DB) finishGet(v []byte, deleted bool) ([]byte, error) {
+	if deleted {
+		return nil, kv.ErrNotFound
+	}
+	db.stats.logicalBytesRead.Add(uint64(len(v)))
+	return append([]byte(nil), v...), nil
+}
+
+// Has implements kv.Reader.
+func (db *DB) Has(key []byte) (bool, error) {
+	_, err := db.Get(key)
+	if errors.Is(err, kv.ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// reader returns (opening if needed) the cached tableReader for meta.
+func (db *DB) reader(meta tableMeta) (*tableReader, error) {
+	db.openMu.Lock()
+	defer db.openMu.Unlock()
+	if t, ok := db.open[meta.num]; ok {
+		return t, nil
+	}
+	t, err := openTable(db.dir, meta)
+	if err != nil {
+		return nil, err
+	}
+	db.open[meta.num] = t
+	return t, nil
+}
+
+// maybeFlushLocked freezes a full memtable and flushes it, then runs any
+// due compactions. Called with db.mu held.
+func (db *DB) maybeFlushLocked() error {
+	if db.mem.size() < db.opts.MemtableBytes {
+		return nil
+	}
+	return db.flushLocked()
+}
+
+// flushLocked flushes the current memtable (if non-empty) to an L0 table.
+func (db *DB) flushLocked() error {
+	if db.mem.count() == 0 {
+		return nil
+	}
+	ents := db.mem.entries()
+	num := db.next
+	db.next++
+	meta, err := writeTable(db.dir, num, 0, ents)
+	if err != nil {
+		return err
+	}
+	db.stats.physicalBytesWrite.Add(uint64(meta.size))
+	db.levels[0] = append(db.levels[0], meta)
+	db.mem = newMemtable(db.opts.Seed + int64(num))
+	// The WAL contents are now durable in the SSTable; start a fresh log.
+	if db.wal != nil {
+		if err := db.wal.close(); err != nil {
+			return err
+		}
+		if err := os.Remove(db.walPath()); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		w, err := openWAL(db.walPath())
+		if err != nil {
+			return err
+		}
+		db.wal = w
+	}
+	if err := db.saveManifest(); err != nil {
+		return err
+	}
+	return db.maybeCompactLocked()
+}
+
+// Flush forces the memtable to disk; exposed for tests and checkpoints.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return kv.ErrClosed
+	}
+	return db.flushLocked()
+}
+
+// maybeCompactLocked runs compactions until all level invariants hold.
+func (db *DB) maybeCompactLocked() error {
+	for {
+		level := db.pickCompaction()
+		if level < 0 {
+			return nil
+		}
+		if err := db.compactLocked(level); err != nil {
+			return err
+		}
+	}
+}
+
+// pickCompaction returns the most urgent level to compact, or -1.
+func (db *DB) pickCompaction() int {
+	if len(db.levels[0]) >= db.opts.L0CompactionTrigger {
+		return 0
+	}
+	target := db.opts.LevelBaseBytes
+	for level := 1; level < len(db.levels)-1; level++ {
+		var size int64
+		for _, m := range db.levels[level] {
+			size += m.size
+		}
+		if size > target {
+			return level
+		}
+		target *= db.opts.LevelMultiplier
+	}
+	return -1
+}
+
+// compactLocked merges all of level's tables (plus the overlapping tables
+// of level+1) into new non-overlapping tables on level+1. Compacting into
+// the bottom level drops tombstones.
+func (db *DB) compactLocked(level int) error {
+	dst := level + 1
+	if dst >= len(db.levels) {
+		return nil
+	}
+	srcMetas := db.levels[level]
+	if len(srcMetas) == 0 {
+		return nil
+	}
+	// Key range of the source level.
+	lo := srcMetas[0].smallest
+	hi := srcMetas[0].largest
+	for _, m := range srcMetas[1:] {
+		if bytes.Compare(m.smallest, lo) < 0 {
+			lo = m.smallest
+		}
+		if bytes.Compare(m.largest, hi) > 0 {
+			hi = m.largest
+		}
+	}
+	// Overlapping destination tables join the merge.
+	var dstIn, dstOut []tableMeta
+	for _, m := range db.levels[dst] {
+		if bytes.Compare(m.largest, lo) < 0 || bytes.Compare(m.smallest, hi) > 0 {
+			dstOut = append(dstOut, m)
+		} else {
+			dstIn = append(dstIn, m)
+		}
+	}
+
+	// Build merge sources newest-first: L0 files are newest-last on disk,
+	// so reverse them; destination tables are oldest.
+	var sources []source
+	for i := len(srcMetas) - 1; i >= 0; i-- {
+		t, err := db.reader(srcMetas[i])
+		if err != nil {
+			return err
+		}
+		sources = append(sources, newTableSource(t, nil))
+	}
+	for _, m := range dstIn {
+		t, err := db.reader(m)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, newTableSource(t, nil))
+	}
+
+	dropTombstones := db.bottomMostLocked(dst, lo, hi)
+	merged := newMergeIterator(sources)
+	var (
+		out      []entry
+		outBytes int
+		newMetas []tableMeta
+		// Target ~2 MiB output tables so L1+ stays granular.
+		maxOut = 2 << 20
+	)
+	flushOut := func() error {
+		if len(out) == 0 {
+			return nil
+		}
+		num := db.next
+		db.next++
+		meta, err := writeTable(db.dir, num, dst, out)
+		if err != nil {
+			return err
+		}
+		db.stats.physicalBytesWrite.Add(uint64(meta.size))
+		newMetas = append(newMetas, meta)
+		out = out[:0]
+		outBytes = 0
+		return nil
+	}
+	for merged.next() {
+		e := merged.entry()
+		if e.tombstone {
+			if dropTombstones {
+				// Saturating decrement: compaction may drop tombstones
+				// recovered from disk that this process never counted.
+				for {
+					cur := db.stats.tombstonesLive.Load()
+					if cur == 0 || db.stats.tombstonesLive.CompareAndSwap(cur, cur-1) {
+						break
+					}
+				}
+				continue
+			}
+		}
+		// Copy: entries alias mapped table data that we are about to delete.
+		out = append(out, entry{
+			key:       append([]byte(nil), e.key...),
+			value:     append([]byte(nil), e.value...),
+			tombstone: e.tombstone,
+		})
+		outBytes += len(e.key) + len(e.value)
+		if outBytes >= maxOut {
+			if err := flushOut(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flushOut(); err != nil {
+		return err
+	}
+
+	// Account the physical read cost of the merge.
+	for _, s := range sources {
+		db.stats.physicalBytesRead.Add(uint64(s.(*tableSource).bytesConsumed()))
+	}
+	db.stats.compactionCount.Add(1)
+
+	// Install the new version and delete obsolete files.
+	obsolete := append(append([]tableMeta(nil), srcMetas...), dstIn...)
+	db.levels[level] = nil
+	newLevel := append(dstOut, newMetas...)
+	sort.Slice(newLevel, func(i, j int) bool {
+		return bytes.Compare(newLevel[i].smallest, newLevel[j].smallest) < 0
+	})
+	db.levels[dst] = newLevel
+	for _, m := range obsolete {
+		db.openMu.Lock()
+		delete(db.open, m.num)
+		db.openMu.Unlock()
+		if err := os.Remove(tablePath(db.dir, m.num)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return db.saveManifest()
+}
+
+// CompactAll forces every level's data down to the bottom of the tree,
+// purging all droppable tombstones — the equivalent of Pebble's manual
+// whole-range compaction.
+func (db *DB) CompactAll() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return kv.ErrClosed
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	for level := 0; level < len(db.levels)-1; level++ {
+		if len(db.levels[level]) == 0 {
+			continue
+		}
+		if err := db.compactLocked(level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bottomMostLocked reports whether no level below dst holds keys in
+// [lo, hi]; if so, tombstones can be dropped during compaction into dst.
+func (db *DB) bottomMostLocked(dst int, lo, hi []byte) bool {
+	for level := dst + 1; level < len(db.levels); level++ {
+		for _, m := range db.levels[level] {
+			if bytes.Compare(m.largest, lo) >= 0 && bytes.Compare(m.smallest, hi) <= 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NewIterator implements kv.Iterable: a merged scan over the entire tree.
+func (db *DB) NewIterator(prefix, start []byte) kv.Iterator {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.stats.scans.Add(1)
+	lower := append(append([]byte(nil), prefix...), start...)
+
+	var sources []source
+	sources = append(sources, newMemSource(db.mem, lower))
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		sources = append(sources, newMemSource(db.imm[i], lower))
+	}
+	l0 := db.levels[0]
+	for i := len(l0) - 1; i >= 0; i-- {
+		t, err := db.reader(l0[i])
+		if err != nil {
+			return &errIterator{err: err}
+		}
+		sources = append(sources, newTableSource(t, lower))
+	}
+	for level := 1; level < len(db.levels); level++ {
+		for _, m := range db.levels[level] {
+			if bytes.Compare(m.largest, lower) < 0 {
+				continue
+			}
+			t, err := db.reader(m)
+			if err != nil {
+				return &errIterator{err: err}
+			}
+			sources = append(sources, newTableSource(t, lower))
+		}
+	}
+	return &dbIterator{
+		db:     db,
+		merged: newMergeIterator(sources),
+		prefix: append([]byte(nil), prefix...),
+	}
+}
+
+// dbIterator adapts mergeIterator to kv.Iterator, hiding tombstones and
+// enforcing the prefix bound.
+type dbIterator struct {
+	db     *DB
+	merged *mergeIterator
+	prefix []byte
+	key    []byte
+	value  []byte
+	done   bool
+}
+
+func (it *dbIterator) Next() bool {
+	if it.done {
+		return false
+	}
+	for it.merged.next() {
+		e := it.merged.entry()
+		if !bytes.HasPrefix(e.key, it.prefix) {
+			it.done = true
+			return false
+		}
+		if e.tombstone {
+			continue
+		}
+		it.key = append(it.key[:0], e.key...)
+		it.value = append(it.value[:0], e.value...)
+		return true
+	}
+	it.done = true
+	return false
+}
+
+func (it *dbIterator) Key() []byte   { return it.key }
+func (it *dbIterator) Value() []byte { return it.value }
+func (it *dbIterator) Release()      {}
+func (it *dbIterator) Error() error  { return nil }
+
+// errIterator reports a construction failure through the Iterator API.
+type errIterator struct{ err error }
+
+func (it *errIterator) Next() bool    { return false }
+func (it *errIterator) Key() []byte   { return nil }
+func (it *errIterator) Value() []byte { return nil }
+func (it *errIterator) Release()      {}
+func (it *errIterator) Error() error  { return it.err }
+
+// NewBatch implements kv.Batcher.
+func (db *DB) NewBatch() kv.Batch { return &dbBatch{db: db} }
+
+// dbBatch buffers writes and applies them through Put/Delete on commit.
+// Application is atomic with respect to crash recovery at WAL granularity.
+type dbBatch struct {
+	db   *DB
+	ops  []batchOp
+	size int
+}
+
+type batchOp struct {
+	key, value []byte
+	delete     bool
+}
+
+func (b *dbBatch) Put(key, value []byte) error {
+	b.ops = append(b.ops, batchOp{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	b.size += len(key) + len(value)
+	return nil
+}
+
+func (b *dbBatch) Delete(key []byte) error {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), delete: true})
+	b.size += len(key)
+	return nil
+}
+
+func (b *dbBatch) ValueSize() int { return b.size }
+
+func (b *dbBatch) Write() error {
+	for _, op := range b.ops {
+		var err error
+		if op.delete {
+			err = b.db.Delete(op.key)
+		} else {
+			err = b.db.Put(op.key, op.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *dbBatch) Reset() {
+	b.ops = b.ops[:0]
+	b.size = 0
+}
+
+func (b *dbBatch) Replay(w kv.Writer) error {
+	for _, op := range b.ops {
+		var err error
+		if op.delete {
+			err = w.Delete(op.key)
+		} else {
+			err = w.Put(op.key, op.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats implements kv.StatsProvider.
+func (db *DB) Stats() kv.Stats {
+	return kv.Stats{
+		Gets:                db.stats.gets.Load(),
+		Puts:                db.stats.puts.Load(),
+		Deletes:             db.stats.deletes.Load(),
+		Scans:               db.stats.scans.Load(),
+		LogicalBytesRead:    db.stats.logicalBytesRead.Load(),
+		LogicalBytesWritten: db.stats.logicalBytesWritten.Load(),
+		PhysicalBytesRead:   db.stats.physicalBytesRead.Load(),
+		PhysicalBytesWrite:  db.stats.physicalBytesWrite.Load(),
+		CompactionCount:     db.stats.compactionCount.Load(),
+		TombstonesLive:      db.stats.tombstonesLive.Load(),
+	}
+}
+
+// LevelSizes returns per-level table counts and byte sizes, for diagnostics.
+func (db *DB) LevelSizes() []struct {
+	Tables int
+	Bytes  int64
+} {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]struct {
+		Tables int
+		Bytes  int64
+	}, len(db.levels))
+	for i, metas := range db.levels {
+		out[i].Tables = len(metas)
+		for _, m := range metas {
+			out[i].Bytes += m.size
+		}
+	}
+	return out
+}
+
+// Close flushes the memtable and releases resources.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	db.closed = true
+	if db.wal != nil {
+		return db.wal.close()
+	}
+	return nil
+}
+
+// Manifest format: version u32, next u64, then per table:
+// level uvarint | num uvarint | size uvarint | entries uvarint |
+// smallestLen uvarint | smallest | largestLen uvarint | largest.
+// A trailing CRC allows detecting torn writes; saveManifest writes to a
+// temp file and renames for atomicity.
+
+func (db *DB) saveManifest() error {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	put(1) // version
+	put(db.next)
+	for level, metas := range db.levels {
+		for _, m := range metas {
+			put(uint64(level))
+			put(m.num)
+			put(uint64(m.size))
+			put(m.entries)
+			put(uint64(len(m.smallest)))
+			buf.Write(m.smallest)
+			put(uint64(len(m.largest)))
+			buf.Write(m.largest)
+		}
+	}
+	tmpPath := db.manifestPath() + ".tmp"
+	if err := os.WriteFile(tmpPath, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmpPath, db.manifestPath())
+}
+
+func (db *DB) loadManifest() error {
+	raw, err := os.ReadFile(db.manifestPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return 0, fmt.Errorf("lsm: corrupt manifest")
+		}
+		raw = raw[n:]
+		return v, nil
+	}
+	if _, err := get(); err != nil { // version
+		return err
+	}
+	next, err := get()
+	if err != nil {
+		return err
+	}
+	db.next = next
+	for len(raw) > 0 {
+		level, err := get()
+		if err != nil {
+			return err
+		}
+		num, err := get()
+		if err != nil {
+			return err
+		}
+		size, err := get()
+		if err != nil {
+			return err
+		}
+		entries, err := get()
+		if err != nil {
+			return err
+		}
+		slen, err := get()
+		if err != nil {
+			return err
+		}
+		if uint64(len(raw)) < slen {
+			return fmt.Errorf("lsm: corrupt manifest")
+		}
+		smallest := append([]byte(nil), raw[:slen]...)
+		raw = raw[slen:]
+		llen, err := get()
+		if err != nil {
+			return err
+		}
+		if uint64(len(raw)) < llen {
+			return fmt.Errorf("lsm: corrupt manifest")
+		}
+		largest := append([]byte(nil), raw[:llen]...)
+		raw = raw[llen:]
+		if int(level) >= len(db.levels) {
+			return fmt.Errorf("lsm: manifest level %d out of range", level)
+		}
+		db.levels[level] = append(db.levels[level], tableMeta{
+			num: num, level: int(level), size: int64(size),
+			entries: entries, smallest: smallest, largest: largest,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,811 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"ethkv/internal/kv"
+)
+
+// smallOpts forces frequent flushes and compactions so small tests exercise
+// the full machinery.
+func smallOpts() Options {
+	return Options{
+		MemtableBytes:       4 << 10,
+		L0CompactionTrigger: 2,
+		LevelBaseBytes:      16 << 10,
+		LevelMultiplier:     4,
+		MaxLevels:           5,
+	}
+}
+
+func openTestDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestSkiplistOrdering(t *testing.T) {
+	s := newSkiplist(42)
+	keys := []string{"m", "a", "z", "c", "b", "y"}
+	for _, k := range keys {
+		s.set([]byte(k), []byte("v"+k), false)
+	}
+	var got []string
+	for it := s.iterator(); it.next(); {
+		got = append(got, string(it.key()))
+	}
+	want := []string{"a", "b", "c", "m", "y", "z"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestSkiplistOverwriteAndTombstone(t *testing.T) {
+	s := newSkiplist(1)
+	s.set([]byte("k"), []byte("v1"), false)
+	s.set([]byte("k"), []byte("v2"), false)
+	if v, found, del := s.get([]byte("k")); !found || del || string(v) != "v2" {
+		t.Fatalf("overwrite: %q %v %v", v, found, del)
+	}
+	if s.length != 1 {
+		t.Fatalf("length = %d after overwrite", s.length)
+	}
+	s.set([]byte("k"), nil, true)
+	if _, found, del := s.get([]byte("k")); !found || !del {
+		t.Fatal("tombstone not recorded")
+	}
+}
+
+func TestSkiplistSeek(t *testing.T) {
+	s := newSkiplist(7)
+	for i := 0; i < 100; i += 2 {
+		s.set([]byte(fmt.Sprintf("%03d", i)), nil, false)
+	}
+	it := s.iterator()
+	it.seekGE([]byte("013"))
+	if !it.valid() || string(it.key()) != "014" {
+		t.Fatalf("seekGE(013) landed on %q", it.key())
+	}
+	it.seekGE([]byte("200"))
+	if it.valid() {
+		t.Fatal("seek past end should be invalid")
+	}
+}
+
+func TestSkiplistModelProperty(t *testing.T) {
+	f := func(seed int64, opsRaw []uint16) bool {
+		s := newSkiplist(seed)
+		model := map[string]string{}
+		for _, raw := range opsRaw {
+			key := fmt.Sprintf("k%02d", raw%50)
+			if raw%3 == 0 {
+				s.set([]byte(key), nil, true)
+				delete(model, key)
+			} else {
+				val := fmt.Sprintf("v%d", raw)
+				s.set([]byte(key), []byte(val), false)
+				model[key] = val
+			}
+		}
+		for key, want := range model {
+			v, found, del := s.get([]byte(key))
+			if !found || del || string(v) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	f := newBloomFilter(1000)
+	for i := 0; i < 1000; i++ {
+		f.add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.mayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if f.mayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 10000; rate > 0.05 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestSSTableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var ents []entry
+	for i := 0; i < 500; i++ {
+		ents = append(ents, entry{
+			key:       []byte(fmt.Sprintf("key-%04d", i)),
+			value:     bytes.Repeat([]byte{byte(i)}, i%64),
+			tombstone: i%7 == 0,
+		})
+	}
+	meta, err := writeTable(dir, 1, 0, ents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(meta.smallest) != "key-0000" || string(meta.largest) != "key-0499" {
+		t.Fatalf("bounds %q..%q", meta.smallest, meta.largest)
+	}
+	r, err := openTable(dir, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range ents {
+		v, found, deleted, _ := r.get(e.key)
+		if !found {
+			t.Fatalf("entry %d not found", i)
+		}
+		if deleted != e.tombstone || !bytes.Equal(v, e.value) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+	if _, found, _, _ := r.get([]byte("nope")); found {
+		t.Fatal("found absent key")
+	}
+	// Full iteration returns everything in order.
+	it := r.iterator(nil)
+	n := 0
+	for {
+		e, ok := it.nextEntry()
+		if !ok {
+			break
+		}
+		if !bytes.Equal(e.key, ents[n].key) {
+			t.Fatalf("iter entry %d: key %q want %q", n, e.key, ents[n].key)
+		}
+		n++
+	}
+	if n != len(ents) {
+		t.Fatalf("iterated %d entries, want %d", n, len(ents))
+	}
+	// Seek positions correctly.
+	it = r.iterator([]byte("key-0100"))
+	e, ok := it.nextEntry()
+	if !ok || string(e.key) != "key-0100" {
+		t.Fatalf("seek landed on %q", e.key)
+	}
+}
+
+func TestSSTableCorruption(t *testing.T) {
+	dir := t.TempDir()
+	meta, err := writeTable(dir, 1, 0, []entry{{key: []byte("k"), value: []byte("v")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := tablePath(dir, 1)
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xff // corrupt magic
+	os.WriteFile(path, raw, 0o644)
+	if _, err := openTable(dir, meta); !errors.Is(err, errTableCorrupt) {
+		t.Fatalf("want corrupt error, got %v", err)
+	}
+}
+
+func TestDBBasicOps(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	if err := db.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("a"))
+	if err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if err := db.Delete([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("a")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+	ok, err := db.Has([]byte("a"))
+	if err != nil || ok {
+		t.Fatalf("Has deleted = %v, %v", ok, err)
+	}
+}
+
+func TestDBFlushAndRead(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	for i := 0; i < 2000; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		if err := db.Put(key, bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Many flushes and compactions must have happened.
+	sizes := db.LevelSizes()
+	total := 0
+	for _, s := range sizes {
+		total += s.Tables
+	}
+	if total == 0 {
+		t.Fatal("expected flushed tables")
+	}
+	for i := 0; i < 2000; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		v, err := db.Get(key)
+		if err != nil {
+			t.Fatalf("Get %s: %v", key, err)
+		}
+		if !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 32)) {
+			t.Fatalf("value mismatch at %d", i)
+		}
+	}
+	st := db.Stats()
+	if st.CompactionCount == 0 {
+		t.Error("expected compactions")
+	}
+	if st.WriteAmplification() <= 1 {
+		t.Errorf("write amplification %.2f should exceed 1 with compaction", st.WriteAmplification())
+	}
+}
+
+func TestDBOverwriteAcrossFlush(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	db.Put([]byte("k"), []byte("old"))
+	db.Flush()
+	db.Put([]byte("k"), []byte("new"))
+	db.Flush()
+	v, err := db.Get([]byte("k"))
+	if err != nil || string(v) != "new" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestDBDeleteAcrossFlush(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	db.Put([]byte("k"), []byte("v"))
+	db.Flush()
+	db.Delete([]byte("k"))
+	db.Flush()
+	if _, err := db.Get([]byte("k")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("tombstone in newer table must shadow older put: %v", err)
+	}
+}
+
+func TestDBIterator(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	for i := 0; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("p/%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Put([]byte("q/other"), []byte("x"))
+	db.Delete([]byte("p/00100"))
+	db.Flush()
+
+	it := db.NewIterator([]byte("p/"), nil)
+	defer it.Release()
+	var last []byte
+	n := 0
+	for it.Next() {
+		if last != nil && bytes.Compare(it.Key(), last) <= 0 {
+			t.Fatal("iterator keys not strictly ascending")
+		}
+		if string(it.Key()) == "p/00100" {
+			t.Fatal("iterator surfaced deleted key")
+		}
+		if !bytes.HasPrefix(it.Key(), []byte("p/")) {
+			t.Fatalf("iterator escaped prefix: %q", it.Key())
+		}
+		last = append(last[:0], it.Key()...)
+		n++
+	}
+	if n != 299 {
+		t.Fatalf("iterated %d keys, want 299", n)
+	}
+}
+
+func TestDBIteratorStart(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("p%02d", i)), []byte("v"))
+	}
+	it := db.NewIterator([]byte("p"), []byte("90"))
+	defer it.Release()
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("got %d keys from start p90, want 10", n)
+	}
+}
+
+func TestDBBatch(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	db.Put([]byte("victim"), []byte("x"))
+	b := db.NewBatch()
+	b.Put([]byte("b1"), []byte("v1"))
+	b.Put([]byte("b2"), []byte("v2"))
+	b.Delete([]byte("victim"))
+	if err := b.Write(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := db.Get([]byte("b1")); string(v) != "v1" {
+		t.Fatalf("b1 = %q", v)
+	}
+	if _, err := db.Get([]byte("victim")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("batch delete ineffective")
+	}
+	// Replay into a memstore.
+	ms := kv.NewMemStore()
+	if err := b.Replay(ms); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ms.Get([]byte("b2")); string(v) != "v2" {
+		t.Fatal("replay missed b2")
+	}
+}
+
+func TestDBReopenDurability(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	db.Delete([]byte("key-0042"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		v, err := db2.Get([]byte(key))
+		if i == 42 {
+			if !errors.Is(err, kv.ErrNotFound) {
+				t.Fatalf("deleted key resurrected: %v", err)
+			}
+			continue
+		}
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("%s after reopen: %q, %v", key, v, err)
+		}
+	}
+}
+
+// TestDBCrashRecovery simulates a crash: write without Close, then reopen
+// and verify the WAL restores the memtable contents.
+func TestDBCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts()
+	opts.MemtableBytes = 1 << 20 // keep everything in the memtable
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete([]byte("k050"))
+	// Flush WAL buffers but do NOT close (simulated crash).
+	if err := db.wal.sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		v, err := db2.Get([]byte(key))
+		if i == 50 {
+			if !errors.Is(err, kv.ErrNotFound) {
+				t.Fatalf("tombstone lost in crash recovery: %v", err)
+			}
+			continue
+		}
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("%s after crash: %q, %v", key, v, err)
+		}
+	}
+}
+
+// TestDBTornWAL appends garbage to the WAL tail; recovery must keep the
+// valid prefix and ignore the tear.
+func TestDBTornWAL(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts()
+	opts.MemtableBytes = 1 << 20
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("good"), []byte("yes"))
+	db.wal.sync()
+
+	// Tear: append a partial record.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe})
+	f.Close()
+
+	db2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if v, err := db2.Get([]byte("good")); err != nil || string(v) != "yes" {
+		t.Fatalf("valid prefix lost: %q, %v", v, err)
+	}
+}
+
+// TestDBModelProperty runs randomized op sequences against a map model,
+// with aggressive flush settings, verifying point reads and full scans.
+func TestDBModelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 5; round++ {
+		db := openTestDB(t, smallOpts())
+		model := map[string]string{}
+		for i := 0; i < 3000; i++ {
+			k := fmt.Sprintf("key-%03d", rng.Intn(400))
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				db.Delete([]byte(k))
+				delete(model, k)
+			default:
+				v := fmt.Sprintf("val-%d-%d", round, i)
+				db.Put([]byte(k), []byte(v))
+				model[k] = v
+			}
+		}
+		// Point reads.
+		for k, want := range model {
+			v, err := db.Get([]byte(k))
+			if err != nil || string(v) != want {
+				t.Fatalf("round %d: Get(%s) = %q, %v; want %q", round, k, v, err, want)
+			}
+		}
+		// Scan must match the model exactly.
+		it := db.NewIterator([]byte("key-"), nil)
+		seen := map[string]string{}
+		for it.Next() {
+			seen[string(it.Key())] = string(it.Value())
+		}
+		it.Release()
+		if len(seen) != len(model) {
+			t.Fatalf("round %d: scan %d keys, model %d", round, len(seen), len(model))
+		}
+		for k, want := range model {
+			if seen[k] != want {
+				t.Fatalf("round %d: scan[%s] = %q, want %q", round, k, seen[k], want)
+			}
+		}
+	}
+}
+
+func TestDBTombstoneDropAtBottom(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte{1}, 64))
+	}
+	for i := 0; i < 500; i++ {
+		db.Delete([]byte(fmt.Sprintf("k%04d", i)))
+	}
+	// Force everything to the bottom level.
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Deletes != 500 {
+		t.Fatalf("Deletes = %d", st.Deletes)
+	}
+	// Bottom-level compaction must purge all tombstones.
+	if st.TombstonesLive != 0 {
+		t.Errorf("%d tombstones survived full compaction", st.TombstonesLive)
+	}
+	// And the deleted keys must stay deleted.
+	if _, err := db.Get([]byte("k0000")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("deleted key resurrected after compaction: %v", err)
+	}
+}
+
+func TestDBClosed(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	db.Close()
+	if err := db.Put([]byte("k"), nil); !errors.Is(err, kv.ErrClosed) {
+		t.Errorf("Put after close: %v", err)
+	}
+	if _, err := db.Get([]byte("k")); !errors.Is(err, kv.ErrClosed) {
+		t.Errorf("Get after close: %v", err)
+	}
+	// Double close is fine.
+	if err := db.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestDBDisableWAL(t *testing.T) {
+	opts := smallOpts()
+	opts.DisableWAL = true
+	db := openTestDB(t, opts)
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	if v, err := db.Get([]byte("k5")); err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.wal")
+	w, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.appendRecord(walOpPut, []byte("k1"), []byte("v1"))
+	w.appendRecord(walOpDelete, []byte("k2"), nil)
+	w.appendRecord(walOpPut, []byte("k3"), bytes.Repeat([]byte{7}, 1000))
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	type rec struct {
+		op   byte
+		key  string
+		vlen int
+	}
+	var got []rec
+	err = replayWAL(path, func(op byte, key, value []byte) error {
+		got = append(got, rec{op, string(key), len(value)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rec{{walOpPut, "k1", 2}, {walOpDelete, "k2", 0}, {walOpPut, "k3", 1000}}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replay = %v, want %v", got, want)
+	}
+}
+
+func TestWALMissingFile(t *testing.T) {
+	err := replayWAL(filepath.Join(t.TempDir(), "absent.wal"), func(byte, []byte, []byte) error {
+		t.Fatal("callback on missing file")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDBPut(b *testing.B) {
+	db, err := Open(b.TempDir(), Options{DisableWAL: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	key := make([]byte, 32)
+	val := bytes.Repeat([]byte{1}, 100)
+	b.SetBytes(132)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binaryPut(key, uint64(i))
+		db.Put(key, val)
+	}
+}
+
+func BenchmarkDBGet(b *testing.B) {
+	db, err := Open(b.TempDir(), Options{DisableWAL: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	key := make([]byte, 32)
+	for i := 0; i < 10000; i++ {
+		binaryPut(key, uint64(i))
+		db.Put(key, bytes.Repeat([]byte{1}, 100))
+	}
+	db.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binaryPut(key, uint64(i%10000))
+		db.Get(key)
+	}
+}
+
+// binaryPut writes v big-endian into the first 8 bytes of key.
+func binaryPut(key []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		key[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// TestConcurrentReadersAndWriter: a writer and several readers race over
+// the same key space; readers may see old or new values, never corruption.
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	for i := 0; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("initial"))
+	}
+	done := make(chan error, 5)
+	go func() {
+		for i := 0; i < 2000; i++ {
+			k := []byte(fmt.Sprintf("k%03d", i%200))
+			if err := db.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 2000; i++ {
+				k := []byte(fmt.Sprintf("k%03d", i%200))
+				v, err := db.Get(k)
+				if err != nil {
+					done <- fmt.Errorf("Get(%s): %w", k, err)
+					return
+				}
+				if len(v) == 0 {
+					done <- fmt.Errorf("Get(%s) returned empty value", k)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestIteratorSnapshotStability: an iterator opened before a burst of
+// writes must not observe keys written after it started (it iterates a
+// merged view pinned at open time).
+func TestIteratorSnapshotStability(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("a%03d", i)), []byte("v"))
+	}
+	db.Flush()
+	it := db.NewIterator([]byte("a"), nil)
+	defer it.Release()
+
+	// Mutate heavily while iterating.
+	n := 0
+	for it.Next() {
+		if n == 10 {
+			for i := 100; i < 200; i++ {
+				db.Put([]byte(fmt.Sprintf("a%03d", i)), []byte("new"))
+			}
+		}
+		n++
+	}
+	// The iterator's sources were fixed at creation; post-open writes that
+	// only exist in the new memtable may or may not surface depending on
+	// timing, but the iteration must terminate and cover at least the
+	// original keys.
+	if n < 100 {
+		t.Fatalf("iterator lost original keys: saw %d", n)
+	}
+}
+
+// TestLevelsReportAndStatsProgress exercises the observability surface.
+func TestLevelsReportAndStatsProgress(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	var lastWrite uint64
+	for i := 0; i < 3000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i)), bytes.Repeat([]byte{byte(i)}, 40))
+		if i%1000 == 999 {
+			st := db.Stats()
+			if st.PhysicalBytesWrite < lastWrite {
+				t.Fatal("physical write counter went backwards")
+			}
+			lastWrite = st.PhysicalBytesWrite
+		}
+	}
+	sizes := db.LevelSizes()
+	var totalBytes int64
+	for _, lvl := range sizes {
+		totalBytes += lvl.Bytes
+	}
+	if totalBytes == 0 {
+		t.Fatal("LevelSizes reports empty tree after 3000 puts")
+	}
+}
+
+// TestEmptyKeyAndBinaryKeys: keys with zero length and embedded zero bytes
+// must round-trip.
+func TestEmptyKeyAndBinaryKeys(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	keys := [][]byte{
+		{},
+		{0x00},
+		{0x00, 0x00, 0x01},
+		{0xff, 0x00, 0xff},
+		bytes.Repeat([]byte{0xab}, 500), // long key
+	}
+	for i, k := range keys {
+		if err := db.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put(%x): %v", k, err)
+		}
+	}
+	db.Flush()
+	for i, k := range keys {
+		v, err := db.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%x) = %q, %v", k, v, err)
+		}
+	}
+}
+
+// TestManifestCorruptionRejected: a truncated manifest must fail Open
+// rather than silently losing tables.
+func TestManifestCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte{1}, 64))
+	}
+	db.Close()
+
+	raw, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 10 {
+		t.Skip("manifest too small to truncate meaningfully")
+	}
+	// Truncate mid-record.
+	os.WriteFile(filepath.Join(dir, "MANIFEST"), raw[:len(raw)-3], 0o644)
+	if _, err := Open(dir, smallOpts()); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+// TestBatchValueSizeAndReset on the LSM batch implementation.
+func TestLSMBatchAccounting(t *testing.T) {
+	db := openTestDB(t, smallOpts())
+	b := db.NewBatch()
+	b.Put([]byte("abc"), []byte("defg"))
+	if b.ValueSize() != 7 {
+		t.Fatalf("ValueSize = %d, want 7", b.ValueSize())
+	}
+	b.Delete([]byte("xy"))
+	if b.ValueSize() != 9 {
+		t.Fatalf("ValueSize = %d, want 9", b.ValueSize())
+	}
+	b.Reset()
+	if b.ValueSize() != 0 {
+		t.Fatal("Reset")
+	}
+}

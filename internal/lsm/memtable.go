@@ -1,0 +1,73 @@
+package lsm
+
+import "sync"
+
+// memtable is the mutable in-memory write buffer of the LSM tree. Writes go
+// to a skiplist; once the footprint exceeds the flush threshold the table is
+// frozen and drained to an SSTable.
+type memtable struct {
+	mu   sync.RWMutex
+	list *skiplist
+}
+
+func newMemtable(seed int64) *memtable {
+	return &memtable{list: newSkiplist(seed)}
+}
+
+// put inserts a value. Copies are taken, so callers may reuse buffers.
+func (m *memtable) put(key, value []byte) {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	m.mu.Lock()
+	m.list.set(k, v, false)
+	m.mu.Unlock()
+}
+
+// del records a tombstone for key.
+func (m *memtable) del(key []byte) {
+	k := append([]byte(nil), key...)
+	m.mu.Lock()
+	m.list.set(k, nil, true)
+	m.mu.Unlock()
+}
+
+// get looks up key. found reports any entry (live or tombstone).
+func (m *memtable) get(key []byte) (value []byte, found, deleted bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.list.get(key)
+}
+
+// size returns the approximate byte footprint.
+func (m *memtable) size() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.list.bytes
+}
+
+// count returns the number of entries (including tombstones).
+func (m *memtable) count() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.list.length
+}
+
+// entries returns all entries in key order. The returned slices alias the
+// memtable's internal buffers; callers must not mutate them. Safe because a
+// memtable is frozen (no further writes) before entries is used for flush.
+func (m *memtable) entries() []entry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]entry, 0, m.list.length)
+	for it := m.list.iterator(); it.next(); {
+		out = append(out, entry{key: it.key(), value: it.value(), tombstone: it.tombstone()})
+	}
+	return out
+}
+
+// entry is one key-value record flowing between LSM components.
+type entry struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+}

@@ -1,0 +1,118 @@
+package lsm
+
+import "bytes"
+
+// source is a uniform cursor over one level of the LSM tree (memtable or
+// table). Sources are ordered by recency: source 0 shadows source 1, etc.
+type source interface {
+	// peek returns the current entry without advancing. ok=false means
+	// exhausted.
+	peek() (entry, bool)
+	// advance moves past the current entry.
+	advance()
+}
+
+// memSource adapts a frozen skiplist iterator.
+type memSource struct {
+	it  *skipIterator
+	cur entry
+	ok  bool
+}
+
+// newMemSource returns a source over mt's entries with key >= start.
+func newMemSource(mt *memtable, start []byte) *memSource {
+	mt.mu.RLock()
+	it := mt.list.iterator()
+	mt.mu.RUnlock()
+	s := &memSource{it: it}
+	if start != nil {
+		it.seekGE(start)
+		if it.valid() {
+			s.cur = entry{key: it.key(), value: it.value(), tombstone: it.tombstone()}
+			s.ok = true
+		}
+		return s
+	}
+	s.advance()
+	return s
+}
+
+func (s *memSource) peek() (entry, bool) { return s.cur, s.ok }
+
+func (s *memSource) advance() {
+	if s.it.next() {
+		s.cur = entry{key: s.it.key(), value: s.it.value(), tombstone: s.it.tombstone()}
+		s.ok = true
+	} else {
+		s.ok = false
+	}
+}
+
+// tableSource adapts a tableIterator.
+type tableSource struct {
+	it  *tableIterator
+	cur entry
+	ok  bool
+}
+
+func newTableSource(t *tableReader, start []byte) *tableSource {
+	s := &tableSource{it: t.iterator(start)}
+	s.advance()
+	return s
+}
+
+func (s *tableSource) peek() (entry, bool) { return s.cur, s.ok }
+
+func (s *tableSource) advance() {
+	s.cur, s.ok = s.it.nextEntry()
+}
+
+// bytesConsumed reports block bytes this source has touched.
+func (s *tableSource) bytesConsumed() int { return s.it.read }
+
+// mergeIterator merges sources by key, resolving duplicates in favour of
+// the lowest-indexed (newest) source. Tombstones are surfaced as entries
+// with tombstone=true; callers decide whether to skip or keep them.
+type mergeIterator struct {
+	sources []source
+	cur     entry
+	ok      bool
+}
+
+func newMergeIterator(sources []source) *mergeIterator {
+	return &mergeIterator{sources: sources}
+}
+
+// next advances to the next distinct key and reports availability.
+func (m *mergeIterator) next() bool {
+	// Find the smallest key among sources; ties resolved by source order.
+	best := -1
+	var bestEnt entry
+	for i, s := range m.sources {
+		e, ok := s.peek()
+		if !ok {
+			continue
+		}
+		if best == -1 || bytes.Compare(e.key, bestEnt.key) < 0 {
+			best, bestEnt = i, e
+		}
+	}
+	if best == -1 {
+		m.ok = false
+		return false
+	}
+	// Consume the winner and every older duplicate of the same key.
+	for _, s := range m.sources {
+		for {
+			e, ok := s.peek()
+			if !ok || !bytes.Equal(e.key, bestEnt.key) {
+				break
+			}
+			s.advance()
+		}
+	}
+	m.cur, m.ok = bestEnt, true
+	return true
+}
+
+func (m *mergeIterator) entry() entry { return m.cur }

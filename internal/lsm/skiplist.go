@@ -1,0 +1,141 @@
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// maxHeight bounds skiplist tower height; 2^12 entries per memtable is
+// typical at our flush sizes, so 12 levels keeps searches O(log n).
+const maxHeight = 12
+
+// skipNode is one skiplist entry. A nil value paired with tombstone=true
+// records a deletion marker.
+type skipNode struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+	next      [maxHeight]*skipNode
+}
+
+// skiplist is a sorted map from keys to (value, tombstone) pairs.
+// It is not safe for concurrent use; the memtable wraps it with a lock.
+type skiplist struct {
+	head   *skipNode
+	height int
+	length int
+	bytes  int // approximate memory footprint of keys+values
+	rng    *rand.Rand
+}
+
+// newSkiplist returns an empty skiplist with a deterministic height source
+// seeded per-list (determinism matters for reproducible traces).
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:   &skipNode{},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// randomHeight draws a tower height with P(h >= k) = 4^-(k-1), the
+// LevelDB-style branching factor of 4.
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < maxHeight && s.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual locates the first node with key >= target, filling
+// prev with the rightmost node before the target at every level.
+func (s *skiplist) findGreaterOrEqual(key []byte, prev *[maxHeight]*skipNode) *skipNode {
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// set inserts or overwrites key. tombstone=true records a delete marker.
+func (s *skiplist) set(key, value []byte, tombstone bool) {
+	var prev [maxHeight]*skipNode
+	if node := s.findGreaterOrEqual(key, &prev); node != nil && bytes.Equal(node.key, key) {
+		s.bytes += len(value) - len(node.value)
+		node.value = value
+		node.tombstone = tombstone
+		return
+	}
+	h := s.randomHeight()
+	if h > s.height {
+		for level := s.height; level < h; level++ {
+			prev[level] = s.head
+		}
+		s.height = h
+	}
+	node := &skipNode{key: key, value: value, tombstone: tombstone}
+	for level := 0; level < h; level++ {
+		node.next[level] = prev[level].next[level]
+		prev[level].next[level] = node
+	}
+	s.length++
+	s.bytes += len(key) + len(value)
+}
+
+// get returns the value for key. found reports presence of any entry
+// (including tombstones); deleted reports the entry is a tombstone.
+func (s *skiplist) get(key []byte) (value []byte, found, deleted bool) {
+	node := s.findGreaterOrEqual(key, nil)
+	if node == nil || !bytes.Equal(node.key, key) {
+		return nil, false, false
+	}
+	return node.value, true, node.tombstone
+}
+
+// first returns the first node at level 0 (nil if empty).
+func (s *skiplist) first() *skipNode { return s.head.next[0] }
+
+// seek returns the first node with key >= target.
+func (s *skiplist) seek(key []byte) *skipNode {
+	return s.findGreaterOrEqual(key, nil)
+}
+
+// skipIterator walks skiplist entries in key order, including tombstones.
+type skipIterator struct {
+	node *skipNode
+	list *skiplist
+	init bool
+}
+
+func (s *skiplist) iterator() *skipIterator { return &skipIterator{list: s} }
+
+// seekGE positions the iterator at the first key >= target.
+func (it *skipIterator) seekGE(key []byte) {
+	it.node = it.list.seek(key)
+	it.init = true
+}
+
+// next advances the iterator; the first call positions at the first entry
+// unless seekGE was used.
+func (it *skipIterator) next() bool {
+	if !it.init {
+		it.node = it.list.first()
+		it.init = true
+	} else if it.node != nil {
+		it.node = it.node.next[0]
+	}
+	return it.node != nil
+}
+
+// valid reports whether the iterator is positioned on an entry.
+func (it *skipIterator) valid() bool { return it.node != nil }
+
+func (it *skipIterator) key() []byte     { return it.node.key }
+func (it *skipIterator) value() []byte   { return it.node.value }
+func (it *skipIterator) tombstone() bool { return it.node.tombstone }

@@ -1,0 +1,342 @@
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+// SSTable file layout (all integers little-endian):
+//
+//	data block 0 | data block 1 | ... | index block | bloom block | footer
+//
+// Each data block holds consecutive entries:
+//
+//	flags byte (bit0 = tombstone) | keyLen uvarint | key | valueLen uvarint | value
+//
+// The index block records, per data block: lastKeyLen uvarint | lastKey |
+// offset uvarint | length uvarint. Point lookups binary-search the index by
+// last key, read one data block, and scan it linearly.
+//
+// The footer is fixed-size:
+//
+//	indexOff u64 | indexLen u64 | bloomOff u64 | bloomLen u64 | bloomK u32 |
+//	entryCount u64 | crc32-of-footer-prefix u32 | magic u64
+const (
+	footerSize  = 8*5 + 4 + 4 + 8
+	tableMagic  = 0x657468_6b760001 // "ethkv" + version
+	targetBlock = 4 << 10           // 4 KiB data blocks
+)
+
+// errTableCorrupt marks structural damage detected while opening or reading
+// an SSTable.
+var errTableCorrupt = errors.New("lsm: corrupt sstable")
+
+// tableMeta identifies one on-disk table within the LSM tree.
+type tableMeta struct {
+	num      uint64 // file number
+	level    int
+	size     int64
+	smallest []byte
+	largest  []byte
+	entries  uint64
+}
+
+// tablePath names the SSTable file for number num inside dir.
+func tablePath(dir string, num uint64) string {
+	return fmt.Sprintf("%s/%06d.sst", dir, num)
+}
+
+// writeTable persists sorted entries to an SSTable file and returns its
+// metadata. Entries must be strictly ascending by key.
+func writeTable(dir string, num uint64, level int, ents []entry) (tableMeta, error) {
+	if len(ents) == 0 {
+		return tableMeta{}, errors.New("lsm: refusing to write empty table")
+	}
+	var (
+		buf       bytes.Buffer
+		block     bytes.Buffer
+		indexBuf  bytes.Buffer
+		lastKey   []byte
+		blockOff  uint64
+		scratch   [binary.MaxVarintLen64]byte
+		putUvar   = func(dst *bytes.Buffer, v uint64) { dst.Write(scratch[:binary.PutUvarint(scratch[:], v)]) }
+		flushBlok = func() {
+			if block.Len() == 0 {
+				return
+			}
+			putUvar(&indexBuf, uint64(len(lastKey)))
+			indexBuf.Write(lastKey)
+			putUvar(&indexBuf, blockOff)
+			putUvar(&indexBuf, uint64(block.Len()))
+			blockOff += uint64(block.Len())
+			buf.Write(block.Bytes())
+			block.Reset()
+		}
+	)
+	bloom := newBloomFilter(len(ents))
+	for _, e := range ents {
+		flags := byte(0)
+		if e.tombstone {
+			flags = 1
+		}
+		block.WriteByte(flags)
+		putUvar(&block, uint64(len(e.key)))
+		block.Write(e.key)
+		putUvar(&block, uint64(len(e.value)))
+		block.Write(e.value)
+		lastKey = e.key
+		bloom.add(e.key)
+		if block.Len() >= targetBlock {
+			flushBlok()
+		}
+	}
+	flushBlok()
+
+	indexOff := uint64(buf.Len())
+	buf.Write(indexBuf.Bytes())
+	bloomOff := uint64(buf.Len())
+	buf.Write(bloom.bits)
+
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:], indexOff)
+	binary.LittleEndian.PutUint64(footer[8:], uint64(indexBuf.Len()))
+	binary.LittleEndian.PutUint64(footer[16:], bloomOff)
+	binary.LittleEndian.PutUint64(footer[24:], uint64(len(bloom.bits)))
+	binary.LittleEndian.PutUint32(footer[32:], uint32(bloom.k))
+	binary.LittleEndian.PutUint64(footer[36:], uint64(len(ents)))
+	binary.LittleEndian.PutUint32(footer[44:], crc32.ChecksumIEEE(footer[:44]))
+	binary.LittleEndian.PutUint64(footer[48:], tableMagic)
+	buf.Write(footer[:])
+
+	path := tablePath(dir, num)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return tableMeta{}, err
+	}
+	return tableMeta{
+		num:      num,
+		level:    level,
+		size:     int64(buf.Len()),
+		smallest: append([]byte(nil), ents[0].key...),
+		largest:  append([]byte(nil), ents[len(ents)-1].key...),
+		entries:  uint64(len(ents)),
+	}, nil
+}
+
+// indexEntry locates one data block.
+type indexEntry struct {
+	lastKey []byte
+	offset  uint64
+	length  uint64
+}
+
+// tableReader serves point and range reads from one SSTable. The whole file
+// is mapped into memory on open (tables are small at simulator scale); the
+// bytesRead counter still accounts each block access so amplification
+// numbers remain meaningful.
+type tableReader struct {
+	meta  tableMeta
+	data  []byte
+	index []indexEntry
+	bloom *bloomFilter
+}
+
+// openTable reads and validates the SSTable file for meta.
+func openTable(dir string, meta tableMeta) (*tableReader, error) {
+	data, err := os.ReadFile(tablePath(dir, meta.num))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < footerSize {
+		return nil, fmt.Errorf("%w: file shorter than footer", errTableCorrupt)
+	}
+	footer := data[len(data)-footerSize:]
+	if binary.LittleEndian.Uint64(footer[48:]) != tableMagic {
+		return nil, fmt.Errorf("%w: bad magic", errTableCorrupt)
+	}
+	if crc32.ChecksumIEEE(footer[:44]) != binary.LittleEndian.Uint32(footer[44:]) {
+		return nil, fmt.Errorf("%w: footer checksum", errTableCorrupt)
+	}
+	indexOff := binary.LittleEndian.Uint64(footer[0:])
+	indexLen := binary.LittleEndian.Uint64(footer[8:])
+	bloomOff := binary.LittleEndian.Uint64(footer[16:])
+	bloomLen := binary.LittleEndian.Uint64(footer[24:])
+	bloomK := int(binary.LittleEndian.Uint32(footer[32:]))
+	if indexOff+indexLen > uint64(len(data)) || bloomOff+bloomLen > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: section out of range", errTableCorrupt)
+	}
+
+	index, err := parseIndex(data[indexOff : indexOff+indexLen])
+	if err != nil {
+		return nil, err
+	}
+	return &tableReader{
+		meta:  meta,
+		data:  data,
+		index: index,
+		bloom: bloomFromBytes(data[bloomOff:bloomOff+bloomLen], bloomK),
+	}, nil
+}
+
+// parseIndex decodes the index block.
+func parseIndex(raw []byte) ([]indexEntry, error) {
+	var index []indexEntry
+	for len(raw) > 0 {
+		klen, n := binary.Uvarint(raw)
+		if n <= 0 || uint64(len(raw)-n) < klen {
+			return nil, fmt.Errorf("%w: index key", errTableCorrupt)
+		}
+		raw = raw[n:]
+		key := raw[:klen]
+		raw = raw[klen:]
+		off, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: index offset", errTableCorrupt)
+		}
+		raw = raw[n:]
+		length, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: index length", errTableCorrupt)
+		}
+		raw = raw[n:]
+		index = append(index, indexEntry{lastKey: key, offset: off, length: length})
+	}
+	return index, nil
+}
+
+// get looks up key. bytesRead reports the block bytes touched, so the DB can
+// account physical read I/O.
+func (t *tableReader) get(key []byte) (value []byte, found, deleted bool, bytesRead int) {
+	if !t.bloom.mayContain(key) {
+		return nil, false, false, 0
+	}
+	// Binary search the first block whose last key >= key.
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].lastKey, key) >= 0
+	})
+	if i == len(t.index) {
+		return nil, false, false, 0
+	}
+	blk := t.index[i]
+	block := t.data[blk.offset : blk.offset+blk.length]
+	bytesRead = len(block)
+	for ent := range blockEntries(block) {
+		c := bytes.Compare(ent.key, key)
+		if c == 0 {
+			return ent.value, true, ent.tombstone, bytesRead
+		}
+		if c > 0 {
+			break
+		}
+	}
+	return nil, false, false, bytesRead
+}
+
+// blockEntries yields the entries of one data block in order.
+func blockEntries(block []byte) func(func(entry) bool) {
+	return func(yield func(entry) bool) {
+		for len(block) > 0 {
+			flags := block[0]
+			block = block[1:]
+			klen, n := binary.Uvarint(block)
+			if n <= 0 {
+				return
+			}
+			block = block[n:]
+			key := block[:klen]
+			block = block[klen:]
+			vlen, n := binary.Uvarint(block)
+			if n <= 0 {
+				return
+			}
+			block = block[n:]
+			value := block[:vlen]
+			block = block[vlen:]
+			if !yield(entry{key: key, value: value, tombstone: flags&1 != 0}) {
+				return
+			}
+		}
+	}
+}
+
+// tableIterator walks the full table in key order, including tombstones.
+type tableIterator struct {
+	t        *tableReader
+	blockIdx int
+	block    []byte
+	cur      entry
+	valid    bool
+	pending  bool // cur holds a seek result not yet surfaced by nextEntry
+	read     int  // block bytes consumed so far
+}
+
+// iterator returns a fresh iterator positioned before the first entry, or
+// at the first entry with key >= start when start is non-nil.
+func (t *tableReader) iterator(start []byte) *tableIterator {
+	it := &tableIterator{t: t}
+	if start != nil {
+		it.blockIdx = sort.Search(len(t.index), func(i int) bool {
+			return bytes.Compare(t.index[i].lastKey, start) >= 0
+		})
+		// Advance within the block to the first key >= start.
+		for it.next() {
+			if bytes.Compare(it.cur.key, start) >= 0 {
+				it.pending = true
+				break
+			}
+		}
+	}
+	return it
+}
+
+// pending marks that next() already holds the entry to surface first (set
+// by seek positioning).
+func (it *tableIterator) nextEntry() (entry, bool) {
+	if it.pending {
+		it.pending = false
+		return it.cur, it.valid
+	}
+	ok := it.next()
+	return it.cur, ok
+}
+
+// next advances the raw cursor one entry.
+func (it *tableIterator) next() bool {
+	for {
+		if len(it.block) == 0 {
+			if it.blockIdx >= len(it.t.index) {
+				it.valid = false
+				return false
+			}
+			blk := it.t.index[it.blockIdx]
+			it.block = it.t.data[blk.offset : blk.offset+blk.length]
+			it.read += len(it.block)
+			it.blockIdx++
+		}
+		flags := it.block[0]
+		it.block = it.block[1:]
+		klen, n := binary.Uvarint(it.block)
+		if n <= 0 {
+			it.valid = false
+			return false
+		}
+		it.block = it.block[n:]
+		key := it.block[:klen]
+		it.block = it.block[klen:]
+		vlen, n := binary.Uvarint(it.block)
+		if n <= 0 {
+			it.valid = false
+			return false
+		}
+		it.block = it.block[n:]
+		value := it.block[:vlen]
+		it.block = it.block[vlen:]
+		it.cur = entry{key: key, value: value, tombstone: flags&1 != 0}
+		it.valid = true
+		return true
+	}
+}

@@ -1,0 +1,158 @@
+package lsm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Write-ahead log format: a sequence of records, each
+//
+//	crc32(payload) uint32 | payloadLen uint32 | payload
+//
+// where payload is: opByte (0=put, 1=delete) | keyLen uvarint | key |
+// [valueLen uvarint | value] (value only for puts).
+//
+// Replay stops cleanly at the first torn or corrupt record, which models
+// crash recovery: everything before the tear is durable.
+
+const (
+	walOpPut    = 0
+	walOpDelete = 1
+)
+
+// errWALCorrupt marks a record that fails its checksum; replay treats it as
+// the end of the durable prefix.
+var errWALCorrupt = errors.New("lsm: corrupt wal record")
+
+// wal is an append-only write-ahead log.
+type wal struct {
+	f   *os.File
+	w   *bufio.Writer
+	len int64
+}
+
+// openWAL opens (creating if needed) the log at path for appending.
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), len: st.Size()}, nil
+}
+
+// appendRecord writes one put/delete record. Returns bytes appended.
+func (l *wal) appendRecord(op byte, key, value []byte) (int, error) {
+	payload := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(value))
+	payload = append(payload, op)
+	payload = binary.AppendUvarint(payload, uint64(len(key)))
+	payload = append(payload, key...)
+	if op == walOpPut {
+		payload = binary.AppendUvarint(payload, uint64(len(value)))
+		payload = append(payload, value...)
+	}
+	var head [8]byte
+	binary.LittleEndian.PutUint32(head[0:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(head[4:], uint32(len(payload)))
+	if _, err := l.w.Write(head[:]); err != nil {
+		return 0, err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, err
+	}
+	n := len(head) + len(payload)
+	l.len += int64(n)
+	return n, nil
+}
+
+// sync flushes buffered records to the OS. (We do not fsync by default —
+// the simulator favours throughput; Sync is exposed for tests.)
+func (l *wal) sync() error { return l.w.Flush() }
+
+// close flushes and closes the log file.
+func (l *wal) close() error {
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// size returns the logical length of the log in bytes.
+func (l *wal) size() int64 { return l.len }
+
+// replayWAL streams the durable records of the log at path into apply.
+// A torn or corrupt tail terminates replay without error.
+func replayWAL(path string, apply func(op byte, key, value []byte) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		op, key, value, err := readWALRecord(r)
+		if errors.Is(err, io.EOF) || errors.Is(err, errWALCorrupt) ||
+			errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := apply(op, key, value); err != nil {
+			return err
+		}
+	}
+}
+
+// readWALRecord parses one record from r.
+func readWALRecord(r *bufio.Reader) (op byte, key, value []byte, err error) {
+	var head [8]byte
+	if _, err = io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, nil, err
+	}
+	wantCRC := binary.LittleEndian.Uint32(head[0:])
+	plen := binary.LittleEndian.Uint32(head[4:])
+	if plen == 0 || plen > 1<<30 {
+		return 0, nil, nil, errWALCorrupt
+	}
+	payload := make([]byte, plen)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return 0, nil, nil, errWALCorrupt
+	}
+	op = payload[0]
+	rest := payload[1:]
+	klen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < klen {
+		return 0, nil, nil, errWALCorrupt
+	}
+	rest = rest[n:]
+	key = rest[:klen]
+	rest = rest[klen:]
+	if op == walOpPut {
+		vlen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < vlen {
+			return 0, nil, nil, errWALCorrupt
+		}
+		value = rest[n : n+int(vlen)]
+	} else if op != walOpDelete {
+		return 0, nil, nil, fmt.Errorf("%w: unknown op %d", errWALCorrupt, op)
+	}
+	return op, key, value, nil
+}

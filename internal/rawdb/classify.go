@@ -1,0 +1,137 @@
+package rawdb
+
+import "bytes"
+
+// Classify assigns a database key to its storage class. The decision mirrors
+// the schema's prefix layout; exact-match singleton keys are checked before
+// the single-byte prefixes so that, e.g., "LastBlock" never parses as an
+// 'L'-prefixed StateID key.
+func Classify(key []byte) Class {
+	if len(key) == 0 {
+		return ClassUnknown
+	}
+	// Singleton and multi-byte prefixes first.
+	switch {
+	case bytes.Equal(key, snapshotJournalKey):
+		return ClassSnapshotJournal
+	case bytes.Equal(key, lastStateIDKey):
+		return ClassLastStateID
+	case bytes.Equal(key, uncleanShutdownKey):
+		return ClassUncleanShutdown
+	case bytes.Equal(key, snapshotGeneratorKey):
+		return ClassSnapshotGenerator
+	case bytes.Equal(key, trieJournalKey):
+		return ClassTrieJournal
+	case bytes.Equal(key, databaseVersionKey):
+		return ClassDatabaseVersion
+	case bytes.Equal(key, lastBlockKey):
+		return ClassLastBlock
+	case bytes.Equal(key, snapshotRootKey):
+		return ClassSnapshotRoot
+	case bytes.Equal(key, skeletonSyncStatusKey):
+		return ClassSkeletonSyncStatus
+	case bytes.Equal(key, lastHeaderKey):
+		return ClassLastHeader
+	case bytes.Equal(key, snapshotRecoveryKey):
+		return ClassSnapshotRecovery
+	case bytes.Equal(key, transactionIndexTailKey):
+		return ClassTransactionIndexTail
+	case bytes.Equal(key, lastFastKey):
+		return ClassLastFast
+	case bytes.HasPrefix(key, genesisPrefix):
+		return ClassEthereumGenesis
+	case bytes.HasPrefix(key, configPrefix):
+		return ClassEthereumConfig
+	case bytes.HasPrefix(key, bloomBitsIndexPrefix):
+		return ClassBloomBitsIndex
+	}
+	// Single-byte prefixes with length sanity checks.
+	switch key[0] {
+	case 'h':
+		// h+num+hash (41), h+num+'n' (10), or the h+num scan prefix (9).
+		if len(key) == 41 || (len(key) == 10 && key[9] == 'n') || len(key) == 9 {
+			return ClassBlockHeader
+		}
+	case 'H':
+		if len(key) == 33 {
+			return ClassHeaderNumber
+		}
+	case 'b':
+		if len(key) == 41 {
+			return ClassBlockBody
+		}
+	case 'r':
+		if len(key) == 41 {
+			return ClassBlockReceipts
+		}
+	case 'l':
+		if len(key) == 33 {
+			return ClassTxLookup
+		}
+	case 'B':
+		if len(key) == 43 {
+			return ClassBloomBits
+		}
+	case 'c':
+		if len(key) == 33 {
+			return ClassCode
+		}
+	case 'S':
+		if len(key) == 9 {
+			return ClassSkeletonHeader
+		}
+	case 'A':
+		// A + path; paths are at most 64 nibbles + terminator.
+		if len(key) >= 1 && len(key) <= 66 {
+			return ClassTrieNodeAccount
+		}
+	case 'O':
+		if len(key) >= 33 && len(key) <= 98 {
+			return ClassTrieNodeStorage
+		}
+	case 'a':
+		// Full key (33) or the bare 'a' scan prefix over all accounts.
+		if len(key) == 33 || len(key) == 1 {
+			return ClassSnapshotAccount
+		}
+	case 'o':
+		// Full key (65) or the o+accountHash scan prefix (33).
+		if len(key) == 65 || len(key) == 33 {
+			return ClassSnapshotStorage
+		}
+	case 'L':
+		if len(key) == 33 {
+			return ClassStateID
+		}
+	}
+	return ClassUnknown
+}
+
+// IsWorldState reports whether the class holds world-state data (the four
+// classes Findings 3, 6 and 7 track).
+func (c Class) IsWorldState() bool {
+	switch c {
+	case ClassTrieNodeAccount, ClassTrieNodeStorage,
+		ClassSnapshotAccount, ClassSnapshotStorage:
+		return true
+	}
+	return false
+}
+
+// IsSingleton reports whether the class holds exactly one KV pair.
+func (c Class) IsSingleton() bool {
+	switch c {
+	case ClassEthereumGenesis, ClassSnapshotJournal, ClassEthereumConfig,
+		ClassLastStateID, ClassUncleanShutdown, ClassSnapshotGenerator,
+		ClassTrieJournal, ClassDatabaseVersion, ClassLastBlock,
+		ClassSnapshotRoot, ClassSkeletonSyncStatus, ClassLastHeader,
+		ClassSnapshotRecovery, ClassTransactionIndexTail, ClassLastFast:
+		return true
+	}
+	return false
+}
+
+// IsSnapshot reports whether the class belongs to snapshot acceleration.
+func (c Class) IsSnapshot() bool {
+	return c == ClassSnapshotAccount || c == ClassSnapshotStorage
+}

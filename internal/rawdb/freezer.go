@@ -1,0 +1,313 @@
+package rawdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Freezer is the ancient-data store: once blocks pass the finality
+// threshold, their headers, bodies, receipts, and canonical hashes migrate
+// out of the KV store into immutable append-only flat files — the mechanism
+// behind the high BlockHeader/TxLookup deletion rates in Finding 5.
+//
+// Each kind is one table: a data file of concatenated blobs plus an index
+// of (offset, length) rows. Items are keyed by block number and must append
+// in order, starting at the table's tail.
+type Freezer struct {
+	mu     sync.RWMutex
+	dir    string
+	tables map[string]*freezerTable
+	closed bool
+}
+
+// The freezer table kinds, matching Geth's ancient store.
+const (
+	FreezerHeaders  = "headers"
+	FreezerBodies   = "bodies"
+	FreezerReceipts = "receipts"
+	FreezerHashes   = "hashes"
+)
+
+// freezerKinds lists every table a Freezer maintains.
+var freezerKinds = []string{FreezerHeaders, FreezerBodies, FreezerReceipts, FreezerHashes}
+
+// ErrAncientNotFound is returned for out-of-range ancient reads.
+var ErrAncientNotFound = errors.New("rawdb: ancient item not found")
+
+// errOutOfOrder rejects non-contiguous appends.
+var errOutOfOrder = errors.New("rawdb: ancient append out of order")
+
+// freezerTable is one kind's data+index pair.
+type freezerTable struct {
+	data    *os.File
+	index   *os.File
+	items   uint64 // number of items stored
+	first   uint64 // first item number (tail after pruning)
+	dataLen int64
+}
+
+// OpenFreezer creates or reopens a freezer in dir.
+func OpenFreezer(dir string) (*Freezer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f := &Freezer{dir: dir, tables: make(map[string]*freezerTable)}
+	for _, kind := range freezerKinds {
+		t, err := openFreezerTable(dir, kind)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.tables[kind] = t
+	}
+	return f, nil
+}
+
+// openFreezerTable opens one table, recovering item count from the index.
+func openFreezerTable(dir, kind string) (*freezerTable, error) {
+	data, err := os.OpenFile(filepath.Join(dir, kind+".dat"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	index, err := os.OpenFile(filepath.Join(dir, kind+".idx"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		data.Close()
+		return nil, err
+	}
+	ist, err := index.Stat()
+	if err != nil {
+		data.Close()
+		index.Close()
+		return nil, err
+	}
+	dst, err := data.Stat()
+	if err != nil {
+		data.Close()
+		index.Close()
+		return nil, err
+	}
+	t := &freezerTable{data: data, index: index, dataLen: dst.Size()}
+	// Index rows are 24 bytes: item number | offset | length. The first row
+	// defines the tail.
+	rows := ist.Size() / 24
+	t.items = uint64(rows)
+	if rows > 0 {
+		var row [24]byte
+		if _, err := index.ReadAt(row[:], 0); err != nil {
+			data.Close()
+			index.Close()
+			return nil, err
+		}
+		t.first = binary.BigEndian.Uint64(row[0:])
+	}
+	return t, nil
+}
+
+// Append stores item number num of the given kind. Appends must be
+// contiguous: num must equal the current head.
+func (f *Freezer) Append(kind string, num uint64, blob []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errors.New("rawdb: freezer closed")
+	}
+	t, ok := f.tables[kind]
+	if !ok {
+		return fmt.Errorf("rawdb: unknown freezer kind %q", kind)
+	}
+	if t.items > 0 && num != t.first+t.items {
+		return fmt.Errorf("%w: have head %d, appending %d", errOutOfOrder, t.first+t.items, num)
+	}
+	if t.items == 0 {
+		t.first = num
+	}
+	if _, err := t.data.WriteAt(blob, t.dataLen); err != nil {
+		return err
+	}
+	var row [24]byte
+	binary.BigEndian.PutUint64(row[0:], num)
+	binary.BigEndian.PutUint64(row[8:], uint64(t.dataLen))
+	binary.BigEndian.PutUint64(row[16:], uint64(len(blob)))
+	if _, err := t.index.WriteAt(row[:], int64(t.items)*24); err != nil {
+		return err
+	}
+	t.dataLen += int64(len(blob))
+	t.items++
+	return nil
+}
+
+// Ancient retrieves item num of the given kind.
+func (f *Freezer) Ancient(kind string, num uint64) ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return nil, errors.New("rawdb: freezer closed")
+	}
+	t, ok := f.tables[kind]
+	if !ok {
+		return nil, fmt.Errorf("rawdb: unknown freezer kind %q", kind)
+	}
+	if t.items == 0 || num < t.first || num >= t.first+t.items {
+		return nil, ErrAncientNotFound
+	}
+	var row [24]byte
+	if _, err := t.index.ReadAt(row[:], int64(num-t.first)*24); err != nil {
+		return nil, err
+	}
+	offset := binary.BigEndian.Uint64(row[8:])
+	length := binary.BigEndian.Uint64(row[16:])
+	blob := make([]byte, length)
+	if _, err := t.data.ReadAt(blob, int64(offset)); err != nil {
+		return nil, err
+	}
+	return blob, nil
+}
+
+// Ancients returns the head item number+1 of the headers table (the
+// freezer's logical length, matching Geth's semantics).
+func (f *Freezer) Ancients() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	t := f.tables[FreezerHeaders]
+	if t == nil || t.items == 0 {
+		return 0
+	}
+	return t.first + t.items
+}
+
+// Tail returns the first retained item number of the headers table.
+func (f *Freezer) Tail() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	t := f.tables[FreezerHeaders]
+	if t == nil {
+		return 0
+	}
+	return t.first
+}
+
+// SizeBytes reports the total data bytes across tables.
+func (f *Freezer) SizeBytes() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var total int64
+	for _, t := range f.tables {
+		total += t.dataLen
+	}
+	return total
+}
+
+// TruncateTail drops every item below newTail from all tables — the
+// EIP-4444 history-expiry operation the paper cites as Geth's proposed (not
+// yet implemented) next step for bounding historical data. Data files are
+// rewritten without the pruned prefix; the operation is idempotent.
+func (f *Freezer) TruncateTail(newTail uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errors.New("rawdb: freezer closed")
+	}
+	for kind, t := range f.tables {
+		if t.items == 0 || newTail <= t.first {
+			continue
+		}
+		head := t.first + t.items
+		if newTail >= head {
+			// Everything pruned: reset the table.
+			if err := t.reset(); err != nil {
+				return fmt.Errorf("rawdb: truncating %s: %w", kind, err)
+			}
+			continue
+		}
+		if err := t.truncateTail(newTail); err != nil {
+			return fmt.Errorf("rawdb: truncating %s: %w", kind, err)
+		}
+	}
+	return nil
+}
+
+// reset empties a table.
+func (t *freezerTable) reset() error {
+	if err := t.data.Truncate(0); err != nil {
+		return err
+	}
+	if err := t.index.Truncate(0); err != nil {
+		return err
+	}
+	t.items, t.first, t.dataLen = 0, 0, 0
+	return nil
+}
+
+// truncateTail rewrites the table without items below newTail.
+func (t *freezerTable) truncateTail(newTail uint64) error {
+	drop := newTail - t.first
+	keep := t.items - drop
+	// Read the first surviving index row to find the data cut point.
+	var row [24]byte
+	if _, err := t.index.ReadAt(row[:], int64(drop)*24); err != nil {
+		return err
+	}
+	cutOffset := binary.BigEndian.Uint64(row[8:])
+
+	// Rewrite data: copy the surviving suffix to the front.
+	surviving := make([]byte, t.dataLen-int64(cutOffset))
+	if _, err := t.data.ReadAt(surviving, int64(cutOffset)); err != nil {
+		return err
+	}
+	if _, err := t.data.WriteAt(surviving, 0); err != nil {
+		return err
+	}
+	if err := t.data.Truncate(int64(len(surviving))); err != nil {
+		return err
+	}
+	// Rewrite index rows with shifted offsets.
+	newIndex := make([]byte, keep*24)
+	for i := uint64(0); i < keep; i++ {
+		if _, err := t.index.ReadAt(row[:], int64(drop+i)*24); err != nil {
+			return err
+		}
+		num := binary.BigEndian.Uint64(row[0:])
+		off := binary.BigEndian.Uint64(row[8:]) - cutOffset
+		length := binary.BigEndian.Uint64(row[16:])
+		binary.BigEndian.PutUint64(newIndex[i*24:], num)
+		binary.BigEndian.PutUint64(newIndex[i*24+8:], off)
+		binary.BigEndian.PutUint64(newIndex[i*24+16:], length)
+	}
+	if _, err := t.index.WriteAt(newIndex, 0); err != nil {
+		return err
+	}
+	if err := t.index.Truncate(int64(len(newIndex))); err != nil {
+		return err
+	}
+	t.first = newTail
+	t.items = keep
+	t.dataLen = int64(len(surviving))
+	return nil
+}
+
+// Close releases the table files.
+func (f *Freezer) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	var firstErr error
+	for _, t := range f.tables {
+		if t == nil {
+			continue
+		}
+		if err := t.data.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := t.index.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

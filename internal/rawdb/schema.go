@@ -1,0 +1,267 @@
+// Package rawdb defines Geth's key-value storage schema: the prefix layout
+// that assigns every stored pair to one of the 29 classes the paper
+// analyzes, typed accessors over a kv.Store, and the freezer database for
+// finalized block segments.
+package rawdb
+
+import "encoding/binary"
+
+// Class identifies the storage class of a KV pair, mirroring Table I of the
+// paper. Classification is a pure function of the key (Classify).
+type Class int
+
+// The 29 classes observed in Geth's workload, plus ClassUnknown for keys
+// outside the schema.
+const (
+	ClassUnknown Class = iota
+
+	// Dominant classes (>99% of pairs).
+	ClassTrieNodeStorage // storage-trie nodes, path-based keys
+	ClassSnapshotStorage // flat contract storage snapshot
+	ClassTxLookup        // transaction hash -> block number index
+	ClassTrieNodeAccount // account-trie nodes, path-based keys
+	ClassSnapshotAccount // flat account snapshot
+
+	// Blockchain-related classes.
+	ClassHeaderNumber   // block hash -> number
+	ClassBloomBits      // log-search bloom filter sections
+	ClassCode           // contract bytecode by code hash
+	ClassSkeletonHeader // skeleton sync headers
+	ClassBlockHeader    // headers + canonical-hash keys
+	ClassBlockReceipts  // per-block receipt lists
+	ClassBlockBody      // per-block transaction lists
+	ClassStateID        // state root -> state id
+	ClassBloomBitsIndex // chain-indexer progress rows
+
+	// Singleton system-maintenance classes.
+	ClassEthereumGenesis
+	ClassSnapshotJournal
+	ClassEthereumConfig
+	ClassLastStateID
+	ClassUncleanShutdown
+	ClassSnapshotGenerator
+	ClassTrieJournal
+	ClassDatabaseVersion
+	ClassLastBlock
+	ClassSnapshotRoot
+	ClassSkeletonSyncStatus
+	ClassLastHeader
+	ClassSnapshotRecovery
+	ClassTransactionIndexTail
+	ClassLastFast
+
+	// NumClasses is the count of real classes (excluding ClassUnknown).
+	NumClasses = int(ClassLastFast)
+)
+
+// classNames maps classes to the names used in the paper's tables.
+var classNames = [...]string{
+	ClassUnknown:              "Unknown",
+	ClassTrieNodeStorage:      "TrieNodeStorage",
+	ClassSnapshotStorage:      "SnapshotStorage",
+	ClassTxLookup:             "TxLookup",
+	ClassTrieNodeAccount:      "TrieNodeAccount",
+	ClassSnapshotAccount:      "SnapshotAccount",
+	ClassHeaderNumber:         "HeaderNumber",
+	ClassBloomBits:            "BloomBits",
+	ClassCode:                 "Code",
+	ClassSkeletonHeader:       "SkeletonHeader",
+	ClassBlockHeader:          "BlockHeader",
+	ClassBlockReceipts:        "BlockReceipts",
+	ClassBlockBody:            "BlockBody",
+	ClassStateID:              "StateID",
+	ClassBloomBitsIndex:       "BloomBitsIndex",
+	ClassEthereumGenesis:      "Ethereum-genesis",
+	ClassSnapshotJournal:      "SnapshotJournal",
+	ClassEthereumConfig:       "Ethereum-config",
+	ClassLastStateID:          "LastStateID",
+	ClassUncleanShutdown:      "Unclean-shutdown",
+	ClassSnapshotGenerator:    "SnapshotGenerator",
+	ClassTrieJournal:          "TrieJournal",
+	ClassDatabaseVersion:      "DatabaseVersion",
+	ClassLastBlock:            "LastBlock",
+	ClassSnapshotRoot:         "SnapshotRoot",
+	ClassSkeletonSyncStatus:   "SkeletonSyncStatus",
+	ClassLastHeader:           "LastHeader",
+	ClassSnapshotRecovery:     "SnapshotRecovery",
+	ClassLastFast:             "LastFast",
+	ClassTransactionIndexTail: "TransactionIndexTail",
+}
+
+// String returns the paper's name for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "Invalid"
+}
+
+// AllClasses lists every real class in Table I order.
+func AllClasses() []Class {
+	out := make([]Class, 0, NumClasses)
+	for c := ClassTrieNodeStorage; c <= ClassLastFast; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Key prefixes, following go-ethereum's core/rawdb/schema.go.
+var (
+	headerPrefix          = []byte("h")  // h + num + hash -> header
+	headerHashSuffix      = []byte("n")  // h + num + n -> canonical hash
+	headerNumberPrefix    = []byte("H")  // H + hash -> num
+	blockBodyPrefix       = []byte("b")  // b + num + hash -> body
+	blockReceiptsPrefix   = []byte("r")  // r + num + hash -> receipts
+	txLookupPrefix        = []byte("l")  // l + txhash -> block number
+	bloomBitsPrefix       = []byte("B")  // B + bit + section + hash -> bits
+	codePrefix            = []byte("c")  // c + codehash -> bytecode
+	skeletonHeaderPrefix  = []byte("S")  // S + num -> header
+	trieNodeAccountPrefix = []byte("A")  // A + path -> account trie node
+	trieNodeStoragePrefix = []byte("O")  // O + owner + path -> storage trie node
+	snapshotAccountPrefix = []byte("a")  // a + accounthash -> flat account
+	snapshotStoragePrefix = []byte("o")  // o + accounthash + slothash -> flat slot
+	stateIDPrefix         = []byte("L")  // L + stateroot -> state id
+	bloomBitsIndexPrefix  = []byte("iB") // iB + row -> indexer progress
+
+	// Singleton keys (sizes chosen to match Table I exactly).
+	genesisPrefix           = []byte("ethereum-genesis-") // + hash (49 bytes)
+	configPrefix            = []byte("ethereum-config-")  // + hash (48 bytes)
+	snapshotJournalKey      = []byte("SnapshotJournal")
+	lastStateIDKey          = []byte("LastStateID")
+	uncleanShutdownKey      = []byte("unclean-shutdown")
+	snapshotGeneratorKey    = []byte("SnapshotGenerator")
+	trieJournalKey          = []byte("TrieJournal")
+	databaseVersionKey      = []byte("DatabaseVersion")
+	lastBlockKey            = []byte("LastBlock")
+	snapshotRootKey         = []byte("SnapshotRoot")
+	skeletonSyncStatusKey   = []byte("SkeletonSyncStatus")
+	lastHeaderKey           = []byte("LastHeader")
+	snapshotRecoveryKey     = []byte("SnapshotRecovery")
+	transactionIndexTailKey = []byte("TransactionIndexTail")
+	lastFastKey             = []byte("LastFast")
+)
+
+// Hash is the 32-byte hash type used throughout the schema.
+type Hash = [32]byte
+
+// encodeNumber renders a block number big-endian, as Geth does, so numeric
+// key order matches lexicographic order.
+func encodeNumber(number uint64) []byte {
+	var enc [8]byte
+	binary.BigEndian.PutUint64(enc[:], number)
+	return enc[:]
+}
+
+// HeaderKey = h + num + hash.
+func HeaderKey(number uint64, hash Hash) []byte {
+	return append(append(append([]byte{}, headerPrefix...), encodeNumber(number)...), hash[:]...)
+}
+
+// CanonicalHashKey = h + num + 'n'. Classified as BlockHeader (this mix is
+// why the paper reports a 31-byte average key for that class).
+func CanonicalHashKey(number uint64) []byte {
+	return append(append(append([]byte{}, headerPrefix...), encodeNumber(number)...), headerHashSuffix...)
+}
+
+// HeaderNumberKey = H + hash.
+func HeaderNumberKey(hash Hash) []byte {
+	return append(append([]byte{}, headerNumberPrefix...), hash[:]...)
+}
+
+// BlockBodyKey = b + num + hash.
+func BlockBodyKey(number uint64, hash Hash) []byte {
+	return append(append(append([]byte{}, blockBodyPrefix...), encodeNumber(number)...), hash[:]...)
+}
+
+// BlockReceiptsKey = r + num + hash.
+func BlockReceiptsKey(number uint64, hash Hash) []byte {
+	return append(append(append([]byte{}, blockReceiptsPrefix...), encodeNumber(number)...), hash[:]...)
+}
+
+// TxLookupKey = l + txhash.
+func TxLookupKey(txHash Hash) []byte {
+	return append(append([]byte{}, txLookupPrefix...), txHash[:]...)
+}
+
+// BloomBitsKey = B + bit(2) + section(8) + headHash.
+func BloomBitsKey(bit uint16, section uint64, head Hash) []byte {
+	key := make([]byte, 0, 43)
+	key = append(key, bloomBitsPrefix...)
+	var b2 [2]byte
+	binary.BigEndian.PutUint16(b2[:], bit)
+	key = append(key, b2[:]...)
+	key = append(key, encodeNumber(section)...)
+	return append(key, head[:]...)
+}
+
+// CodeKey = c + codehash.
+func CodeKey(codeHash Hash) []byte {
+	return append(append([]byte{}, codePrefix...), codeHash[:]...)
+}
+
+// SkeletonHeaderKey = S + num.
+func SkeletonHeaderKey(number uint64) []byte {
+	return append(append([]byte{}, skeletonHeaderPrefix...), encodeNumber(number)...)
+}
+
+// AccountTrieNodeKey = A + path.
+func AccountTrieNodeKey(path []byte) []byte {
+	return append(append([]byte{}, trieNodeAccountPrefix...), path...)
+}
+
+// StorageTrieNodeKey = O + owner + path.
+func StorageTrieNodeKey(owner Hash, path []byte) []byte {
+	return append(append(append([]byte{}, trieNodeStoragePrefix...), owner[:]...), path...)
+}
+
+// SnapshotAccountKey = a + accountHash.
+func SnapshotAccountKey(accountHash Hash) []byte {
+	return append(append([]byte{}, snapshotAccountPrefix...), accountHash[:]...)
+}
+
+// SnapshotStorageKey = o + accountHash + slotHash.
+func SnapshotStorageKey(accountHash, slotHash Hash) []byte {
+	return append(append(append([]byte{}, snapshotStoragePrefix...), accountHash[:]...), slotHash[:]...)
+}
+
+// SnapshotStoragePrefix = o + accountHash, the scan prefix for one
+// account's slots.
+func SnapshotStoragePrefix(accountHash Hash) []byte {
+	return append(append([]byte{}, snapshotStoragePrefix...), accountHash[:]...)
+}
+
+// StateIDKey = L + root.
+func StateIDKey(root Hash) []byte {
+	return append(append([]byte{}, stateIDPrefix...), root[:]...)
+}
+
+// BloomBitsIndexKey = iB + row. Row names vary ("count", "shead", section
+// markers), giving the class its variable key size.
+func BloomBitsIndexKey(row []byte) []byte {
+	return append(append([]byte{}, bloomBitsIndexPrefix...), row...)
+}
+
+// GenesisKey = ethereum-genesis- + hash.
+func GenesisKey(hash Hash) []byte {
+	return append(append([]byte{}, genesisPrefix...), hash[:]...)
+}
+
+// ConfigKey = ethereum-config- + hash.
+func ConfigKey(hash Hash) []byte {
+	return append(append([]byte{}, configPrefix...), hash[:]...)
+}
+
+// Singleton key accessors.
+func SnapshotJournalKey() []byte      { return append([]byte{}, snapshotJournalKey...) }
+func LastStateIDKey() []byte          { return append([]byte{}, lastStateIDKey...) }
+func UncleanShutdownKey() []byte      { return append([]byte{}, uncleanShutdownKey...) }
+func SnapshotGeneratorKey() []byte    { return append([]byte{}, snapshotGeneratorKey...) }
+func TrieJournalKey() []byte          { return append([]byte{}, trieJournalKey...) }
+func DatabaseVersionKey() []byte      { return append([]byte{}, databaseVersionKey...) }
+func LastBlockKey() []byte            { return append([]byte{}, lastBlockKey...) }
+func SnapshotRootKey() []byte         { return append([]byte{}, snapshotRootKey...) }
+func SkeletonSyncStatusKey() []byte   { return append([]byte{}, skeletonSyncStatusKey...) }
+func LastHeaderKey() []byte           { return append([]byte{}, lastHeaderKey...) }
+func SnapshotRecoveryKey() []byte     { return append([]byte{}, snapshotRecoveryKey...) }
+func TransactionIndexTailKey() []byte { return append([]byte{}, transactionIndexTailKey...) }
+func LastFastKey() []byte             { return append([]byte{}, lastFastKey...) }

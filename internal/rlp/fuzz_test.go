@@ -1,0 +1,46 @@
+package rlp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeString: the decoder must never panic and must round-trip
+// whatever it accepts.
+func FuzzDecodeString(f *testing.F) {
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x83, 'd', 'o', 'g'})
+	f.Add(EncodeString(bytes.Repeat([]byte{0xaa}, 100)))
+	f.Add([]byte{0xbf, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeString(data)
+		if err != nil {
+			return
+		}
+		// Accepted inputs must re-encode to the same bytes (canonicality).
+		if !bytes.Equal(EncodeString(s), data) {
+			t.Fatalf("non-canonical encoding accepted: %x", data)
+		}
+	})
+}
+
+// FuzzSplitList: list traversal must terminate without panicking.
+func FuzzSplitList(f *testing.F) {
+	f.Add([]byte{0xc0})
+	f.Add(EncodeList(EncodeUint(7), EncodeString([]byte("x"))))
+	f.Add([]byte{0xf8, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := SplitList(data)
+		if err != nil {
+			return
+		}
+		// Accepted lists must re-assemble to the same bytes.
+		var payload []byte
+		for _, item := range items {
+			payload = append(payload, item...)
+		}
+		if !bytes.Equal(AppendList(nil, payload), data) {
+			t.Fatalf("list did not round-trip: %x", data)
+		}
+	})
+}

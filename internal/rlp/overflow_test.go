@@ -1,0 +1,23 @@
+package rlp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestAdversarialLengthOverflow covers 8-byte lengths that would wrap
+// uintptr arithmetic (regression: head+n overflow).
+func TestAdversarialLengthOverflow(t *testing.T) {
+	for _, in := range [][]byte{
+		append([]byte{0xbf}, bytes.Repeat([]byte{0xff}, 8)...), // string, len 2^64-1
+		append([]byte{0xff}, bytes.Repeat([]byte{0xff}, 8)...), // list, len 2^64-1
+	} {
+		if _, err := DecodeString(in); err == nil {
+			t.Errorf("decode of %x should fail", in)
+		}
+		if _, err := SplitList(in); !errors.Is(err, ErrUnexpectedEOF) && err == nil {
+			t.Errorf("SplitList of %x should fail", in)
+		}
+	}
+}

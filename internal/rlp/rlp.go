@@ -1,0 +1,370 @@
+// Package rlp implements Ethereum's Recursive Length Prefix serialization.
+//
+// RLP encodes two kinds of items: byte strings and lists of items. The
+// package exposes an explicit, reflection-free API: callers build encodings
+// with AppendString/AppendUint/EncodeList and take them apart with the
+// streaming Decoder. This mirrors how Geth's hot paths (trie nodes, headers)
+// hand-roll their RLP to avoid reflection costs.
+package rlp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Encoding constants per the Ethereum Yellow Paper, Appendix B.
+const (
+	singleByteMax  = 0x7f // values below this encode as themselves
+	shortStringTag = 0x80 // 0x80 + len for strings of 0-55 bytes
+	longStringTag  = 0xb7 // 0xb7 + len-of-len for longer strings
+	shortListTag   = 0xc0 // 0xc0 + len for list payloads of 0-55 bytes
+	longListTag    = 0xf7 // 0xf7 + len-of-len for longer payloads
+	maxShortLen    = 55
+)
+
+// Common decoding errors.
+var (
+	ErrUnexpectedEOF = errors.New("rlp: unexpected end of input")
+	ErrNotString     = errors.New("rlp: item is a list, expected string")
+	ErrNotList       = errors.New("rlp: item is a string, expected list")
+	ErrCanonical     = errors.New("rlp: non-canonical encoding")
+	ErrTrailing      = errors.New("rlp: trailing bytes after item")
+	ErrUintOverflow  = errors.New("rlp: uint overflow")
+)
+
+// AppendString appends the RLP encoding of the byte string s to dst.
+func AppendString(dst, s []byte) []byte {
+	switch {
+	case len(s) == 1 && s[0] <= singleByteMax:
+		return append(dst, s[0])
+	case len(s) <= maxShortLen:
+		dst = append(dst, shortStringTag+byte(len(s)))
+		return append(dst, s...)
+	default:
+		dst = appendLongLength(dst, longStringTag, uint64(len(s)))
+		return append(dst, s...)
+	}
+}
+
+// AppendUint appends the RLP encoding of v (big-endian, no leading zeros).
+func AppendUint(dst []byte, v uint64) []byte {
+	switch {
+	case v == 0:
+		return append(dst, shortStringTag) // empty string
+	case v <= singleByteMax:
+		return append(dst, byte(v))
+	default:
+		var buf [8]byte
+		n := putUintBE(buf[:], v)
+		return AppendString(dst, buf[8-n:])
+	}
+}
+
+// AppendBig appends the RLP encoding of a non-negative big integer.
+// A nil value encodes like zero.
+func AppendBig(dst []byte, v *big.Int) []byte {
+	if v == nil || v.Sign() == 0 {
+		return append(dst, shortStringTag)
+	}
+	return AppendString(dst, v.Bytes())
+}
+
+// AppendList appends a list header for a payload of the given length,
+// followed by the payload itself. The payload must already be a
+// concatenation of valid RLP items.
+func AppendList(dst, payload []byte) []byte {
+	if len(payload) <= maxShortLen {
+		dst = append(dst, shortListTag+byte(len(payload)))
+	} else {
+		dst = appendLongLength(dst, longListTag, uint64(len(payload)))
+	}
+	return append(dst, payload...)
+}
+
+// EncodeList encodes the given pre-encoded items as a list.
+func EncodeList(items ...[]byte) []byte {
+	total := 0
+	for _, it := range items {
+		total += len(it)
+	}
+	payload := make([]byte, 0, total)
+	for _, it := range items {
+		payload = append(payload, it...)
+	}
+	return AppendList(nil, payload)
+}
+
+// EncodeString returns the RLP encoding of the byte string s.
+func EncodeString(s []byte) []byte { return AppendString(nil, s) }
+
+// EncodeUint returns the RLP encoding of v.
+func EncodeUint(v uint64) []byte { return AppendUint(nil, v) }
+
+// appendLongLength writes tag+lenOfLen followed by the big-endian length.
+func appendLongLength(dst []byte, tag byte, length uint64) []byte {
+	var buf [8]byte
+	n := putUintBE(buf[:], length)
+	dst = append(dst, tag+byte(n))
+	return append(dst, buf[8-n:]...)
+}
+
+// putUintBE writes v big-endian into the tail of an 8-byte buffer and
+// returns the number of significant bytes.
+func putUintBE(buf []byte, v uint64) int {
+	n := 0
+	for x := v; x > 0; x >>= 8 {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		buf[7-i] = byte(v >> (8 * i))
+	}
+	return n
+}
+
+// Kind identifies the type of an RLP item.
+type Kind int
+
+// The two RLP item kinds.
+const (
+	KindString Kind = iota
+	KindList
+)
+
+func (k Kind) String() string {
+	if k == KindString {
+		return "string"
+	}
+	return "list"
+}
+
+// item describes one decoded item header.
+type item struct {
+	kind    Kind
+	payload []byte // content bytes (string data or list payload)
+	size    int    // total encoded size including header
+}
+
+// decodeItem parses the item starting at in[0].
+func decodeItem(in []byte) (item, error) {
+	if len(in) == 0 {
+		return item{}, ErrUnexpectedEOF
+	}
+	b := in[0]
+	switch {
+	case b <= singleByteMax:
+		return item{kind: KindString, payload: in[0:1], size: 1}, nil
+
+	case b <= longStringTag: // short string
+		n := int(b - shortStringTag)
+		if len(in) < 1+n {
+			return item{}, ErrUnexpectedEOF
+		}
+		if n == 1 && in[1] <= singleByteMax {
+			return item{}, fmt.Errorf("%w: single byte below 0x80 must be self-encoded", ErrCanonical)
+		}
+		return item{kind: KindString, payload: in[1 : 1+n], size: 1 + n}, nil
+
+	case b < shortListTag: // long string
+		lenOfLen := int(b - longStringTag)
+		n, err := readLength(in[1:], lenOfLen)
+		if err != nil {
+			return item{}, err
+		}
+		if n <= maxShortLen {
+			return item{}, fmt.Errorf("%w: long form used for short string", ErrCanonical)
+		}
+		head := 1 + lenOfLen
+		// Compare against the remaining bytes (subtraction side avoids
+		// overflow for adversarial 8-byte lengths).
+		if n > uint64(len(in)-head) {
+			return item{}, ErrUnexpectedEOF
+		}
+		return item{kind: KindString, payload: in[head : uint64(head)+n], size: head + int(n)}, nil
+
+	case b <= longListTag: // short list
+		n := int(b - shortListTag)
+		if len(in) < 1+n {
+			return item{}, ErrUnexpectedEOF
+		}
+		return item{kind: KindList, payload: in[1 : 1+n], size: 1 + n}, nil
+
+	default: // long list
+		lenOfLen := int(b - longListTag)
+		n, err := readLength(in[1:], lenOfLen)
+		if err != nil {
+			return item{}, err
+		}
+		if n <= maxShortLen {
+			return item{}, fmt.Errorf("%w: long form used for short list", ErrCanonical)
+		}
+		head := 1 + lenOfLen
+		if n > uint64(len(in)-head) {
+			return item{}, ErrUnexpectedEOF
+		}
+		return item{kind: KindList, payload: in[head : uint64(head)+n], size: head + int(n)}, nil
+	}
+}
+
+// readLength reads an n-byte big-endian length and validates canonicality.
+func readLength(in []byte, n int) (uint64, error) {
+	if len(in) < n {
+		return 0, ErrUnexpectedEOF
+	}
+	if n == 0 || n > 8 {
+		return 0, fmt.Errorf("%w: length-of-length %d", ErrCanonical, n)
+	}
+	if in[0] == 0 {
+		return 0, fmt.Errorf("%w: leading zero in length", ErrCanonical)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<8 | uint64(in[i])
+	}
+	return v, nil
+}
+
+// Decoder walks a sequence of RLP items within a buffer.
+type Decoder struct {
+	rest []byte
+}
+
+// NewDecoder returns a Decoder over the given encoded bytes.
+func NewDecoder(data []byte) *Decoder { return &Decoder{rest: data} }
+
+// More reports whether undecoded items remain.
+func (d *Decoder) More() bool { return len(d.rest) > 0 }
+
+// Kind peeks at the kind of the next item without consuming it.
+func (d *Decoder) Kind() (Kind, error) {
+	it, err := decodeItem(d.rest)
+	if err != nil {
+		return 0, err
+	}
+	return it.kind, nil
+}
+
+// Bytes decodes the next item as a byte string.
+func (d *Decoder) Bytes() ([]byte, error) {
+	it, err := decodeItem(d.rest)
+	if err != nil {
+		return nil, err
+	}
+	if it.kind != KindString {
+		return nil, ErrNotString
+	}
+	d.rest = d.rest[it.size:]
+	return it.payload, nil
+}
+
+// Uint decodes the next item as a canonical unsigned integer.
+func (d *Decoder) Uint() (uint64, error) {
+	s, err := d.Bytes()
+	if err != nil {
+		return 0, err
+	}
+	if len(s) > 8 {
+		return 0, ErrUintOverflow
+	}
+	if len(s) > 0 && s[0] == 0 {
+		return 0, fmt.Errorf("%w: leading zero in integer", ErrCanonical)
+	}
+	var v uint64
+	for _, b := range s {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}
+
+// Big decodes the next item as a non-negative big integer.
+func (d *Decoder) Big() (*big.Int, error) {
+	s, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(s) > 0 && s[0] == 0 {
+		return nil, fmt.Errorf("%w: leading zero in integer", ErrCanonical)
+	}
+	return new(big.Int).SetBytes(s), nil
+}
+
+// List decodes the next item as a list and returns a Decoder over its
+// payload items.
+func (d *Decoder) List() (*Decoder, error) {
+	it, err := decodeItem(d.rest)
+	if err != nil {
+		return nil, err
+	}
+	if it.kind != KindList {
+		return nil, ErrNotList
+	}
+	d.rest = d.rest[it.size:]
+	return &Decoder{rest: it.payload}, nil
+}
+
+// Raw consumes the next item and returns its full encoding (header+payload).
+func (d *Decoder) Raw() ([]byte, error) {
+	it, err := decodeItem(d.rest)
+	if err != nil {
+		return nil, err
+	}
+	raw := d.rest[:it.size]
+	d.rest = d.rest[it.size:]
+	return raw, nil
+}
+
+// End verifies that no items remain.
+func (d *Decoder) End() error {
+	if len(d.rest) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// SplitList decodes data as a single list and returns its item payloads as
+// raw encodings. It errors on trailing bytes.
+func SplitList(data []byte) ([][]byte, error) {
+	d := NewDecoder(data)
+	inner, err := d.List()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.End(); err != nil {
+		return nil, err
+	}
+	var items [][]byte
+	for inner.More() {
+		raw, err := inner.Raw()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, raw)
+	}
+	return items, nil
+}
+
+// DecodeString decodes data as a single byte string item.
+func DecodeString(data []byte) ([]byte, error) {
+	d := NewDecoder(data)
+	s, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.End(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeUint decodes data as a single unsigned integer item.
+func DecodeUint(data []byte) (uint64, error) {
+	d := NewDecoder(data)
+	v, err := d.Uint()
+	if err != nil {
+		return 0, err
+	}
+	if err := d.End(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}

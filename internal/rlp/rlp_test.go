@@ -1,0 +1,262 @@
+package rlp
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// Classic RLP test vectors from the Ethereum wiki / yellow paper appendix.
+func TestEncodeKnownVectors(t *testing.T) {
+	tests := []struct {
+		name string
+		got  []byte
+		want []byte
+	}{
+		{"empty string", EncodeString(nil), []byte{0x80}},
+		{"single low byte", EncodeString([]byte{0x0f}), []byte{0x0f}},
+		{"byte 0x00", EncodeString([]byte{0x00}), []byte{0x00}},
+		{"byte 0x80", EncodeString([]byte{0x80}), []byte{0x81, 0x80}},
+		{"dog", EncodeString([]byte("dog")), []byte{0x83, 'd', 'o', 'g'}},
+		{"55-byte string", EncodeString(bytes.Repeat([]byte{'a'}, 55)),
+			append([]byte{0xb7}, bytes.Repeat([]byte{'a'}, 55)...)},
+		{"56-byte string", EncodeString(bytes.Repeat([]byte{'a'}, 56)),
+			append([]byte{0xb8, 56}, bytes.Repeat([]byte{'a'}, 56)...)},
+		{"uint 0", EncodeUint(0), []byte{0x80}},
+		{"uint 15", EncodeUint(15), []byte{0x0f}},
+		{"uint 1024", EncodeUint(1024), []byte{0x82, 0x04, 0x00}},
+		{"empty list", EncodeList(), []byte{0xc0}},
+		{"cat-dog list", EncodeList(EncodeString([]byte("cat")), EncodeString([]byte("dog"))),
+			[]byte{0xc8, 0x83, 'c', 'a', 't', 0x83, 'd', 'o', 'g'}},
+	}
+	for _, tc := range tests {
+		if !bytes.Equal(tc.got, tc.want) {
+			t.Errorf("%s: got %x, want %x", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestNestedListVector(t *testing.T) {
+	// [ [], [[]], [ [], [[]] ] ] — the canonical "set theoretic" vector.
+	empty := EncodeList()
+	one := EncodeList(empty)
+	two := EncodeList(empty, one)
+	got := EncodeList(empty, one, two)
+	want := []byte{0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("nested list: got %x, want %x", got, want)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	f := func(s []byte) bool {
+		dec, err := DecodeString(EncodeString(s))
+		return err == nil && bytes.Equal(dec, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		dec, err := DecodeUint(EncodeUint(v))
+		return err == nil && dec == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Edge values.
+	for _, v := range []uint64{0, 1, 0x7f, 0x80, 0xff, 0x100, 1<<56 - 1, 1 << 63, ^uint64(0)} {
+		dec, err := DecodeUint(EncodeUint(v))
+		if err != nil || dec != v {
+			t.Errorf("uint %d round-trip failed: got %d, err %v", v, dec, err)
+		}
+	}
+}
+
+func TestBigRoundTrip(t *testing.T) {
+	values := []*big.Int{
+		nil,
+		big.NewInt(0),
+		big.NewInt(127),
+		big.NewInt(128),
+		new(big.Int).Lsh(big.NewInt(1), 255),
+	}
+	for _, v := range values {
+		enc := AppendBig(nil, v)
+		d := NewDecoder(enc)
+		dec, err := d.Big()
+		if err != nil {
+			t.Fatalf("Big decode of %v: %v", v, err)
+		}
+		want := v
+		if want == nil {
+			want = big.NewInt(0)
+		}
+		if dec.Cmp(want) != 0 {
+			t.Errorf("big %v round-trip: got %v", v, dec)
+		}
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	f := func(a, b []byte, v uint64) bool {
+		enc := EncodeList(EncodeString(a), EncodeUint(v), EncodeString(b))
+		inner, err := NewDecoder(enc).List()
+		if err != nil {
+			return false
+		}
+		da, err1 := inner.Bytes()
+		dv, err2 := inner.Uint()
+		db, err3 := inner.Bytes()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return bytes.Equal(da, a) && dv == v && bytes.Equal(db, b) && inner.End() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	enc := EncodeList(EncodeString([]byte("cat")), EncodeString([]byte("dog")))
+	items, err := SplitList(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("want 2 items, got %d", len(items))
+	}
+	if s, _ := DecodeString(items[0]); string(s) != "cat" {
+		t.Errorf("first item = %q", s)
+	}
+	if s, _ := DecodeString(items[1]); string(s) != "dog" {
+		t.Errorf("second item = %q", s)
+	}
+}
+
+func TestLargePayloads(t *testing.T) {
+	// Payload requiring 2-byte length.
+	big := bytes.Repeat([]byte{0xcd}, 70000)
+	dec, err := DecodeString(EncodeString(big))
+	if err != nil || !bytes.Equal(dec, big) {
+		t.Fatalf("70000-byte string round-trip failed: %v", err)
+	}
+	// Long list.
+	items := make([][]byte, 100)
+	for i := range items {
+		items[i] = EncodeString(bytes.Repeat([]byte{byte(i)}, 10))
+	}
+	enc := EncodeList(items...)
+	got, err := SplitList(enc)
+	if err != nil || len(got) != 100 {
+		t.Fatalf("long list round-trip: %d items, err %v", len(got), err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty input", nil, ErrUnexpectedEOF},
+		{"truncated string", []byte{0x83, 'd', 'o'}, ErrUnexpectedEOF},
+		{"truncated long string", []byte{0xb8, 56, 'x'}, ErrUnexpectedEOF},
+		{"truncated list", []byte{0xc8, 0x83}, ErrUnexpectedEOF},
+		{"non-canonical single byte", []byte{0x81, 0x05}, ErrCanonical},
+		{"non-canonical long form", append([]byte{0xb8, 10}, bytes.Repeat([]byte{'x'}, 10)...), ErrCanonical},
+		{"leading zero length", []byte{0xb9, 0x00, 0x40}, ErrCanonical},
+	}
+	for _, tc := range tests {
+		_, err := DecodeString(tc.in)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeTrailing(t *testing.T) {
+	in := append(EncodeString([]byte("dog")), 0x01)
+	if _, err := DecodeString(in); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("want ErrTrailing, got %v", err)
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	if _, err := NewDecoder(EncodeList()).Bytes(); !errors.Is(err, ErrNotString) {
+		t.Errorf("Bytes on list: %v", err)
+	}
+	if _, err := NewDecoder(EncodeString([]byte("x"))).List(); !errors.Is(err, ErrNotList) {
+		t.Errorf("List on string: %v", err)
+	}
+}
+
+func TestUintLeadingZeroRejected(t *testing.T) {
+	// 0x82 0x00 0x01 is a 2-byte string with a leading zero: invalid integer.
+	if _, err := DecodeUint([]byte{0x82, 0x00, 0x01}); !errors.Is(err, ErrCanonical) {
+		t.Fatalf("want ErrCanonical, got %v", err)
+	}
+}
+
+func TestUintOverflow(t *testing.T) {
+	in := EncodeString(bytes.Repeat([]byte{0xff}, 9))
+	if _, err := DecodeUint(in); !errors.Is(err, ErrUintOverflow) {
+		t.Fatalf("want ErrUintOverflow, got %v", err)
+	}
+}
+
+func TestKindPeek(t *testing.T) {
+	d := NewDecoder(EncodeList())
+	k, err := d.Kind()
+	if err != nil || k != KindList {
+		t.Fatalf("Kind = %v, %v", k, err)
+	}
+	// Peeking must not consume.
+	if _, err := d.List(); err != nil {
+		t.Fatal("Kind consumed the item")
+	}
+	if KindString.String() != "string" || KindList.String() != "list" {
+		t.Error("Kind.String mismatch")
+	}
+}
+
+// TestDecodeArbitraryNoPanics feeds random bytes; the decoder must return
+// errors, never panic or loop.
+func TestDecodeArbitraryNoPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		d := NewDecoder(data)
+		for d.More() {
+			if _, err := d.Raw(); err != nil {
+				return true // error is fine
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeString256(b *testing.B) {
+	data := bytes.Repeat([]byte{0xab}, 256)
+	buf := make([]byte, 0, 300)
+	b.SetBytes(256)
+	for i := 0; i < b.N; i++ {
+		buf = AppendString(buf[:0], data)
+	}
+}
+
+func BenchmarkDecodeList(b *testing.B) {
+	enc := EncodeList(EncodeUint(12345), EncodeString(bytes.Repeat([]byte{1}, 64)), EncodeUint(99))
+	for i := 0; i < b.N; i++ {
+		inner, _ := NewDecoder(enc).List()
+		inner.Uint()
+		inner.Bytes()
+		inner.Uint()
+	}
+}

@@ -1,0 +1,156 @@
+// Package state implements the Ethereum world state: accounts and contract
+// storage over the account/storage Merkle Patricia Tries, the optional flat
+// snapshot, and the contract code store. Its read paths interpose the
+// per-class caches so that cached and bare configurations reproduce the
+// paper's CacheTrace/BareTrace split.
+package state
+
+import (
+	"errors"
+	"math/big"
+
+	"ethkv/internal/keccak"
+	"ethkv/internal/rawdb"
+	"ethkv/internal/rlp"
+	"ethkv/internal/trie"
+)
+
+// Address is a 20-byte account address.
+type Address = [20]byte
+
+// EmptyCodeHash is keccak256 of empty bytecode.
+var EmptyCodeHash = keccak.Hash256(nil)
+
+// Account is the canonical four-field account record of the Yellow Paper.
+type Account struct {
+	Nonce    uint64
+	Balance  *big.Int
+	Root     rawdb.Hash // storage trie root
+	CodeHash rawdb.Hash
+}
+
+// NewAccount returns an externally-owned account with the given balance.
+func NewAccount(balance *big.Int) *Account {
+	return &Account{
+		Balance:  new(big.Int).Set(balance),
+		Root:     trie.EmptyRoot,
+		CodeHash: EmptyCodeHash,
+	}
+}
+
+// IsContract reports whether the account carries code.
+func (a *Account) IsContract() bool { return a.CodeHash != EmptyCodeHash }
+
+// Copy returns a deep copy.
+func (a *Account) Copy() *Account {
+	return &Account{
+		Nonce:    a.Nonce,
+		Balance:  new(big.Int).Set(a.Balance),
+		Root:     a.Root,
+		CodeHash: a.CodeHash,
+	}
+}
+
+// EncodeRLP produces the full account encoding stored in the account trie:
+// [nonce, balance, storageRoot, codeHash].
+func (a *Account) EncodeRLP() []byte {
+	return rlp.EncodeList(
+		rlp.EncodeUint(a.Nonce),
+		rlp.AppendBig(nil, a.Balance),
+		rlp.EncodeString(a.Root[:]),
+		rlp.EncodeString(a.CodeHash[:]),
+	)
+}
+
+// DecodeAccountRLP parses the full account encoding.
+func DecodeAccountRLP(data []byte) (*Account, error) {
+	items, err := rlp.SplitList(data)
+	if err != nil || len(items) != 4 {
+		return nil, errors.New("state: malformed account encoding")
+	}
+	nonce, err := rlp.DecodeUint(items[0])
+	if err != nil {
+		return nil, err
+	}
+	d := rlp.NewDecoder(items[1])
+	balance, err := d.Big()
+	if err != nil {
+		return nil, err
+	}
+	rootBytes, err := rlp.DecodeString(items[2])
+	if err != nil || len(rootBytes) != 32 {
+		return nil, errors.New("state: malformed storage root")
+	}
+	codeBytes, err := rlp.DecodeString(items[3])
+	if err != nil || len(codeBytes) != 32 {
+		return nil, errors.New("state: malformed code hash")
+	}
+	acct := &Account{Nonce: nonce, Balance: balance}
+	copy(acct.Root[:], rootBytes)
+	copy(acct.CodeHash[:], codeBytes)
+	return acct, nil
+}
+
+// EncodeSlim produces the snapshot ("slim") encoding: empty storage roots
+// and code hashes encode as empty strings, which is why SnapshotAccount
+// values cluster at a few small sizes (Figure 2(c)).
+func (a *Account) EncodeSlim() []byte {
+	root := a.Root[:]
+	if a.Root == trie.EmptyRoot {
+		root = nil
+	}
+	code := a.CodeHash[:]
+	if a.CodeHash == EmptyCodeHash {
+		code = nil
+	}
+	return rlp.EncodeList(
+		rlp.EncodeUint(a.Nonce),
+		rlp.AppendBig(nil, a.Balance),
+		rlp.EncodeString(root),
+		rlp.EncodeString(code),
+	)
+}
+
+// DecodeSlim parses the snapshot encoding.
+func DecodeSlim(data []byte) (*Account, error) {
+	items, err := rlp.SplitList(data)
+	if err != nil || len(items) != 4 {
+		return nil, errors.New("state: malformed slim account")
+	}
+	nonce, err := rlp.DecodeUint(items[0])
+	if err != nil {
+		return nil, err
+	}
+	d := rlp.NewDecoder(items[1])
+	balance, err := d.Big()
+	if err != nil {
+		return nil, err
+	}
+	rootBytes, err := rlp.DecodeString(items[2])
+	if err != nil {
+		return nil, err
+	}
+	codeBytes, err := rlp.DecodeString(items[3])
+	if err != nil {
+		return nil, err
+	}
+	acct := &Account{Nonce: nonce, Balance: balance, Root: trie.EmptyRoot, CodeHash: EmptyCodeHash}
+	if len(rootBytes) == 32 {
+		copy(acct.Root[:], rootBytes)
+	}
+	if len(codeBytes) == 32 {
+		copy(acct.CodeHash[:], codeBytes)
+	}
+	return acct, nil
+}
+
+// AddressHash returns keccak256(addr), the account's key in the trie and
+// the snapshot.
+func AddressHash(addr Address) rawdb.Hash {
+	return keccak.Hash256(addr[:])
+}
+
+// SlotHash returns keccak256(slot), a storage slot's snapshot key.
+func SlotHash(slot rawdb.Hash) rawdb.Hash {
+	return keccak.Hash256(slot[:])
+}

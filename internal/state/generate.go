@@ -1,0 +1,84 @@
+package state
+
+import (
+	"fmt"
+
+	"ethkv/internal/kv"
+	"ethkv/internal/rawdb"
+	"ethkv/internal/trie"
+)
+
+// GenerateSnapshot rebuilds the flat snapshot disk layer by walking the
+// account trie (and every contract's storage trie) — Geth's snapshot
+// generator, the process whose completion the SnapshotGenerator marker
+// records. It is the recovery path when the snapshot is missing or marked
+// unrecoverable, and the bulk producer of SnapshotAccount/SnapshotStorage
+// writes during initial sync.
+//
+// Returns the number of account and slot entries written.
+func GenerateSnapshot(backend *Backend, out kv.Writer) (accounts, slots uint64, err error) {
+	accountTrie, err := trie.New(accountNodeReader{backend})
+	if err != nil {
+		return 0, 0, fmt.Errorf("state: opening account trie: %w", err)
+	}
+	var walkErr error
+	err = accountTrie.Leaves(func(hexPath, value []byte) bool {
+		acct, derr := DecodeAccountRLP(value)
+		if derr != nil {
+			walkErr = fmt.Errorf("state: undecodable account at %x: %w", hexPath, derr)
+			return false
+		}
+		var acctHash rawdb.Hash
+		copy(acctHash[:], hexNibblesToBytes(hexPath))
+		if werr := rawdb.WriteSnapshotAccount(out, acctHash, acct.EncodeSlim()); werr != nil {
+			walkErr = werr
+			return false
+		}
+		accounts++
+		// Contracts: walk the storage trie too.
+		if acct.Root != trie.EmptyRoot {
+			st, serr := trie.New(storageNodeReader{backend, acctHash})
+			if serr != nil {
+				walkErr = serr
+				return false
+			}
+			serr = st.Leaves(func(slotPath, slotValue []byte) bool {
+				var slotHash rawdb.Hash
+				copy(slotHash[:], hexNibblesToBytes(slotPath))
+				// Trie stores RLP-wrapped slot values; the snapshot stores
+				// the trimmed raw bytes.
+				raw, derr := rlpDecodeSlot(slotValue)
+				if derr != nil {
+					walkErr = derr
+					return false
+				}
+				if werr := rawdb.WriteSnapshotStorage(out, acctHash, slotHash, raw); werr != nil {
+					walkErr = werr
+					return false
+				}
+				slots++
+				return true
+			})
+			if serr != nil {
+				walkErr = serr
+			}
+			if walkErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return accounts, slots, err
+	}
+	return accounts, slots, walkErr
+}
+
+// hexNibblesToBytes packs an even-length nibble path into bytes.
+func hexNibblesToBytes(hexPath []byte) []byte {
+	out := make([]byte, len(hexPath)/2)
+	for i := range out {
+		out[i] = hexPath[i*2]<<4 | hexPath[i*2+1]
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package state
+
+import "ethkv/internal/rawdb"
+
+// Transaction-scoped journaling: the EVM can revert a failing transaction,
+// undoing its state writes without disturbing earlier transactions in the
+// block. The StateDB records an undo entry per mutation; Snapshot marks a
+// journal height and RevertToSnapshot unwinds to it. This mirrors Geth's
+// journal and keeps the traced write stream faithful: reverted writes never
+// reach Commit, so they never appear at the KV interface — reads performed
+// before the revert, however, already did (the paper's traces include reads
+// by failed transactions too).
+
+// journalEntry is one undoable mutation.
+type journalEntry interface {
+	revert(s *StateDB)
+}
+
+// accountChange restores a previous dirty-account binding.
+type accountChange struct {
+	addr     Address
+	prev     *Account
+	existed  bool
+	prevLive *Account
+	hadLive  bool
+}
+
+func (c accountChange) revert(s *StateDB) {
+	if c.existed {
+		s.dirtyAccounts[c.addr] = c.prev
+	} else {
+		delete(s.dirtyAccounts, c.addr)
+	}
+	if c.hadLive {
+		s.liveAccounts[c.addr] = c.prevLive
+	} else {
+		delete(s.liveAccounts, c.addr)
+	}
+}
+
+// storageChange restores a previous dirty-slot binding.
+type storageChange struct {
+	addr    Address
+	slot    rawdb.Hash
+	prev    rawdb.Hash
+	existed bool
+}
+
+func (c storageChange) revert(s *StateDB) {
+	slots := s.dirtyStorage[c.addr]
+	if slots == nil {
+		return
+	}
+	if c.existed {
+		slots[c.slot] = c.prev
+	} else {
+		delete(slots, c.slot)
+		if len(slots) == 0 {
+			delete(s.dirtyStorage, c.addr)
+		}
+	}
+}
+
+// codeChange removes buffered code.
+type codeChange struct {
+	hash rawdb.Hash
+}
+
+func (c codeChange) revert(s *StateDB) {
+	delete(s.dirtyCode, c.hash)
+}
+
+// Snapshot returns an identifier for the current journal height.
+func (s *StateDB) Snapshot() int {
+	return len(s.journal)
+}
+
+// RevertToSnapshot unwinds every mutation recorded after the snapshot.
+func (s *StateDB) RevertToSnapshot(id int) {
+	if id < 0 || id > len(s.journal) {
+		return
+	}
+	for i := len(s.journal) - 1; i >= id; i-- {
+		s.journal[i].revert(s)
+	}
+	s.journal = s.journal[:id]
+}
+
+// journalAccount records the pre-state of an account binding.
+func (s *StateDB) journalAccount(addr Address) {
+	prev, existed := s.dirtyAccounts[addr]
+	prevLive, hadLive := s.liveAccounts[addr]
+	s.journal = append(s.journal, accountChange{
+		addr: addr, prev: prev, existed: existed,
+		prevLive: prevLive, hadLive: hadLive,
+	})
+}
+
+// journalStorage records the pre-state of a slot binding.
+func (s *StateDB) journalStorage(addr Address, slot rawdb.Hash) {
+	var prev rawdb.Hash
+	existed := false
+	if slots, ok := s.dirtyStorage[addr]; ok {
+		prev, existed = slots[slot]
+	}
+	s.journal = append(s.journal, storageChange{
+		addr: addr, slot: slot, prev: prev, existed: existed,
+	})
+}
+
+// journalCode records buffered code for removal on revert.
+func (s *StateDB) journalCode(hash rawdb.Hash) {
+	s.journal = append(s.journal, codeChange{hash: hash})
+}

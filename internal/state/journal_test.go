@@ -1,0 +1,165 @@
+package state
+
+import (
+	"math/big"
+	"testing"
+
+	"ethkv/internal/rawdb"
+	"ethkv/internal/trie"
+)
+
+func TestRevertAccountUpdate(t *testing.T) {
+	backend := bareBackend(t)
+	sdb, _ := New(backend)
+	a := addr(1)
+	sdb.UpdateAccount(a, NewAccount(big.NewInt(100)))
+	commit, _ := sdb.Commit()
+	writeCommit(t, backend, commit)
+
+	sdb2, _ := New(backend)
+	snap := sdb2.Snapshot()
+	sdb2.UpdateAccount(a, NewAccount(big.NewInt(999)))
+	if acct, _ := sdb2.GetAccount(a); acct.Balance.Int64() != 999 {
+		t.Fatal("update not visible before revert")
+	}
+	sdb2.RevertToSnapshot(snap)
+	acct, err := sdb2.GetAccount(a)
+	if err != nil || acct == nil {
+		t.Fatalf("revert lost the account: %v", err)
+	}
+	if acct.Balance.Int64() != 100 {
+		t.Fatalf("balance after revert = %v, want 100", acct.Balance)
+	}
+	// A commit after revert must not change the root.
+	commit2, _ := sdb2.Commit()
+	if len(commit2.AccountNodes.Writes) != 0 {
+		t.Fatalf("reverted tx still wrote %d trie nodes", len(commit2.AccountNodes.Writes))
+	}
+}
+
+func TestRevertDestruct(t *testing.T) {
+	backend := bareBackend(t)
+	sdb, _ := New(backend)
+	a := addr(2)
+	sdb.UpdateAccount(a, NewAccount(big.NewInt(50)))
+	snap := sdb.Snapshot()
+	sdb.DestructAccount(a)
+	if acct, _ := sdb.GetAccount(a); acct != nil {
+		t.Fatal("destruct not visible")
+	}
+	sdb.RevertToSnapshot(snap)
+	if acct, _ := sdb.GetAccount(a); acct == nil || acct.Balance.Int64() != 50 {
+		t.Fatal("destruct not reverted")
+	}
+}
+
+func TestRevertStorage(t *testing.T) {
+	backend := bareBackend(t)
+	sdb, _ := New(backend)
+	a := addr(3)
+	sdb.UpdateAccount(a, NewAccount(big.NewInt(1)))
+	var v1, v2 rawdb.Hash
+	v1[31], v2[31] = 1, 2
+	sdb.SetState(a, rawdb.Hash{9}, v1)
+
+	snap := sdb.Snapshot()
+	sdb.SetState(a, rawdb.Hash{9}, v2)
+	sdb.SetState(a, rawdb.Hash{8}, v2)
+	sdb.RevertToSnapshot(snap)
+
+	if got, _ := sdb.GetState(a, rawdb.Hash{9}); got != v1 {
+		t.Fatalf("slot 9 after revert = %x, want v1", got)
+	}
+	if got, _ := sdb.GetState(a, rawdb.Hash{8}); got != (rawdb.Hash{}) {
+		t.Fatalf("slot 8 after revert = %x, want zero", got)
+	}
+}
+
+func TestRevertCode(t *testing.T) {
+	backend := bareBackend(t)
+	sdb, _ := New(backend)
+	snap := sdb.Snapshot()
+	hash := sdb.SetCode(addr(4), []byte{0x60, 0x60})
+	sdb.RevertToSnapshot(snap)
+	if _, err := sdb.GetCode(hash); err == nil {
+		t.Fatal("reverted code still readable")
+	}
+	commit, _ := sdb.Commit()
+	if len(commit.Code) != 0 {
+		t.Fatal("reverted code committed")
+	}
+}
+
+func TestNestedSnapshots(t *testing.T) {
+	backend := bareBackend(t)
+	sdb, _ := New(backend)
+	a := addr(5)
+	sdb.UpdateAccount(a, NewAccount(big.NewInt(1)))
+
+	outer := sdb.Snapshot()
+	sdb.UpdateAccount(a, NewAccount(big.NewInt(2)))
+	inner := sdb.Snapshot()
+	sdb.UpdateAccount(a, NewAccount(big.NewInt(3)))
+
+	sdb.RevertToSnapshot(inner)
+	if acct, _ := sdb.GetAccount(a); acct.Balance.Int64() != 2 {
+		t.Fatalf("inner revert: %v", acct.Balance)
+	}
+	sdb.RevertToSnapshot(outer)
+	if acct, _ := sdb.GetAccount(a); acct.Balance.Int64() != 1 {
+		t.Fatalf("outer revert: %v", acct.Balance)
+	}
+}
+
+func TestRevertDoesNotTouchCommittedState(t *testing.T) {
+	backend := bareBackend(t)
+	sdb, _ := New(backend)
+	a, b := addr(6), addr(7)
+	// Tx 1 succeeds.
+	sdb.UpdateAccount(a, NewAccount(big.NewInt(10)))
+	// Tx 2 fails and reverts.
+	snap := sdb.Snapshot()
+	sdb.UpdateAccount(b, NewAccount(big.NewInt(20)))
+	sdb.RevertToSnapshot(snap)
+
+	commit, err := sdb.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeCommit(t, backend, commit)
+	sdb2, _ := New(backend)
+	if acct, _ := sdb2.GetAccount(a); acct == nil || acct.Balance.Int64() != 10 {
+		t.Fatal("tx1's state lost")
+	}
+	if acct, _ := sdb2.GetAccount(b); acct != nil {
+		t.Fatal("reverted tx2's state committed")
+	}
+}
+
+func TestRevertInvalidSnapshotIgnored(t *testing.T) {
+	backend := bareBackend(t)
+	sdb, _ := New(backend)
+	sdb.UpdateAccount(addr(8), NewAccount(big.NewInt(1)))
+	sdb.RevertToSnapshot(-1)  // ignored
+	sdb.RevertToSnapshot(999) // ignored
+	if acct, _ := sdb.GetAccount(addr(8)); acct == nil {
+		t.Fatal("invalid revert ids disturbed state")
+	}
+}
+
+func TestJournalClearedByCommit(t *testing.T) {
+	backend := bareBackend(t)
+	sdb, _ := New(backend)
+	sdb.UpdateAccount(addr(9), NewAccount(big.NewInt(1)))
+	if sdb.Snapshot() == 0 {
+		t.Fatal("journal empty after mutation")
+	}
+	if _, err := sdb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if sdb.Snapshot() != 0 {
+		t.Fatal("journal survived commit")
+	}
+	// Root is re-derivable after commit.
+	_ = trie.EmptyRoot
+}

@@ -1,0 +1,29 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader: arbitrary bytes must never panic the trace reader; it either
+// yields ops or errors out.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(Op{Type: OpRead, Class: 3, Key: []byte("some-key"), ValueSize: 99})
+	w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 10000; i++ {
+			_, err := r.Next()
+			if errors.Is(err, io.EOF) || err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"errors"
+	"sync"
+
+	"ethkv/internal/kv"
+	"ethkv/internal/rawdb"
+)
+
+// Sink receives traced operations. Writer satisfies it; tests use in-memory
+// collectors.
+type Sink interface {
+	Append(Op) error
+}
+
+// SliceSink collects ops in memory, for tests and small experiments.
+type SliceSink struct {
+	mu  sync.Mutex
+	Ops []Op
+}
+
+// Append implements Sink.
+func (s *SliceSink) Append(op Op) error {
+	s.mu.Lock()
+	s.Ops = append(s.Ops, op)
+	s.mu.Unlock()
+	return nil
+}
+
+// Store wraps a kv.Store, logging every operation that crosses the
+// interface — the same observation point as the paper's modified Geth. It
+// also tracks key existence to split writes from updates the way the paper
+// does, and records cache hits when a CacheResult is reported.
+type Store struct {
+	mu    sync.Mutex
+	inner kv.Store
+	sink  Sink
+	seq   uint64
+	// known tracks which keys currently exist, to classify write vs update
+	// and delete-of-absent. Seeded from the store at wrap time if requested.
+	known map[string]struct{}
+}
+
+var _ kv.Store = (*Store)(nil)
+
+// WrapStore instruments inner, sending every op to sink.
+func WrapStore(inner kv.Store, sink Sink) *Store {
+	return &Store{
+		inner: inner,
+		sink:  sink,
+		known: make(map[string]struct{}),
+	}
+}
+
+// emit appends one op with the next sequence number.
+func (s *Store) emit(t OpType, key []byte, valueSize int, hit bool) {
+	op := Op{
+		Seq:       s.seq,
+		Type:      t,
+		Class:     rawdb.Classify(key),
+		Key:       append([]byte(nil), key...),
+		ValueSize: uint32(valueSize),
+		Hit:       hit,
+	}
+	s.seq++
+	if s.sink != nil {
+		_ = s.sink.Append(op)
+	}
+}
+
+// Get implements kv.Reader, tracing a read.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := s.inner.Get(key)
+	size := 0
+	if err == nil {
+		size = len(v)
+	}
+	s.emit(OpRead, key, size, false)
+	return v, err
+}
+
+// RecordCacheHit traces a read that a cache layer served without touching
+// the store. The paper's CacheTrace still sees these ops at the interface
+// boundary it instruments inside Geth's accessor layer.
+func (s *Store) RecordCacheHit(key []byte, valueSize int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emit(OpRead, key, valueSize, true)
+}
+
+// Has implements kv.Reader (traced as a read of size zero).
+func (s *Store) Has(key []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ok, err := s.inner.Has(key)
+	s.emit(OpRead, key, 0, false)
+	return ok, err
+}
+
+// Put implements kv.Writer, tracing a write or an update depending on
+// whether the key already exists.
+func (s *Store) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(key, value)
+}
+
+func (s *Store) putLocked(key, value []byte) error {
+	t := OpWrite
+	if _, exists := s.known[string(key)]; exists {
+		t = OpUpdate
+	} else if ok, _ := s.inner.Has(key); ok {
+		// Key predates the trace (written during earlier sync).
+		t = OpUpdate
+	}
+	if err := s.inner.Put(key, value); err != nil {
+		return err
+	}
+	s.known[string(key)] = struct{}{}
+	s.emit(t, key, len(value), false)
+	return nil
+}
+
+// Delete implements kv.Writer, tracing a delete.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deleteLocked(key)
+}
+
+func (s *Store) deleteLocked(key []byte) error {
+	if err := s.inner.Delete(key); err != nil {
+		return err
+	}
+	delete(s.known, string(key))
+	s.emit(OpDelete, key, 0, false)
+	return nil
+}
+
+// NewIterator implements kv.Iterable, tracing a scan against the class of
+// its prefix.
+func (s *Store) NewIterator(prefix, start []byte) kv.Iterator {
+	s.mu.Lock()
+	s.emit(OpScan, prefix, 0, false)
+	s.mu.Unlock()
+	return s.inner.NewIterator(prefix, start)
+}
+
+// NewBatch implements kv.Batcher. Batched ops are traced when the batch
+// commits, in batch order — matching Geth, which flushes batched writes at
+// the end of block verification.
+func (s *Store) NewBatch() kv.Batch {
+	return &tracedBatch{store: s, inner: s.inner.NewBatch()}
+}
+
+// Close implements kv.Store.
+func (s *Store) Close() error { return s.inner.Close() }
+
+// Stats surfaces the inner store's counters when available.
+func (s *Store) Stats() kv.Stats {
+	if sp, ok := s.inner.(kv.StatsProvider); ok {
+		return sp.Stats()
+	}
+	return kv.Stats{}
+}
+
+// Inner returns the wrapped store.
+func (s *Store) Inner() kv.Store { return s.inner }
+
+// Seq returns the number of ops traced so far.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// tracedBatch defers tracing to commit time.
+type tracedBatch struct {
+	store *Store
+	inner kv.Batch
+	ops   []batchedOp
+}
+
+type batchedOp struct {
+	key, value []byte
+	delete     bool
+}
+
+func (b *tracedBatch) Put(key, value []byte) error {
+	b.ops = append(b.ops, batchedOp{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	return nil
+}
+
+func (b *tracedBatch) Delete(key []byte) error {
+	b.ops = append(b.ops, batchedOp{key: append([]byte(nil), key...), delete: true})
+	return nil
+}
+
+func (b *tracedBatch) ValueSize() int {
+	total := 0
+	for _, op := range b.ops {
+		total += len(op.key) + len(op.value)
+	}
+	return total
+}
+
+// Write applies and traces the batched ops in order.
+func (b *tracedBatch) Write() error {
+	b.store.mu.Lock()
+	defer b.store.mu.Unlock()
+	for _, op := range b.ops {
+		var err error
+		if op.delete {
+			err = b.store.deleteLocked(op.key)
+		} else {
+			err = b.store.putLocked(op.key, op.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *tracedBatch) Reset() { b.ops = b.ops[:0] }
+
+func (b *tracedBatch) Replay(w kv.Writer) error {
+	for _, op := range b.ops {
+		var err error
+		if op.delete {
+			err = w.Delete(op.key)
+		} else {
+			err = w.Put(op.key, op.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrNotFound re-exports kv.ErrNotFound for trace-level callers.
+var ErrNotFound = kv.ErrNotFound
+
+// IsNotFound reports whether err is the store's not-found error.
+func IsNotFound(err error) bool { return errors.Is(err, kv.ErrNotFound) }

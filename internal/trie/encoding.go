@@ -1,0 +1,96 @@
+package trie
+
+// Trie keys use three encodings, following Geth's conventions:
+//
+//   - KEYBYTES: the raw key as the caller supplies it.
+//   - HEX: one nibble per byte, with an optional terminator nibble 16
+//     marking a key that ends at a value (leaf).
+//   - COMPACT (hex-prefix): the Yellow Paper's space-efficient encoding used
+//     inside persisted short nodes; the first nibble carries the leaf flag
+//     and odd-length bit.
+
+// terminator is the HEX-encoding sentinel nibble for leaf keys.
+const terminator = 16
+
+// keybytesToHex converts raw key bytes to HEX encoding with terminator.
+func keybytesToHex(key []byte) []byte {
+	out := make([]byte, len(key)*2+1)
+	for i, b := range key {
+		out[i*2] = b / 16
+		out[i*2+1] = b % 16
+	}
+	out[len(out)-1] = terminator
+	return out
+}
+
+// hexToKeybytes converts a terminated HEX key back to raw bytes.
+// The input must have even nibble count after removing the terminator.
+func hexToKeybytes(hex []byte) []byte {
+	if hasTerm(hex) {
+		hex = hex[:len(hex)-1]
+	}
+	if len(hex)%2 != 0 {
+		panic("trie: odd-length hex key")
+	}
+	out := make([]byte, len(hex)/2)
+	for i := range out {
+		out[i] = hex[i*2]<<4 | hex[i*2+1]
+	}
+	return out
+}
+
+// hasTerm reports whether the HEX key ends with the terminator nibble.
+func hasTerm(hex []byte) bool {
+	return len(hex) > 0 && hex[len(hex)-1] == terminator
+}
+
+// hexToCompact converts a HEX key to COMPACT (hex-prefix) encoding.
+func hexToCompact(hex []byte) []byte {
+	term := byte(0)
+	if hasTerm(hex) {
+		term = 1
+		hex = hex[:len(hex)-1]
+	}
+	buf := make([]byte, len(hex)/2+1)
+	buf[0] = term << 5 // flags: bit5 = leaf
+	if len(hex)%2 == 1 {
+		buf[0] |= 1 << 4 // odd flag
+		buf[0] |= hex[0] // first nibble rides in the prefix byte
+		hex = hex[1:]
+	}
+	for i := 0; i < len(hex); i += 2 {
+		buf[i/2+1] = hex[i]<<4 | hex[i+1]
+	}
+	return buf
+}
+
+// compactToHex converts a COMPACT key back to HEX encoding.
+func compactToHex(compact []byte) []byte {
+	if len(compact) == 0 {
+		return nil
+	}
+	base := keybytesToHex(compact)
+	// The flags nibble is 2*leaf + odd. keybytesToHex appended a
+	// terminator; keep it only for leaf keys.
+	if base[0] < 2 {
+		base = base[:len(base)-1]
+	}
+	// Skip the flag nibbles: two for even-length keys, one for odd (the
+	// second flag position holds the first real nibble).
+	chop := 2 - base[0]&1
+	return base[chop:]
+}
+
+// prefixLen returns the length of the common prefix of a and b.
+func prefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

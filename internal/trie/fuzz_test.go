@@ -1,0 +1,21 @@
+package trie
+
+import "testing"
+
+// FuzzDecodeNode: persisted-node parsing must never panic.
+func FuzzDecodeNode(f *testing.F) {
+	leaf := &shortNode{key: keybytesToHex([]byte{0xab}), child: valueNode("v")}
+	f.Add(encodeNode(leaf))
+	bn := &branchNode{}
+	bn.children[16] = valueNode("x")
+	f.Add(encodeNode(bn))
+	f.Add([]byte{0xc1, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := decodeNode(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode without panicking.
+		_ = encodeNode(n)
+	})
+}

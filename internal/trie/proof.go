@@ -1,0 +1,149 @@
+package trie
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"ethkv/internal/keccak"
+)
+
+// Merkle proofs: the authenticated-read capability that makes the MPT an
+// authenticated data structure (the "deep traversals for proof generation"
+// of §II-A). A proof for a key is the list of node encodings on the path
+// from the root to the key's leaf; a verifier replays the traversal,
+// checking each node hashes to the reference held by its parent.
+
+// ErrBadProof is returned when a proof fails verification.
+var ErrBadProof = errors.New("trie: invalid proof")
+
+// Prove collects the proof for key: the encodings of every persisted-size
+// node on the key's path, root first. Embedded (<32 byte) nodes are part of
+// their parent's encoding and do not appear separately, matching the
+// canonical MPT proof format.
+func (t *Trie) Prove(key []byte) ([][]byte, error) {
+	hex := securePath(key)
+	var proof [][]byte
+	n := t.root
+	prefix := []byte{}
+	for {
+		switch node := n.(type) {
+		case nil:
+			return proof, nil
+		case valueNode:
+			return proof, nil
+		case refNode:
+			resolved, err := t.resolve(node, prefix)
+			if err != nil {
+				return nil, err
+			}
+			n = resolved
+		case *shortNode:
+			enc := encodeNode(node)
+			if len(enc) >= 32 || len(prefix) == 0 {
+				proof = append(proof, enc)
+			}
+			if len(hex) < len(node.key) || !bytesEqual(hex[:len(node.key)], node.key) {
+				return proof, nil // absence proof: path diverges
+			}
+			prefix = append(prefix, node.key...)
+			hex = hex[len(node.key):]
+			if hasTerm(node.key) {
+				return proof, nil
+			}
+			n = node.child
+		case *branchNode:
+			enc := encodeNode(node)
+			if len(enc) >= 32 || len(prefix) == 0 {
+				proof = append(proof, enc)
+			}
+			if len(hex) == 0 {
+				return proof, nil
+			}
+			idx := hex[0]
+			prefix = append(prefix, idx)
+			hex = hex[1:]
+			n = node.children[idx]
+		default:
+			return nil, fmt.Errorf("trie: prove on %T", n)
+		}
+	}
+}
+
+// VerifyProof checks a proof against a root hash and returns the proven
+// value (nil for a valid absence proof).
+func VerifyProof(root [32]byte, key []byte, proof [][]byte) ([]byte, error) {
+	hex := securePath(key)
+	want := root[:]
+	for i, blob := range proof {
+		h := keccak.Hash256(blob)
+		if !bytes.Equal(h[:], want) {
+			return nil, fmt.Errorf("%w: node %d hash mismatch", ErrBadProof, i)
+		}
+		n, err := decodeNode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("%w: node %d undecodable", ErrBadProof, i)
+		}
+		value, next, rest, err := stepProof(n, hex)
+		if err != nil {
+			return nil, err
+		}
+		if next == nil {
+			// Terminal: either a value or a proven absence.
+			if i != len(proof)-1 {
+				return nil, fmt.Errorf("%w: trailing proof nodes", ErrBadProof)
+			}
+			return value, nil
+		}
+		hex = rest
+		want = next
+	}
+	return nil, fmt.Errorf("%w: proof exhausted before terminal node", ErrBadProof)
+}
+
+// stepProof walks one proof node. It returns either the terminal value
+// (next == nil) or the expected hash of the next node plus the remaining
+// key nibbles. Embedded children are walked inline.
+func stepProof(n node, hex []byte) (value []byte, next []byte, rest []byte, err error) {
+	for {
+		switch node := n.(type) {
+		case nil:
+			return nil, nil, nil, nil // absence
+		case valueNode:
+			if len(hex) == 0 {
+				return node, nil, nil, nil
+			}
+			return nil, nil, nil, nil
+		case refNode:
+			return nil, node.hash, hex, nil
+		case *shortNode:
+			if len(hex) < len(node.key) || !bytesEqual(hex[:len(node.key)], node.key) {
+				return nil, nil, nil, nil // divergence: absence
+			}
+			hex = hex[len(node.key):]
+			if hasTerm(node.key) {
+				v, ok := node.child.(valueNode)
+				if !ok {
+					return nil, nil, nil, fmt.Errorf("%w: leaf without value", ErrBadProof)
+				}
+				return v, nil, nil, nil
+			}
+			n = node.child
+		case *branchNode:
+			if len(hex) == 0 {
+				if v, ok := node.children[16].(valueNode); ok {
+					return v, nil, nil, nil
+				}
+				return nil, nil, nil, nil
+			}
+			idx := hex[0]
+			hex = hex[1:]
+			if node.children[idx] == nil {
+				return nil, nil, nil, nil // absence
+			}
+			n = node.children[idx]
+		default:
+			return nil, nil, nil, fmt.Errorf("%w: unexpected node %T", ErrBadProof, n)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package trie
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func buildProofTrie(t *testing.T, n int) (*Trie, map[string]string) {
+	t.Helper()
+	tr := NewEmpty()
+	model := map[string]string{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		v := fmt.Sprintf("value-%d", i*3)
+		tr.Update([]byte(k), []byte(v))
+		model[k] = v
+	}
+	return tr, model
+}
+
+func TestProveAndVerifyPresent(t *testing.T) {
+	tr, model := buildProofTrie(t, 200)
+	root := tr.Hash()
+	for k, want := range model {
+		proof, err := tr.Prove([]byte(k))
+		if err != nil {
+			t.Fatalf("Prove(%s): %v", k, err)
+		}
+		got, err := VerifyProof(root, []byte(k), proof)
+		if err != nil {
+			t.Fatalf("VerifyProof(%s): %v", k, err)
+		}
+		if string(got) != want {
+			t.Fatalf("proof for %s yielded %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestProveAbsence(t *testing.T) {
+	tr, _ := buildProofTrie(t, 100)
+	root := tr.Hash()
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("missing-%04d", i)
+		proof, err := tr.Prove([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := VerifyProof(root, []byte(k), proof)
+		if err != nil {
+			t.Fatalf("absence proof for %s rejected: %v", k, err)
+		}
+		if got != nil {
+			t.Fatalf("absence proof for %s yielded value %q", k, got)
+		}
+	}
+}
+
+func TestVerifyProofRejectsTampering(t *testing.T) {
+	tr, _ := buildProofTrie(t, 100)
+	root := tr.Hash()
+	proof, err := tr.Prove([]byte("key-0042"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof) == 0 {
+		t.Fatal("empty proof")
+	}
+	// Tamper with the last node.
+	tampered := make([][]byte, len(proof))
+	copy(tampered, proof)
+	last := append([]byte(nil), tampered[len(tampered)-1]...)
+	last[len(last)-1] ^= 0x01
+	tampered[len(tampered)-1] = last
+	if _, err := VerifyProof(root, []byte("key-0042"), tampered); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("tampered proof accepted: %v", err)
+	}
+	// Wrong root.
+	var badRoot [32]byte
+	if _, err := VerifyProof(badRoot, []byte("key-0042"), proof); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("wrong root accepted: %v", err)
+	}
+	// Truncated proof.
+	if len(proof) > 1 {
+		if _, err := VerifyProof(root, []byte("key-0042"), proof[:len(proof)-1]); !errors.Is(err, ErrBadProof) {
+			t.Fatalf("truncated proof accepted: %v", err)
+		}
+	}
+	// Proof for a different key must not verify as key-0042's value.
+	otherProof, _ := tr.Prove([]byte("key-0007"))
+	got, err := VerifyProof(root, []byte("key-0042"), otherProof)
+	if err == nil && got != nil && string(got) == "value-126" {
+		t.Fatal("foreign proof produced the right value without the right path")
+	}
+}
+
+func TestProveOnCommittedTrie(t *testing.T) {
+	store := newPathStore()
+	tr, _ := New(store)
+	for i := 0; i < 150; i++ {
+		tr.Update([]byte(fmt.Sprintf("acct-%03d", i)), []byte(fmt.Sprintf("bal-%d", i)))
+	}
+	set, root := tr.Commit()
+	store.apply(set)
+
+	// Prove from a cold reload: resolution happens through the store.
+	reloaded, err := New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := reloaded.Prove([]byte("acct-077"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VerifyProof(root, []byte("acct-077"), proof)
+	if err != nil || string(got) != "bal-77" {
+		t.Fatalf("cold proof: %q, %v", got, err)
+	}
+}
+
+func TestProofRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := NewEmpty()
+	model := map[string]string{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(400))
+		if rng.Intn(5) == 0 {
+			tr.Delete([]byte(k))
+			delete(model, k)
+		} else {
+			v := fmt.Sprintf("v%d", i)
+			tr.Update([]byte(k), []byte(v))
+			model[k] = v
+		}
+	}
+	root := tr.Hash()
+	for i := 0; i < 400; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		proof, err := tr.Prove([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := VerifyProof(root, []byte(k), proof)
+		if err != nil {
+			t.Fatalf("verify %s: %v", k, err)
+		}
+		want, present := model[k]
+		if present && string(got) != want {
+			t.Fatalf("%s: got %q want %q", k, got, want)
+		}
+		if !present && got != nil {
+			t.Fatalf("%s: absent key proved with value %q", k, got)
+		}
+	}
+}
+
+func TestEmptyTrieProof(t *testing.T) {
+	tr := NewEmpty()
+	proof, err := tr.Prove([]byte("anything"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof) != 0 {
+		t.Fatalf("empty trie proof has %d nodes", len(proof))
+	}
+}
+
+func TestSingleLeafProof(t *testing.T) {
+	tr := NewEmpty()
+	tr.Update([]byte("only"), []byte("one"))
+	root := tr.Hash()
+	proof, err := tr.Prove([]byte("only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VerifyProof(root, []byte("only"), proof)
+	if err != nil || !bytes.Equal(got, []byte("one")) {
+		t.Fatalf("single-leaf proof: %q, %v", got, err)
+	}
+}
+
+func BenchmarkProve(b *testing.B) {
+	tr := NewEmpty()
+	for i := 0; i < 10000; i++ {
+		tr.Update([]byte(fmt.Sprintf("key-%05d", i)), bytes.Repeat([]byte{1}, 80))
+	}
+	tr.Hash()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Prove([]byte(fmt.Sprintf("key-%05d", i%10000)))
+	}
+}
+
+func BenchmarkVerifyProof(b *testing.B) {
+	tr := NewEmpty()
+	for i := 0; i < 10000; i++ {
+		tr.Update([]byte(fmt.Sprintf("key-%05d", i)), bytes.Repeat([]byte{1}, 80))
+	}
+	root := tr.Hash()
+	proof, _ := tr.Prove([]byte("key-05000"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VerifyProof(root, []byte("key-05000"), proof)
+	}
+}

@@ -1,0 +1,596 @@
+// Package trie implements Ethereum's Merkle Patricia Trie with the
+// path-based storage model Geth adopted in its PBSS rework: persisted nodes
+// are keyed by their traversal path rather than their hash, which removes
+// redundant entries (one slot per path, updates overwrite in place) and
+// makes obsolete-node deletion cheap. Both properties shape the KV workload
+// the paper measures (low delete rates in TrieNode* classes, Finding 5).
+//
+// Keys are hashed with Keccak-256 before insertion ("secure trie"), exactly
+// as Geth stores accounts and contract slots.
+package trie
+
+import (
+	"errors"
+	"fmt"
+
+	"ethkv/internal/keccak"
+)
+
+// NodeReader loads the persisted encoding of the node at a nibble path.
+// Implementations return ErrNodeNotFound for absent paths.
+type NodeReader interface {
+	ReadNode(path []byte) ([]byte, error)
+}
+
+// ErrNodeNotFound is returned by NodeReader for paths with no node.
+var ErrNodeNotFound = errors.New("trie: node not found")
+
+// NodeSet is the output of Commit: the persisted-node delta of one trie.
+type NodeSet struct {
+	// Writes maps nibble paths to new node encodings. A path already in
+	// the database is an update; a fresh path is an insert.
+	Writes map[string][]byte
+	// Deletes lists paths whose nodes became obsolete.
+	Deletes []string
+}
+
+// Trie is a mutable Merkle Patricia Trie bound to a node reader.
+type Trie struct {
+	root   node
+	reader NodeReader
+	// dead accumulates paths of persisted nodes removed by restructuring,
+	// to be deleted at commit (unless re-written).
+	dead map[string]struct{}
+	// resolves counts database node loads, for instrumentation.
+	resolves int
+}
+
+// New opens a trie. If the reader holds a node at the empty path, it
+// becomes the root; otherwise the trie starts empty.
+func New(reader NodeReader) (*Trie, error) {
+	t := &Trie{reader: reader, dead: make(map[string]struct{})}
+	blob, err := reader.ReadNode(nil)
+	if errors.Is(err, ErrNodeNotFound) {
+		return t, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.resolves++
+	root, err := decodeNode(blob)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// NewEmpty returns a fresh in-memory trie with no backing nodes.
+func NewEmpty() *Trie {
+	return &Trie{reader: emptyReader{}, dead: make(map[string]struct{})}
+}
+
+// emptyReader is a NodeReader with no nodes.
+type emptyReader struct{}
+
+func (emptyReader) ReadNode([]byte) ([]byte, error) { return nil, ErrNodeNotFound }
+
+// Resolves reports how many nodes were loaded from the reader so far.
+func (t *Trie) Resolves() int { return t.resolves }
+
+// Get returns the value stored under key (nil, ErrNodeNotFound if absent...
+// actually nil,nil). The key is hashed per the secure-trie convention.
+func (t *Trie) Get(key []byte) ([]byte, error) {
+	hex := securePath(key)
+	v, newRoot, err := t.get(t.root, nil, hex)
+	if err != nil {
+		return nil, err
+	}
+	t.root = newRoot
+	return v, nil
+}
+
+// get walks down from n at path prefix looking for the remaining key.
+// It returns a possibly-updated node (refs resolve in place).
+func (t *Trie) get(n node, prefix, key []byte) ([]byte, node, error) {
+	switch n := n.(type) {
+	case nil:
+		return nil, nil, nil
+	case valueNode:
+		return n, n, nil
+	case *shortNode:
+		if len(key) < len(n.key) || !bytesEqual(key[:len(n.key)], n.key) {
+			return nil, n, nil
+		}
+		v, child, err := t.get(n.child, append(prefix, n.key...), key[len(n.key):])
+		if err != nil {
+			return nil, n, err
+		}
+		n.child = child
+		return v, n, nil
+	case *branchNode:
+		if len(key) == 0 {
+			if v, ok := n.children[16].(valueNode); ok {
+				return v, n, nil
+			}
+			return nil, n, nil
+		}
+		idx := key[0]
+		v, child, err := t.get(n.children[idx], append(prefix, idx), key[1:])
+		if err != nil {
+			return nil, n, err
+		}
+		n.children[idx] = child
+		return v, n, nil
+	case refNode:
+		resolved, err := t.resolve(n, prefix)
+		if err != nil {
+			return nil, n, err
+		}
+		return t.get(resolved, prefix, key)
+	default:
+		panic(fmt.Sprintf("trie: get on %T", n))
+	}
+}
+
+// resolve loads the node behind a refNode from the database by path.
+func (t *Trie) resolve(ref refNode, path []byte) (node, error) {
+	blob, err := t.reader.ReadNode(path)
+	if err != nil {
+		return nil, fmt.Errorf("trie: resolving %x: %w", path, err)
+	}
+	t.resolves++
+	return decodeNode(blob)
+}
+
+// Update stores value under key. An empty value deletes the key.
+func (t *Trie) Update(key, value []byte) error {
+	hex := securePath(key)
+	if len(value) == 0 {
+		newRoot, _, err := t.del(t.root, nil, hex)
+		if err != nil {
+			return err
+		}
+		t.root = newRoot
+		return nil
+	}
+	newRoot, _, err := t.insert(t.root, nil, hex, valueNode(append([]byte(nil), value...)))
+	if err != nil {
+		return err
+	}
+	t.root = newRoot
+	return nil
+}
+
+// Delete removes key from the trie.
+func (t *Trie) Delete(key []byte) error {
+	return t.Update(key, nil)
+}
+
+// insert adds value at key below n (path prefix). Returns the new subtree
+// root and whether it changed.
+func (t *Trie) insert(n node, prefix, key []byte, value valueNode) (node, bool, error) {
+	switch n := n.(type) {
+	case nil:
+		return &shortNode{key: key, child: value, flags: nodeFlag{dirty: true}}, true, nil
+
+	case *shortNode:
+		match := prefixLen(key, n.key)
+		if match == len(n.key) {
+			// Descend into the child.
+			if hasTerm(n.key) && match == len(key) {
+				// Same leaf: overwrite value.
+				if bytesEqual(n.child.(valueNode), value) {
+					return n, false, nil
+				}
+				n.child = value
+				n.markDirty()
+				return n, true, nil
+			}
+			child, changed, err := t.insert(n.child, append(prefix, n.key...), key[match:], value)
+			if err != nil {
+				return n, false, err
+			}
+			if changed {
+				n.child = child
+				n.markDirty()
+			}
+			return n, changed, nil
+		}
+		// Split: the short node forks into a branch at prefix+key[:match].
+		branch := &branchNode{flags: nodeFlag{dirty: true}}
+		// Old content moves one level down.
+		oldKey := n.key[match:]
+		if len(oldKey) == 1 && hasTerm(oldKey) {
+			branch.children[16] = n.child
+		} else if len(oldKey) == 1 {
+			// Extension of length 1: the child takes the branch slot
+			// directly. Its path is unchanged (prefix+match nibbles+old
+			// nibble), so no dead path arises.
+			branch.children[oldKey[0]] = n.child
+		} else {
+			branch.children[oldKey[0]] = &shortNode{
+				key:   oldKey[1:],
+				child: n.child,
+				flags: nodeFlag{dirty: true},
+			}
+		}
+		// New value goes into its slot.
+		newKey := key[match:]
+		if len(newKey) == 1 && hasTerm(newKey) {
+			branch.children[16] = value
+		} else {
+			branch.children[newKey[0]] = &shortNode{
+				key:   newKey[1:],
+				child: value,
+				flags: nodeFlag{dirty: true},
+			}
+		}
+		// The node replacing the old short at this path usually overwrites
+		// its slot at commit; if the replacement ends up embedded in its
+		// parent instead, the stale slot must be deleted. markDead covers
+		// both: commit drops the path from Deletes when it re-writes it.
+		t.markDead(prefix, n)
+		if match == 0 {
+			return branch, true, nil
+		}
+		// An extension covers the shared prefix; branch sits below it.
+		return &shortNode{
+			key:   key[:match],
+			child: branch,
+			flags: nodeFlag{dirty: true},
+		}, true, nil
+
+	case *branchNode:
+		if len(key) == 0 {
+			if v, ok := n.children[16].(valueNode); ok && bytesEqual(v, value) {
+				return n, false, nil
+			}
+			n.children[16] = value
+			n.markDirty()
+			return n, true, nil
+		}
+		idx := key[0]
+		child, changed, err := t.insert(n.children[idx], append(prefix, idx), key[1:], value)
+		if err != nil {
+			return n, false, err
+		}
+		if changed {
+			n.children[idx] = child
+			n.markDirty()
+		}
+		return n, changed, nil
+
+	case refNode:
+		resolved, err := t.resolve(n, prefix)
+		if err != nil {
+			return n, false, err
+		}
+		return t.insert(resolved, prefix, key, value)
+
+	default:
+		panic(fmt.Sprintf("trie: insert into %T", n))
+	}
+}
+
+// del removes key below n. Returns the replacement subtree and whether a
+// change happened.
+func (t *Trie) del(n node, prefix, key []byte) (node, bool, error) {
+	switch n := n.(type) {
+	case nil:
+		return nil, false, nil
+
+	case *shortNode:
+		match := prefixLen(key, n.key)
+		if match < len(n.key) {
+			return n, false, nil // not present
+		}
+		if hasTerm(n.key) && match == len(key) {
+			// This leaf is the target: it disappears.
+			t.markDead(prefix, n)
+			return nil, true, nil
+		}
+		child, changed, err := t.del(n.child, append(prefix, n.key...), key[match:])
+		if err != nil || !changed {
+			return n, changed, err
+		}
+		switch child := child.(type) {
+		case nil:
+			// Child vanished entirely: so does this extension.
+			t.markDead(prefix, n)
+			return nil, true, nil
+		case *shortNode:
+			// Merge consecutive short nodes; the child's slot at
+			// prefix+n.key dies because its content fuses upward.
+			t.markDead(append(prefix, n.key...), child)
+			merged := &shortNode{
+				key:   concat(n.key, child.key...),
+				child: child.child,
+				flags: nodeFlag{dirty: true, persisted: n.flags.persisted},
+			}
+			return merged, true, nil
+		default:
+			n.child = child
+			n.markDirty()
+			return n, true, nil
+		}
+
+	case *branchNode:
+		var (
+			idx     int
+			changed bool
+			err     error
+		)
+		if len(key) == 0 {
+			if n.children[16] == nil {
+				return n, false, nil
+			}
+			n.children[16] = nil
+			n.markDirty()
+			changed = true
+		} else {
+			idx = int(key[0])
+			var child node
+			child, changed, err = t.del(n.children[idx], append(prefix, byte(idx)), key[1:])
+			if err != nil || !changed {
+				return n, changed, err
+			}
+			n.children[idx] = child
+			n.markDirty()
+		}
+		// Count remaining occupants; a branch with one child collapses.
+		pos := -1
+		count := 0
+		for i, child := range n.children {
+			if child != nil {
+				count++
+				pos = i
+			}
+		}
+		if count > 1 {
+			return n, true, nil
+		}
+		// Exactly one occupant remains.
+		if pos == 16 {
+			// Only the value: branch becomes a leaf.
+			t.markDead(prefix, n)
+			return &shortNode{
+				key:   []byte{terminator},
+				child: n.children[16],
+				flags: nodeFlag{dirty: true},
+			}, true, nil
+		}
+		// Only one child subtree: fuse. Resolve it if needed — this is the
+		// extra read delete operations incur in MPTs.
+		child := n.children[pos]
+		if ref, ok := child.(refNode); ok {
+			resolved, err := t.resolve(ref, append(prefix, byte(pos)))
+			if err != nil {
+				return n, false, err
+			}
+			child = resolved
+		}
+		t.markDead(prefix, n)
+		if short, ok := child.(*shortNode); ok {
+			// The child moves up; its old slot dies.
+			t.markDead(append(prefix, byte(pos)), short)
+			return &shortNode{
+				key:   concat([]byte{byte(pos)}, short.key...),
+				child: short.child,
+				flags: nodeFlag{dirty: true},
+			}, true, nil
+		}
+		return &shortNode{
+			key:   []byte{byte(pos)},
+			child: child,
+			flags: nodeFlag{dirty: true},
+		}, true, nil
+
+	case valueNode:
+		return nil, true, nil
+
+	case refNode:
+		resolved, err := t.resolve(n, prefix)
+		if err != nil {
+			return n, false, err
+		}
+		return t.del(resolved, prefix, key)
+
+	default:
+		panic(fmt.Sprintf("trie: delete from %T", n))
+	}
+}
+
+// markDead records that the persisted node at path is obsolete.
+func (t *Trie) markDead(path []byte, n node) {
+	if persisted(n) {
+		t.dead[string(path)] = struct{}{}
+	}
+}
+
+// persisted reports whether a node (or the node a ref points to) has a
+// database slot at its current path.
+func persisted(n node) bool {
+	switch n := n.(type) {
+	case *shortNode:
+		return n.flags.persisted
+	case *branchNode:
+		return n.flags.persisted
+	case refNode:
+		return true
+	default:
+		return false
+	}
+}
+
+func (n *shortNode) markDirty() {
+	n.flags.dirty = true
+	n.flags.hash = nil
+	n.flags.enc = nil
+}
+
+func (n *branchNode) markDirty() {
+	n.flags.dirty = true
+	n.flags.hash = nil
+	n.flags.enc = nil
+}
+
+// Hash returns the root hash of the trie. The empty trie hashes to
+// keccak256(rlp("")) per the Yellow Paper.
+func (t *Trie) Hash() [32]byte {
+	if t.root == nil {
+		return EmptyRoot
+	}
+	var h [32]byte
+	copy(h[:], cachedHash(t.root))
+	return h
+}
+
+// EmptyRoot is the hash of the empty trie: keccak256(rlp(0x80)).
+var EmptyRoot = func() [32]byte {
+	return hashNode(valueNode(nil))
+}()
+
+// Commit encodes every dirty node, assembles the NodeSet delta, and marks
+// the trie clean. Writes are keyed by path; dead paths not re-written are
+// emitted as deletes.
+func (t *Trie) Commit() (*NodeSet, [32]byte) {
+	set := &NodeSet{Writes: make(map[string][]byte)}
+	if t.root != nil {
+		t.commitNode(t.root, nil, set)
+	}
+	for path := range t.dead {
+		if _, rewritten := set.Writes[path]; !rewritten {
+			set.Deletes = append(set.Deletes, path)
+		}
+	}
+	t.dead = make(map[string]struct{})
+	return set, t.Hash()
+}
+
+// commitNode recursively persists dirty nodes below n at the given path.
+func (t *Trie) commitNode(n node, path []byte, set *NodeSet) {
+	switch n := n.(type) {
+	case *shortNode:
+		if !n.flags.dirty {
+			return
+		}
+		// Children first, so parent encodings see settled hashes.
+		if !hasTerm(n.key) {
+			t.commitNode(n.child, append(path, n.key...), set)
+		}
+		enc := encodeNode(n)
+		// Small nodes embed in their parent and have no own database slot
+		// — except the root, which always persists.
+		if len(enc) >= 32 || len(path) == 0 {
+			set.Writes[string(path)] = enc
+			n.flags.persisted = true
+		} else if n.flags.persisted {
+			// Node shrank below the embedding threshold: its slot dies.
+			set.Deletes = append(set.Deletes, string(path))
+			n.flags.persisted = false
+		}
+		n.flags.dirty = false
+		n.flags.hash = nil
+	case *branchNode:
+		if !n.flags.dirty {
+			return
+		}
+		for i := 0; i < 16; i++ {
+			if n.children[i] != nil {
+				t.commitNode(n.children[i], append(path, byte(i)), set)
+			}
+		}
+		enc := encodeNode(n)
+		if len(enc) >= 32 || len(path) == 0 {
+			set.Writes[string(path)] = enc
+			n.flags.persisted = true
+		} else if n.flags.persisted {
+			set.Deletes = append(set.Deletes, string(path))
+			n.flags.persisted = false
+		}
+		n.flags.dirty = false
+		n.flags.hash = nil
+	}
+}
+
+// CommitHashed encodes every dirty node keyed by its HASH rather than its
+// path — the pre-PBSS storage model of older Geth versions (§II-A,
+// "Evolution of Geth"). Hash keying never overwrites (every new version of
+// a node gets a fresh key) and never deletes (old versions are unreachable
+// garbage until an offline prune), which is exactly the redundancy the
+// path-based model eliminated. Exposed for the storage-model ablation.
+func (t *Trie) CommitHashed() (map[string][]byte, [32]byte) {
+	writes := make(map[string][]byte)
+	if t.root != nil {
+		t.commitHashedNode(t.root, writes)
+	}
+	t.dead = make(map[string]struct{})
+	return writes, t.Hash()
+}
+
+// commitHashedNode persists the dirty subtree under hash keys.
+func (t *Trie) commitHashedNode(n node, writes map[string][]byte) {
+	switch n := n.(type) {
+	case *shortNode:
+		if !n.flags.dirty {
+			return
+		}
+		if !hasTerm(n.key) {
+			t.commitHashedNode(n.child, writes)
+		}
+		enc := encodeNode(n)
+		if len(enc) >= 32 {
+			h := keccak.Hash256(enc)
+			writes[string(h[:])] = enc
+		}
+		n.flags.dirty = false
+		n.flags.hash = nil
+	case *branchNode:
+		if !n.flags.dirty {
+			return
+		}
+		for i := 0; i < 16; i++ {
+			if n.children[i] != nil {
+				t.commitHashedNode(n.children[i], writes)
+			}
+		}
+		enc := encodeNode(n)
+		if len(enc) >= 32 {
+			h := keccak.Hash256(enc)
+			writes[string(h[:])] = enc
+		}
+		n.flags.dirty = false
+		n.flags.hash = nil
+	}
+}
+
+// securePath hashes the key and converts to HEX encoding (secure trie).
+func securePath(key []byte) []byte {
+	h := hashKey(key)
+	return keybytesToHex(h[:])
+}
+
+// hashKey is the secure-trie key derivation.
+func hashKey(key []byte) [32]byte {
+	return keccak.Hash256(key)
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// concat returns a fresh slice holding a followed by b.
+func concat(a []byte, b ...byte) []byte {
+	out := make([]byte, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
