@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz vet fmt repro artifacts clean
+.PHONY: all build test race bench bench-json check fuzz vet fmt repro artifacts clean
 
 all: build test
 
@@ -16,9 +16,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The default pre-merge gate: static checks plus the full suite under the
+# race detector (the parallel analysis engine must stay race-clean).
+check: build vet race
+
 # Regenerate every table and figure once (E1-E13 of DESIGN.md).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
+
+# Machine-readable benchmark snapshot: runs the paper benchmarks once and
+# writes ns/op, B/op, and allocs/op per benchmark to BENCH_1.json.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_1.json
 
 # Short fuzz passes over the binary decoders.
 fuzz:

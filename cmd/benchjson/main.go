@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// snapshot, so benchmark results can be recorded and diffed across
+// commits without scraping the text format.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -benchtime=1x -run=NONE . | benchjson -out BENCH_1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: the standard ns/op, B/op, and allocs/op
+// metrics plus any custom ReportMetric units, keyed by unit name.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the output document.
+type Snapshot struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Package    string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default: stdout)")
+	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	flag.Parse()
+
+	snap, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap.Note = *note
+	if len(snap.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// parse consumes the text format: header key-value lines (goos, goarch,
+// pkg, cpu), then one line per benchmark:
+//
+//	BenchmarkName-8   	  1000	  1234 ns/op	  56 B/op	  7 allocs/op
+func parse(sc *bufio.Scanner) (*Snapshot, error) {
+	snap := &Snapshot{}
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseBenchLine(line)
+			if ok {
+				snap.Benchmarks = append(snap.Benchmarks, r)
+			}
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseBenchLine splits one benchmark result line into its metrics.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       trimProcSuffix(fields[0]),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// Remaining fields alternate value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}
+
+// trimProcSuffix drops the trailing -N GOMAXPROCS marker.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

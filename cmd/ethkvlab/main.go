@@ -63,9 +63,39 @@ func main() {
 	})
 	fmt.Fprintln(out)
 
-	// E3/E4: Tables II and III.
-	cachedOps := analysis.CollectOpDistSlice(cached.Ops, nil)
-	bareOps := analysis.CollectOpDistSlice(bare.Ops, nil)
+	// E3-E11 inputs: one single-pass engine scan per trace feeds the op
+	// census and both correlation analyses at once, and the two traces
+	// scan concurrently.
+	readCfg := analysis.CorrConfig{Op: trace.OpRead}
+	updCfg := analysis.CorrConfig{Op: trace.OpUpdate}
+	type scanResult struct {
+		dist *analysis.OpDist
+		read *analysis.Correlator
+		upd  *analysis.Correlator
+	}
+	scan := func(ops []trace.Op, dst *scanResult, done chan<- error) {
+		e := analysis.NewEngine(analysis.EngineConfig{})
+		hd := e.AddOpDist(nil)
+		hr := e.AddCorrelator(readCfg)
+		hu := e.AddCorrelator(updCfg)
+		if err := e.RunSlice(ops); err != nil {
+			done <- err
+			return
+		}
+		dst.dist, dst.read, dst.upd = hd.Result(), hr.Result(), hu.Result()
+		done <- nil
+	}
+	var cachedScan, bareScan scanResult
+	scanErrs := make(chan error, 2)
+	go scan(cached.Ops, &cachedScan, scanErrs)
+	go scan(bare.Ops, &bareScan, scanErrs)
+	for i := 0; i < 2; i++ {
+		if err := <-scanErrs; err != nil {
+			log.Fatal(err)
+		}
+	}
+	cachedOps, bareOps := cachedScan.dist, bareScan.dist
+
 	fmt.Fprintln(out, "== Table II: operation distribution (CacheTrace)")
 	report.WriteOpTable(out, "CacheTrace", cachedOps)
 	fmt.Fprintln(out)
@@ -91,9 +121,7 @@ func main() {
 	fmt.Fprintln(out)
 
 	// E8/E9: read correlations.
-	readCfg := analysis.CorrConfig{Op: trace.OpRead}
-	cachedRead := analysis.CollectCorrelationsSlice(cached.Ops, readCfg)
-	bareRead := analysis.CollectCorrelationsSlice(bare.Ops, readCfg)
+	cachedRead, bareRead := cachedScan.read, bareScan.read
 	fmt.Fprintln(out, "== Figure 4: read correlations")
 	report.WriteCorrelationFigure(out, "CacheTrace reads", cachedRead, 3)
 	report.WriteCorrelationFigure(out, "BareTrace reads", bareRead, 3)
@@ -104,9 +132,7 @@ func main() {
 	fmt.Fprintln(out)
 
 	// E10/E11: update correlations.
-	updCfg := analysis.CorrConfig{Op: trace.OpUpdate}
-	cachedUpd := analysis.CollectCorrelationsSlice(cached.Ops, updCfg)
-	bareUpd := analysis.CollectCorrelationsSlice(bare.Ops, updCfg)
+	cachedUpd, bareUpd := cachedScan.upd, bareScan.upd
 	fmt.Fprintln(out, "== Figure 6: update correlations")
 	report.WriteCorrelationFigure(out, "CacheTrace updates", cachedUpd, 3)
 	report.WriteCorrelationFigure(out, "BareTrace updates", bareUpd, 3)

@@ -115,8 +115,9 @@ func buildBackend(kind, dir string) (kv.Store, error) {
 	}
 }
 
-// loadOps reads the whole trace into memory (replays revisit nothing, but
-// Replay takes a slice; traces at tool scale fit comfortably).
+// loadOps reads the whole trace into memory via the batched reader path
+// (replays revisit nothing, but Replay takes a slice; traces at tool scale
+// fit comfortably).
 func loadOps(path string) ([]trace.Op, error) {
 	r, err := trace.OpenFile(path)
 	if err != nil {
@@ -124,14 +125,15 @@ func loadOps(path string) ([]trace.Op, error) {
 	}
 	defer r.Close()
 	var ops []trace.Op
+	batch := make([]trace.Op, 8192)
 	for {
-		op, err := r.Next()
+		n, err := r.NextBatch(batch)
+		ops = append(ops, batch[:n]...)
 		if errors.Is(err, io.EOF) {
 			return ops, nil
 		}
 		if err != nil {
 			return nil, err
 		}
-		ops = append(ops, op)
 	}
 }

@@ -61,6 +61,9 @@ type CorrConfig struct {
 }
 
 // Correlator consumes a trace and produces the correlation statistics.
+// The hot-path state is indexed by distance position (not distance value)
+// so Observe touches slices, not nested maps; corrState carries the
+// counters themselves so the parallel engine can shard them.
 type Correlator struct {
 	cfg       CorrConfig
 	distances []int
@@ -69,14 +72,33 @@ type Correlator struct {
 	// ring holds the last maxDist+1 tracked ops as (keyHash, class).
 	ring []ringEntry
 	pos  uint64 // total tracked ops so far
-	// counts[d][pair] accumulates occurrences that passed the min-2 rule.
-	counts map[int]map[ClassPair]uint64
-	// exact per-key-pair occurrence counts at tracked distances.
-	pairCounts map[int]map[pairKey]*pairStat
-	trackExact map[int]bool
+
+	corrState
+
+	// pairCountsByDist aliases corrState.pairCounts by distance value for
+	// the accessor methods (FrequencyDistribution, MaxPairFrequency).
+	pairCountsByDist map[int]map[pairKey]*pairStat
+
+	// hashCache memoizes hashKey for repeated keys; keccak dominates the
+	// sequential pass otherwise. Bounded to keep paper-scale traces safe.
+	hashCache map[string]uint64
+}
+
+// corrState is the shardable counter state of one correlation pass. Each
+// parallel shard owns one (with a sketch partition); the sequential path
+// owns exactly one covering everything.
+type corrState struct {
+	// counts[i][pair] accumulates occurrences at distances[i] that passed
+	// the min-2 rule.
+	counts []map[ClassPair]uint64
+	// pairCounts[i] holds exact per-key-pair occurrence counts when
+	// distances[i] is tracked; nil otherwise (sketch path).
+	pairCounts []map[pairKey]*pairStat
 	// sketch approximates per-(pair,distance) occurrence counts for the
-	// min-2 rule at non-tracked distances.
-	sketch []uint8
+	// min-2 rule at non-tracked distances. sketchOff is the partition
+	// offset (0 and full size for the sequential path).
+	sketch    []uint8
+	sketchOff uint64
 }
 
 // ringEntry is one remembered op.
@@ -99,6 +121,75 @@ type pairStat struct {
 // sketchBits sizes the counting sketch (2^24 counters = 16 MiB).
 const sketchBits = 24
 
+// maxHashCacheKeys bounds the key-hash memo; beyond it new keys are hashed
+// directly (values stay identical either way).
+const maxHashCacheKeys = 1 << 20
+
+// newCorrState builds counter maps for the distance layout. sketchLo and
+// sketchHi bound the owned sketch partition.
+func newCorrState(distances []int, trackExact []bool, sketchLo, sketchHi uint64) corrState {
+	st := corrState{
+		counts:     make([]map[ClassPair]uint64, len(distances)),
+		pairCounts: make([]map[pairKey]*pairStat, len(distances)),
+		sketch:     make([]uint8, sketchHi-sketchLo),
+		sketchOff:  sketchLo,
+	}
+	for i := range distances {
+		st.counts[i] = make(map[ClassPair]uint64)
+		if trackExact[i] {
+			st.pairCounts[i] = make(map[pairKey]*pairStat)
+		}
+	}
+	return st
+}
+
+// apply folds one correlated-pair observation into the counters. i is the
+// distance index, d the distance value (the sketch hash keys on it).
+func (st *corrState) apply(i, d int, pk pairKey, cp ClassPair) {
+	if stats := st.pairCounts[i]; stats != nil {
+		s := stats[pk]
+		if s == nil {
+			s = &pairStat{pair: cp}
+			stats[pk] = s
+		}
+		s.count++
+		switch s.count {
+		case 1:
+			// Not yet correlated (needs at least two occurrences).
+		case 2:
+			st.counts[i][cp] += 2
+		default:
+			st.counts[i][cp]++
+		}
+		return
+	}
+	// Sketch path: approximate occurrence count for the min-2 rule.
+	switch st.bumpSketch(sketchIndex(pk, d)) {
+	case 1:
+		// First sighting: defer.
+	case 2:
+		st.counts[i][cp] += 2
+	default:
+		st.counts[i][cp]++
+	}
+}
+
+// bumpSketch increments the saturating counter at the global sketch index
+// and returns the new value (saturates at 255).
+func (st *corrState) bumpSketch(idx uint64) uint8 {
+	v := st.sketch[idx-st.sketchOff]
+	if v < 255 {
+		v++
+		st.sketch[idx-st.sketchOff] = v
+	}
+	return v
+}
+
+// sketchIndex hashes (pair, distance) into the counting sketch.
+func sketchIndex(pk pairKey, d int) uint64 {
+	return (pk.lo*0x9e3779b97f4a7c15 + pk.hi*0xc2b2ae3d27d4eb4f + uint64(d)*0x165667b19e3779f9) & (1<<sketchBits - 1)
+}
+
 // NewCorrelator builds a correlator for the config.
 func NewCorrelator(cfg CorrConfig) *Correlator {
 	if cfg.Distances == nil {
@@ -108,24 +199,42 @@ func NewCorrelator(cfg CorrConfig) *Correlator {
 		cfg.TrackPairsAt = []int{0, 1024}
 	}
 	c := &Correlator{
-		cfg:        cfg,
-		distances:  append([]int(nil), cfg.Distances...),
-		counts:     make(map[int]map[ClassPair]uint64),
-		pairCounts: make(map[int]map[pairKey]*pairStat),
-		trackExact: make(map[int]bool),
-		sketch:     make([]uint8, 1<<sketchBits),
+		cfg:              cfg,
+		distances:        append([]int(nil), cfg.Distances...),
+		pairCountsByDist: make(map[int]map[pairKey]*pairStat),
+		hashCache:        make(map[string]uint64),
 	}
 	sort.Ints(c.distances)
 	c.maxDist = c.distances[len(c.distances)-1]
 	c.ring = make([]ringEntry, c.maxDist+1)
-	for _, d := range c.distances {
-		c.counts[d] = make(map[ClassPair]uint64)
+	c.corrState = newCorrState(c.distances, c.trackExactByIndex(), 0, 1<<sketchBits)
+	for i, d := range c.distances {
+		if c.pairCounts[i] != nil {
+			c.pairCountsByDist[d] = c.pairCounts[i]
+		}
 	}
+	// TrackPairsAt entries outside Distances never receive observations but
+	// stay addressable, matching the historical accessor behavior.
 	for _, d := range cfg.TrackPairsAt {
-		c.trackExact[d] = true
-		c.pairCounts[d] = make(map[pairKey]*pairStat)
+		if _, ok := c.pairCountsByDist[d]; !ok {
+			c.pairCountsByDist[d] = make(map[pairKey]*pairStat)
+		}
 	}
 	return c
+}
+
+// trackExactByIndex expands cfg.TrackPairsAt into a per-distance-index
+// bitmap.
+func (c *Correlator) trackExactByIndex() []bool {
+	exact := make([]bool, len(c.distances))
+	for i, d := range c.distances {
+		for _, t := range c.cfg.TrackPairsAt {
+			if t == d {
+				exact[i] = true
+			}
+		}
+	}
+	return exact
 }
 
 // tracks reports whether the op belongs to the tracked stream.
@@ -144,9 +253,30 @@ func (c *Correlator) Observe(op trace.Op) {
 	if !c.tracks(op) {
 		return
 	}
-	h := hashKey(op.Key)
-	entry := ringEntry{keyHash: h, class: op.Class}
-	for _, d := range c.distances {
+	// Same loop as observeHash with fold = c.apply, kept direct: the
+	// sequential hot path pays for an indirect call per (op, distance)
+	// tuple otherwise.
+	h := c.hashKeyCached(op.Key)
+	class := op.Class
+	for i, d := range c.distances {
+		if uint64(d+1) > c.pos {
+			break
+		}
+		partner := c.ring[(c.pos-uint64(d)-1)%uint64(len(c.ring))]
+		if partner.keyHash == h {
+			continue
+		}
+		c.apply(i, d, makePairKey(h, partner.keyHash), MakeClassPair(class, partner.class))
+	}
+	c.ring[c.pos%uint64(len(c.ring))] = ringEntry{keyHash: h, class: class}
+	c.pos++
+}
+
+// observeHash advances the ring with one tracked op, feeding every
+// correlated pair it forms to fold. Factored out so the parallel engine can
+// route pairs to shards while keeping the exact sequential semantics.
+func (c *Correlator) observeHash(h uint64, class rawdb.Class, fold func(i, d int, pk pairKey, cp ClassPair)) {
+	for i, d := range c.distances {
 		if uint64(d+1) > c.pos {
 			break // not enough history yet
 		}
@@ -154,50 +284,22 @@ func (c *Correlator) Observe(op trace.Op) {
 		if partner.keyHash == h {
 			continue // same key is not a pair
 		}
-		pk := makePairKey(h, partner.keyHash)
-		cp := MakeClassPair(op.Class, partner.class)
-		if c.trackExact[d] {
-			stats := c.pairCounts[d]
-			st := stats[pk]
-			if st == nil {
-				st = &pairStat{pair: cp}
-				stats[pk] = st
-			}
-			st.count++
-			switch st.count {
-			case 1:
-				// Not yet correlated (needs at least two occurrences).
-			case 2:
-				c.counts[d][cp] += 2
-			default:
-				c.counts[d][cp]++
-			}
-			continue
-		}
-		// Sketch path: approximate occurrence count for the min-2 rule.
-		switch c.bumpSketch(pk, d) {
-		case 1:
-			// First sighting: defer.
-		case 2:
-			c.counts[d][cp] += 2
-		default:
-			c.counts[d][cp]++
-		}
+		fold(i, d, makePairKey(h, partner.keyHash), MakeClassPair(class, partner.class))
 	}
-	c.ring[c.pos%uint64(len(c.ring))] = entry
+	c.ring[c.pos%uint64(len(c.ring))] = ringEntry{keyHash: h, class: class}
 	c.pos++
 }
 
-// bumpSketch increments the saturating counter for (pair, distance) and
-// returns the new value (saturates at 255).
-func (c *Correlator) bumpSketch(pk pairKey, d int) uint8 {
-	idx := (pk.lo*0x9e3779b97f4a7c15 + pk.hi*0xc2b2ae3d27d4eb4f + uint64(d)*0x165667b19e3779f9) & (1<<sketchBits - 1)
-	v := c.sketch[idx]
-	if v < 255 {
-		v++
-		c.sketch[idx] = v
+// hashKeyCached memoizes hashKey for hot keys.
+func (c *Correlator) hashKeyCached(key []byte) uint64 {
+	if h, ok := c.hashCache[string(key)]; ok {
+		return h
 	}
-	return v
+	h := hashKey(key)
+	if len(c.hashCache) < maxHashCacheKeys {
+		c.hashCache[string(key)] = h
+	}
+	return h
 }
 
 // hashKey derives a 64-bit key fingerprint.
@@ -215,9 +317,23 @@ func makePairKey(a, b uint64) pairKey {
 	return pairKey{a, b}
 }
 
+// distIndex maps a distance value to its index, or -1.
+func (c *Correlator) distIndex(d int) int {
+	for i, dd := range c.distances {
+		if dd == d {
+			return i
+		}
+	}
+	return -1
+}
+
 // Counts returns the correlated-op count for a class pair at a distance.
 func (c *Correlator) Counts(d int, pair ClassPair) uint64 {
-	return c.counts[d][pair]
+	i := c.distIndex(d)
+	if i < 0 {
+		return 0
+	}
+	return c.counts[i][pair]
 }
 
 // PairSeries is one class pair's counts across distances — one line of
@@ -231,12 +347,16 @@ type PairSeries struct {
 // TopPairs returns the n class pairs with the highest correlated count at
 // the given distance, optionally restricted to intra- or cross-class pairs.
 func (c *Correlator) TopPairs(d, n int, intra bool) []PairSeries {
+	di := c.distIndex(d)
+	if di < 0 {
+		return nil
+	}
 	type row struct {
 		pair  ClassPair
 		count uint64
 	}
 	var rows []row
-	for pair, count := range c.counts[d] {
+	for pair, count := range c.counts[di] {
 		if pair.Intra() != intra {
 			continue
 		}
@@ -254,8 +374,8 @@ func (c *Correlator) TopPairs(d, n int, intra bool) []PairSeries {
 	out := make([]PairSeries, 0, len(rows))
 	for _, r := range rows {
 		series := PairSeries{Pair: r.pair, Counts: make(map[int]uint64)}
-		for _, dist := range c.distances {
-			cnt := c.counts[dist][r.pair]
+		for i, dist := range c.distances {
+			cnt := c.counts[i][r.pair]
 			series.Counts[dist] = cnt
 			series.Total += cnt
 		}
@@ -268,7 +388,7 @@ func (c *Correlator) TopPairs(d, n int, intra bool) []PairSeries {
 // class pair at a tracked distance: Figure 5 / Figure 7 panels. Only pairs
 // meeting the at-least-twice rule appear.
 func (c *Correlator) FrequencyDistribution(d int, pair ClassPair) []FreqPoint {
-	stats, ok := c.pairCounts[d]
+	stats, ok := c.pairCountsByDist[d]
 	if !ok {
 		return nil
 	}
@@ -289,7 +409,7 @@ func (c *Correlator) FrequencyDistribution(d int, pair ClassPair) []FreqPoint {
 // MaxPairFrequency returns the highest per-key-pair occurrence count for a
 // class pair at a tracked distance.
 func (c *Correlator) MaxPairFrequency(d int, pair ClassPair) uint64 {
-	stats, ok := c.pairCounts[d]
+	stats, ok := c.pairCountsByDist[d]
 	if !ok {
 		return 0
 	}
@@ -310,24 +430,33 @@ func (c *Correlator) Distances() []int {
 // TrackedOps reports how many ops entered the correlation stream.
 func (c *Correlator) TrackedOps() uint64 { return c.pos }
 
-// CollectCorrelations streams a trace through a new correlator.
+// CollectCorrelations streams a trace through a new correlator. The pass
+// runs on the parallel engine (DefaultWorkers shards; set
+// ETHKV_ANALYSIS_WORKERS to override).
 func CollectCorrelations(r *trace.Reader, cfg CorrConfig) (*Correlator, error) {
-	c := NewCorrelator(cfg)
-	err := r.ForEach(func(op trace.Op) error {
-		c.Observe(op)
-		return nil
-	})
-	if err != nil {
+	e := NewEngine(EngineConfig{})
+	h := e.AddCorrelator(cfg)
+	if err := e.RunReader(r); err != nil {
 		return nil, err
 	}
-	return c, nil
+	return h.Result(), nil
 }
 
-// CollectCorrelationsSlice runs a correlation pass over in-memory ops.
+// CollectCorrelationsSlice runs a correlation pass over in-memory ops,
+// sharded across DefaultWorkers when more than one CPU is available.
 func CollectCorrelationsSlice(ops []trace.Op, cfg CorrConfig) *Correlator {
-	c := NewCorrelator(cfg)
-	for _, op := range ops {
-		c.Observe(op)
+	if DefaultWorkers() <= 1 {
+		c := NewCorrelator(cfg)
+		for _, op := range ops {
+			c.Observe(op)
+		}
+		return c
 	}
-	return c
+	e := NewEngine(EngineConfig{})
+	h := e.AddCorrelator(cfg)
+	if err := e.RunSlice(ops); err != nil {
+		// RunSlice cannot fail: no I/O is involved.
+		panic(err)
+	}
+	return h.Result()
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ethkv/internal/rawdb"
 	"ethkv/internal/trace"
@@ -394,21 +395,33 @@ func classNames(classes []rawdb.Class) []string {
 	return out
 }
 
-// BuildFindingsInput runs the four correlation passes over in-memory
-// traces and assembles the checker input. Intended for tests and examples;
-// large runs stream from trace files instead.
+// BuildFindingsInput assembles the checker input from in-memory traces.
+// Each trace is scanned exactly once: a single-pass engine fans the op
+// stream out to the census and both correlation passes, and the two traces
+// run concurrently. Intended for tests and examples; large runs stream
+// from trace files instead.
 func BuildFindingsInput(cachedOps, bareOps []trace.Op,
 	cachedStore, bareStore *SizeDist) *FindingsInput {
 	readCfg := CorrConfig{Op: trace.OpRead}
 	updCfg := CorrConfig{Op: trace.OpUpdate, IncludeWrites: false}
-	return &FindingsInput{
-		CachedOps:        CollectOpDistSlice(cachedOps, nil),
-		BareOps:          CollectOpDistSlice(bareOps, nil),
-		CachedStore:      cachedStore,
-		BareStore:        bareStore,
-		CachedReadCorr:   CollectCorrelationsSlice(cachedOps, readCfg),
-		BareReadCorr:     CollectCorrelationsSlice(bareOps, readCfg),
-		CachedUpdateCorr: CollectCorrelationsSlice(cachedOps, updCfg),
-		BareUpdateCorr:   CollectCorrelationsSlice(bareOps, updCfg),
+	in := &FindingsInput{CachedStore: cachedStore, BareStore: bareStore}
+
+	var wg sync.WaitGroup
+	scan := func(ops []trace.Op, dist **OpDist, readCorr, updCorr **Correlator) {
+		defer wg.Done()
+		e := NewEngine(EngineConfig{})
+		hd := e.AddOpDist(nil)
+		hr := e.AddCorrelator(readCfg)
+		hu := e.AddCorrelator(updCfg)
+		if err := e.RunSlice(ops); err != nil {
+			// RunSlice cannot fail: no I/O is involved.
+			panic(err)
+		}
+		*dist, *readCorr, *updCorr = hd.Result(), hr.Result(), hu.Result()
 	}
+	wg.Add(2)
+	go scan(cachedOps, &in.CachedOps, &in.CachedReadCorr, &in.CachedUpdateCorr)
+	go scan(bareOps, &in.BareOps, &in.BareReadCorr, &in.BareUpdateCorr)
+	wg.Wait()
+	return in
 }

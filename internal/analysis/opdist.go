@@ -125,26 +125,35 @@ func (d *OpDist) bump(freq map[string]uint32, key []byte) {
 	freq[string(key)]++
 }
 
-// CollectOpDist streams a trace reader through a new census.
+// CollectOpDist streams a trace reader through a new census in batched
+// reads, sharding the per-class counters across DefaultWorkers (set
+// ETHKV_ANALYSIS_WORKERS to override).
 func CollectOpDist(r *trace.Reader, trackClasses []rawdb.Class) (*OpDist, error) {
-	d := NewOpDist(trackClasses)
-	err := r.ForEach(func(op trace.Op) error {
-		d.Observe(op)
-		return nil
-	})
-	if err != nil {
+	e := NewEngine(EngineConfig{})
+	h := e.AddOpDist(trackClasses)
+	if err := e.RunReader(r); err != nil {
 		return nil, err
 	}
-	return d, nil
+	return h.Result(), nil
 }
 
-// CollectOpDistSlice builds a census from in-memory ops.
+// CollectOpDistSlice builds a census from in-memory ops, sharded across
+// DefaultWorkers when more than one CPU is available.
 func CollectOpDistSlice(ops []trace.Op, trackClasses []rawdb.Class) *OpDist {
-	d := NewOpDist(trackClasses)
-	for _, op := range ops {
-		d.Observe(op)
+	if DefaultWorkers() <= 1 {
+		d := NewOpDist(trackClasses)
+		for _, op := range ops {
+			d.Observe(op)
+		}
+		return d
 	}
-	return d
+	e := NewEngine(EngineConfig{})
+	h := e.AddOpDist(trackClasses)
+	if err := e.RunSlice(ops); err != nil {
+		// RunSlice cannot fail: no I/O is involved.
+		panic(err)
+	}
+	return h.Result()
 }
 
 // Share returns a class's fraction of all ops (Table II/III column 2).

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"ethkv/internal/analysis"
 	"ethkv/internal/chain"
@@ -123,7 +124,9 @@ func Run(cfg Config) (*Result, error) {
 		slice = &trace.SliceSink{}
 		sink = slice
 	}
-	traced := trace.WrapStore(inner, sink)
+	// Batched emit: ops buffer inside the traced store and reach the sink
+	// as sequence-ordered batches, cutting per-op sink overhead.
+	traced := trace.WrapStoreBuffered(inner, sink, 512)
 
 	// Genesis: by default below the tracer — pre-existing state is not
 	// traced (§III-B: the traces cover the 1M-block window over prior
@@ -170,6 +173,9 @@ func Run(cfg Config) (*Result, error) {
 	if err := proc.Shutdown(); err != nil {
 		return nil, err
 	}
+	if err := traced.Flush(); err != nil {
+		return nil, err
+	}
 	if writer != nil {
 		if err := writer.Close(); err != nil {
 			return nil, err
@@ -199,17 +205,29 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // RunBoth executes the bare and cached configurations over the same
-// workload, the setup every comparative finding needs.
+// workload, the setup every comparative finding needs. The two runs are
+// fully independent (separate stores, freezers, and sinks), so they execute
+// concurrently.
 func RunBoth(blocks int, workload chain.WorkloadConfig) (bare, cached *Result, err error) {
-	bareCfg := Config{Mode: Bare, Blocks: blocks, Workload: workload}
-	cachedCfg := Config{Mode: Cached, Blocks: blocks, Workload: workload}
-	bare, err = Run(bareCfg)
-	if err != nil {
-		return nil, nil, fmt.Errorf("lab: bare run: %w", err)
+	var (
+		wg         sync.WaitGroup
+		bErr, cErr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		bare, bErr = Run(Config{Mode: Bare, Blocks: blocks, Workload: workload})
+	}()
+	go func() {
+		defer wg.Done()
+		cached, cErr = Run(Config{Mode: Cached, Blocks: blocks, Workload: workload})
+	}()
+	wg.Wait()
+	if bErr != nil {
+		return nil, nil, fmt.Errorf("lab: bare run: %w", bErr)
 	}
-	cached, err = Run(cachedCfg)
-	if err != nil {
-		return nil, nil, fmt.Errorf("lab: cached run: %w", err)
+	if cErr != nil {
+		return nil, nil, fmt.Errorf("lab: cached run: %w", cErr)
 	}
 	return bare, cached, nil
 }

@@ -1,0 +1,301 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"ethkv/internal/kv"
+	"ethkv/internal/rawdb"
+)
+
+// writeTestTrace writes n synthetic ops to a trace file and returns both
+// the path and the ops as appended.
+func writeTestTrace(t *testing.T, n int) (string, []Op) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	ops := make([]Op, n)
+	for i := range ops {
+		key := make([]byte, rng.Intn(80))
+		rng.Read(key)
+		ops[i] = Op{
+			Seq:       uint64(i),
+			Type:      OpType(rng.Intn(5)),
+			Class:     rawdb.Class(rng.Intn(29) + 1),
+			Key:       key,
+			ValueSize: uint32(rng.Intn(4096)),
+			Hit:       rng.Intn(3) == 0,
+		}
+	}
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, ops
+}
+
+func requireOpEqual(t *testing.T, i int, got, want Op) {
+	t.Helper()
+	if got.Seq != want.Seq || got.Type != want.Type || got.Class != want.Class ||
+		!bytes.Equal(got.Key, want.Key) || got.ValueSize != want.ValueSize ||
+		got.Hit != want.Hit {
+		t.Fatalf("op %d mismatch:\ngot  %+v\nwant %+v", i, got, want)
+	}
+}
+
+func TestNextBatchMatchesNext(t *testing.T) {
+	const n = 2003
+	path, want := writeTestTrace(t, n)
+	// Batch sizes chosen to land mid-record, exactly at EOF, and past it.
+	for _, bs := range []int{1, 7, 100, n, n + 50} {
+		t.Run(fmt.Sprintf("batch=%d", bs), func(t *testing.T) {
+			r, err := OpenFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			dst := make([]Op, bs)
+			total := 0
+			for {
+				m, err := r.NextBatch(dst)
+				for i := 0; i < m; i++ {
+					requireOpEqual(t, total, dst[i], want[total])
+					total++
+				}
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m == 0 {
+					t.Fatal("NextBatch returned (0, nil)")
+				}
+			}
+			if total != n {
+				t.Fatalf("read %d ops, want %d", total, n)
+			}
+		})
+	}
+}
+
+func TestNextBatchKeysStayValid(t *testing.T) {
+	// Keys from earlier batches must survive later NextBatch calls: each
+	// batch gets its own arena.
+	path, want := writeTestTrace(t, 500)
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var got []Op
+	dst := make([]Op, 64)
+	for {
+		m, err := r.NextBatch(dst)
+		got = append(got, dst[:m]...)
+		if err != nil {
+			break
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d ops, want %d", len(got), len(want))
+	}
+	for i := range got {
+		requireOpEqual(t, i, got[i], want[i])
+	}
+}
+
+func TestNextBatchEOFSemantics(t *testing.T) {
+	path, _ := writeTestTrace(t, 10)
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	dst := make([]Op, 64)
+	// Short batch ending exactly at EOF: (10, nil) first.
+	n, err := r.NextBatch(dst)
+	if n != 10 || err != nil {
+		t.Fatalf("first NextBatch = (%d, %v), want (10, nil)", n, err)
+	}
+	n, err = r.NextBatch(dst)
+	if n != 0 || !errors.Is(err, io.EOF) {
+		t.Fatalf("second NextBatch = (%d, %v), want (0, EOF)", n, err)
+	}
+	// Zero-length dst is a no-op, not EOF.
+	if n, err := r.NextBatch(nil); n != 0 || err != nil {
+		t.Fatalf("NextBatch(nil) = (%d, %v)", n, err)
+	}
+}
+
+func TestNextBatchTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(Op{Type: OpRead, Class: rawdb.ClassCode, Key: []byte("abcd")})
+	w.Close()
+	// Chop the final record mid-key: a truncated head reads as EOF, and a
+	// batch holding prior complete records still returns them.
+	raw := buf.Bytes()
+	r := NewReader(bytes.NewReader(raw[:len(raw)-2]))
+	dst := make([]Op, 4)
+	n, err := r.NextBatch(dst)
+	if n != 0 || err == nil {
+		t.Fatalf("NextBatch on truncated record = (%d, %v), want (0, error)", n, err)
+	}
+}
+
+func TestSliceSinkAppendBatchAndGrow(t *testing.T) {
+	s := &SliceSink{}
+	s.Grow(100)
+	if cap(s.Ops) < 100 {
+		t.Fatalf("Grow(100): cap = %d", cap(s.Ops))
+	}
+	batch := []Op{{Seq: 0, Type: OpRead}, {Seq: 1, Type: OpWrite}}
+	if err := s.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Op{Seq: 2, Type: OpDelete}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Ops) != 3 || s.Ops[1].Type != OpWrite || s.Ops[2].Type != OpDelete {
+		t.Fatalf("ops = %+v", s.Ops)
+	}
+}
+
+func TestBufferedStoreFlushSemantics(t *testing.T) {
+	sink := &SliceSink{}
+	ts := WrapStoreBuffered(kv.NewMemStore(), sink, 4)
+	for i := 0; i < 6; i++ {
+		if err := ts.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 6 ops with flushEvery=4: one threshold flush has happened, 2 pending.
+	if len(sink.Ops) != 4 {
+		t.Fatalf("before Flush: %d ops delivered, want 4", len(sink.Ops))
+	}
+	if err := ts.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Ops) != 6 {
+		t.Fatalf("after Flush: %d ops delivered, want 6", len(sink.Ops))
+	}
+	// Sequence order survives buffering.
+	for i, op := range sink.Ops {
+		if op.Seq != uint64(i) {
+			t.Fatalf("op %d has seq %d", i, op.Seq)
+		}
+		if op.Type != OpWrite {
+			t.Fatalf("op %d is %v, want write", i, op.Type)
+		}
+	}
+	// Keys emitted through the arena are private copies.
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferedStoreCloseFlushes(t *testing.T) {
+	sink := &SliceSink{}
+	ts := WrapStoreBuffered(kv.NewMemStore(), sink, 100)
+	for i := 0; i < 5; i++ {
+		if err := ts.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sink.Ops) != 0 {
+		t.Fatalf("ops delivered before Close: %d", len(sink.Ops))
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Ops) != 5 {
+		t.Fatalf("after Close: %d ops delivered, want 5", len(sink.Ops))
+	}
+}
+
+func TestBufferedStoreNonBatchSink(t *testing.T) {
+	// A Sink without AppendBatch still receives every op, in order.
+	sink := &appendOnlySink{}
+	ts := WrapStoreBuffered(kv.NewMemStore(), sink, 3)
+	for i := 0; i < 7; i++ {
+		if err := ts.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ts.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ops) != 7 {
+		t.Fatalf("delivered %d ops, want 7", len(sink.ops))
+	}
+	for i, op := range sink.ops {
+		if op.Seq != uint64(i) {
+			t.Fatalf("op %d has seq %d", i, op.Seq)
+		}
+	}
+}
+
+// appendOnlySink implements Sink but not BatchSink.
+type appendOnlySink struct{ ops []Op }
+
+func (s *appendOnlySink) Append(op Op) error {
+	s.ops = append(s.ops, op)
+	return nil
+}
+
+// failingSink errors on every delivery.
+type failingSink struct{ calls int }
+
+var errSinkBroken = errors.New("sink broken")
+
+func (s *failingSink) Append(Op) error { s.calls++; return errSinkBroken }
+
+func TestBufferedStoreSinkErrorLatched(t *testing.T) {
+	ts := WrapStoreBuffered(kv.NewMemStore(), &failingSink{}, 2)
+	for i := 0; i < 4; i++ {
+		if err := ts.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ts.Flush(); !errors.Is(err, errSinkBroken) {
+		t.Fatalf("Flush = %v, want sink error", err)
+	}
+}
+
+// hasErrStore wraps a store and fails Has, exercising the put
+// classification error path.
+type hasErrStore struct{ kv.Store }
+
+var errHasBroken = errors.New("has broken")
+
+func (s hasErrStore) Has([]byte) (bool, error) { return false, errHasBroken }
+
+func TestPutClassificationErrorPropagates(t *testing.T) {
+	sink := &SliceSink{}
+	ts := WrapStore(hasErrStore{kv.NewMemStore()}, sink)
+	err := ts.Put([]byte("key"), []byte("v"))
+	if !errors.Is(err, errHasBroken) {
+		t.Fatalf("Put = %v, want wrapped Has error", err)
+	}
+	// The op was neither applied nor traced.
+	if len(sink.Ops) != 0 {
+		t.Fatalf("traced %d ops after failed classification", len(sink.Ops))
+	}
+	// A key already in the known set skips the probe and succeeds.
+	ts2 := WrapStore(kv.NewMemStore(), sink)
+	if err := ts2.Put([]byte("key"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"ethkv/internal/kv"
@@ -12,6 +13,14 @@ import (
 // collectors.
 type Sink interface {
 	Append(Op) error
+}
+
+// BatchSink is a Sink that also accepts batched appends. The buffered
+// store emit path uses it to amortize per-op sink overhead; sinks without
+// it receive the batch as individual Appends.
+type BatchSink interface {
+	Sink
+	AppendBatch([]Op) error
 }
 
 // SliceSink collects ops in memory, for tests and small experiments.
@@ -28,6 +37,25 @@ func (s *SliceSink) Append(op Op) error {
 	return nil
 }
 
+// AppendBatch implements BatchSink: one lock acquisition per batch.
+func (s *SliceSink) AppendBatch(ops []Op) error {
+	s.mu.Lock()
+	s.Ops = append(s.Ops, ops...)
+	s.mu.Unlock()
+	return nil
+}
+
+// Grow preallocates capacity for n more ops.
+func (s *SliceSink) Grow(n int) {
+	s.mu.Lock()
+	if need := len(s.Ops) + n; need > cap(s.Ops) {
+		bigger := make([]Op, len(s.Ops), need)
+		copy(bigger, s.Ops)
+		s.Ops = bigger
+	}
+	s.mu.Unlock()
+}
+
 // Store wraps a kv.Store, logging every operation that crosses the
 // interface — the same observation point as the paper's modified Geth. It
 // also tracks key existence to split writes from updates the way the paper
@@ -40,17 +68,43 @@ type Store struct {
 	// known tracks which keys currently exist, to classify write vs update
 	// and delete-of-absent. Seeded from the store at wrap time if requested.
 	known map[string]struct{}
+	// arena backs emitted key copies in grow-only chunks: one allocation
+	// per ~64 KiB of keys instead of one per op. Chunks are never reused,
+	// so emitted keys stay valid for the lifetime of the sink.
+	arena []byte
+	// flushEvery batches sink delivery: ops buffer in pending (in sequence
+	// order) and flush as one AppendBatch. <=1 delivers per-op.
+	flushEvery int
+	pending    []Op
+	// sinkErr latches the first sink delivery failure; Flush reports it.
+	sinkErr error
 }
 
 var _ kv.Store = (*Store)(nil)
 
-// WrapStore instruments inner, sending every op to sink.
+// arenaChunk is the key-arena allocation granularity.
+const arenaChunk = 64 << 10
+
+// WrapStore instruments inner, delivering every op to sink as it happens.
 func WrapStore(inner kv.Store, sink Sink) *Store {
-	return &Store{
-		inner: inner,
-		sink:  sink,
-		known: make(map[string]struct{}),
+	return WrapStoreBuffered(inner, sink, 0)
+}
+
+// WrapStoreBuffered instruments inner, buffering up to flushEvery ops and
+// delivering them to sink in sequence-ordered batches — the hot-path
+// configuration for trace collection. Call Flush (or Close) before reading
+// the sink. flushEvery <= 1 delivers per-op, exactly like WrapStore.
+func WrapStoreBuffered(inner kv.Store, sink Sink, flushEvery int) *Store {
+	s := &Store{
+		inner:      inner,
+		sink:       sink,
+		known:      make(map[string]struct{}),
+		flushEvery: flushEvery,
 	}
+	if flushEvery > 1 {
+		s.pending = make([]Op, 0, flushEvery)
+	}
+	return s
 }
 
 // emit appends one op with the next sequence number.
@@ -59,14 +113,64 @@ func (s *Store) emit(t OpType, key []byte, valueSize int, hit bool) {
 		Seq:       s.seq,
 		Type:      t,
 		Class:     rawdb.Classify(key),
-		Key:       append([]byte(nil), key...),
+		Key:       s.copyKey(key),
 		ValueSize: uint32(valueSize),
 		Hit:       hit,
 	}
 	s.seq++
-	if s.sink != nil {
-		_ = s.sink.Append(op)
+	if s.sink == nil {
+		return
 	}
+	if s.flushEvery <= 1 {
+		if err := s.sink.Append(op); err != nil && s.sinkErr == nil {
+			s.sinkErr = err
+		}
+		return
+	}
+	s.pending = append(s.pending, op)
+	if len(s.pending) >= s.flushEvery {
+		s.flushLocked()
+	}
+}
+
+// copyKey stores a private copy of key in the arena.
+func (s *Store) copyKey(key []byte) []byte {
+	if cap(s.arena)-len(s.arena) < len(key) {
+		s.arena = make([]byte, 0, max(arenaChunk, len(key)))
+	}
+	n := len(s.arena)
+	s.arena = append(s.arena, key...)
+	return s.arena[n:len(s.arena):len(s.arena)]
+}
+
+// flushLocked delivers pending ops to the sink in order.
+func (s *Store) flushLocked() {
+	if len(s.pending) == 0 {
+		return
+	}
+	var err error
+	if bs, ok := s.sink.(BatchSink); ok {
+		err = bs.AppendBatch(s.pending)
+	} else {
+		for i := range s.pending {
+			if err = s.sink.Append(s.pending[i]); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil && s.sinkErr == nil {
+		s.sinkErr = err
+	}
+	s.pending = s.pending[:0]
+}
+
+// Flush delivers any buffered ops to the sink and reports the first sink
+// delivery error seen so far.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	return s.sinkErr
 }
 
 // Get implements kv.Reader, tracing a read.
@@ -112,9 +216,18 @@ func (s *Store) putLocked(key, value []byte) error {
 	t := OpWrite
 	if _, exists := s.known[string(key)]; exists {
 		t = OpUpdate
-	} else if ok, _ := s.inner.Has(key); ok {
-		// Key predates the trace (written during earlier sync).
-		t = OpUpdate
+	} else {
+		ok, err := s.inner.Has(key)
+		if err != nil {
+			// Without the existence probe the write/update split — the
+			// paper's core classification — would be a guess, so fail the
+			// put rather than mislabel the op.
+			return fmt.Errorf("trace: classifying put: %w", err)
+		}
+		if ok {
+			// Key predates the trace (written during earlier sync).
+			t = OpUpdate
+		}
 	}
 	if err := s.inner.Put(key, value); err != nil {
 		return err
@@ -156,8 +269,14 @@ func (s *Store) NewBatch() kv.Batch {
 	return &tracedBatch{store: s, inner: s.inner.NewBatch()}
 }
 
-// Close implements kv.Store.
-func (s *Store) Close() error { return s.inner.Close() }
+// Close implements kv.Store, flushing buffered ops first.
+func (s *Store) Close() error {
+	flushErr := s.Flush()
+	if err := s.inner.Close(); err != nil {
+		return err
+	}
+	return flushErr
+}
 
 // Stats surfaces the inner store's counters when available.
 func (s *Store) Stats() kv.Stats {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -64,16 +65,23 @@ func (s *Summary) Observe(op Op) {
 	s.Total++
 }
 
-// Summarize streams a whole trace reader into a summary.
+// Summarize streams a whole trace reader into a summary via the batched
+// read path.
 func Summarize(r *Reader) (*Summary, error) {
 	s := NewSummary()
-	if err := r.ForEach(func(op Op) error {
-		s.Observe(op)
-		return nil
-	}); err != nil {
-		return nil, err
+	batch := make([]Op, 4096)
+	for {
+		n, err := r.NextBatch(batch)
+		for i := 0; i < n; i++ {
+			s.Observe(batch[i])
+		}
+		if errors.Is(err, io.EOF) {
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
-	return s, nil
 }
 
 // Render writes the summary as an aligned table.

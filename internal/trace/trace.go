@@ -104,6 +104,17 @@ func (w *Writer) Append(op Op) error {
 	return nil
 }
 
+// AppendBatch records a run of operations under one call — the batched
+// counterpart Sink consumers use to amortize per-op overhead.
+func (w *Writer) AppendBatch(ops []Op) error {
+	for i := range ops {
+		if err := w.Append(ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Count returns the number of ops appended so far.
 func (w *Writer) Count() uint64 { return w.count }
 
@@ -123,6 +134,8 @@ type Reader struct {
 	r   *bufio.Reader
 	c   io.Closer
 	seq uint64
+	// batchOffs is NextBatch's reusable key-offset scratch.
+	batchOffs []int
 }
 
 // NewReader wraps r; if r is also an io.Closer, Close closes it.
@@ -177,6 +190,85 @@ func (r *Reader) Next() (Op, error) {
 	}
 	r.seq++
 	return op, nil
+}
+
+// NextBatch fills dst with up to len(dst) ops and returns how many were
+// read. All key slices point into one arena allocated per call — one
+// allocation per batch rather than one per op — and remain valid after
+// subsequent calls. At the end of the trace it returns (0, io.EOF); a
+// short batch ending exactly at EOF returns (n, nil) first.
+//
+// NextBatch is the preferred bulk-read path; ForEach and Next remain for
+// per-op consumers.
+func (r *Reader) NextBatch(dst []Op) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	// Decode records with key offsets first: the arena may move while it
+	// grows, so keys are re-sliced only once its final size is known.
+	if cap(r.batchOffs) < len(dst)+1 {
+		r.batchOffs = make([]int, 0, len(dst)+1)
+	}
+	offs := r.batchOffs[:0]
+	arena := make([]byte, 0, len(dst)*48)
+	n := 0
+	var err error
+	for n < len(dst) {
+		var head [3]byte
+		if _, herr := io.ReadFull(r.r, head[:]); herr != nil {
+			if errors.Is(herr, io.EOF) || errors.Is(herr, io.ErrUnexpectedEOF) {
+				err = io.EOF
+			} else {
+				err = herr
+			}
+			break
+		}
+		keyLen, kerr := binary.ReadUvarint(r.r)
+		if kerr != nil {
+			err = kerr
+			break
+		}
+		if keyLen > 1<<20 {
+			err = fmt.Errorf("trace: implausible key length %d", keyLen)
+			break
+		}
+		off := len(arena)
+		need := off + int(keyLen)
+		if need > cap(arena) {
+			bigger := make([]byte, off, max(need, 2*cap(arena)))
+			copy(bigger, arena)
+			arena = bigger
+		}
+		arena = arena[:need]
+		if _, rerr := io.ReadFull(r.r, arena[off:]); rerr != nil {
+			err = rerr
+			break
+		}
+		valSize, verr := binary.ReadUvarint(r.r)
+		if verr != nil {
+			err = verr
+			break
+		}
+		offs = append(offs, off)
+		dst[n] = Op{
+			Seq:       r.seq,
+			Type:      OpType(head[0]),
+			Class:     rawdb.Class(head[1]),
+			ValueSize: uint32(valSize),
+			Hit:       head[2]&1 != 0,
+		}
+		r.seq++
+		n++
+	}
+	offs = append(offs, len(arena))
+	r.batchOffs = offs
+	for i := 0; i < n; i++ {
+		dst[i].Key = arena[offs[i]:offs[i+1]:offs[i+1]]
+	}
+	if n > 0 && errors.Is(err, io.EOF) {
+		return n, nil
+	}
+	return n, err
 }
 
 // ForEach streams every op in the trace through fn.
