@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json check fuzz vet fmt repro artifacts clean
+.PHONY: all build test race bench bench-json bench-diff check fuzz vet fmt repro artifacts clean
 
 all: build test
 
@@ -25,9 +25,14 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
 
 # Machine-readable benchmark snapshot: runs the paper benchmarks once and
-# writes ns/op, B/op, and allocs/op per benchmark to BENCH_1.json.
+# writes ns/op, B/op, and allocs/op per benchmark to BENCH_2.json.
+# (BENCH_1.json is the pre-pipeline snapshot; bench-diff compares the two.)
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_1.json
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_2.json
+
+# Per-benchmark ns/op movement between the recorded snapshots.
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff BENCH_1.json BENCH_2.json
 
 # Short fuzz passes over the binary decoders.
 fuzz:

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -benchtime=1x -run=NONE . | benchjson -out BENCH_1.json
+//	benchjson -diff BENCH_1.json BENCH_2.json
 package main
 
 import (
@@ -12,8 +13,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,7 +42,18 @@ type Snapshot struct {
 func main() {
 	out := flag.String("out", "", "output file (default: stdout)")
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	diff := flag.Bool("diff", false, "compare two snapshot files (old new) instead of reading stdin")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			log.Fatal("benchjson: -diff needs exactly two snapshot files: old new")
+		}
+		if err := diffSnapshots(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	snap, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -116,6 +130,70 @@ func parseBenchLine(line string) (Result, bool) {
 		r.Metrics[fields[i+1]] = v
 	}
 	return r, len(r.Metrics) > 0
+}
+
+// loadSnapshot reads one JSON snapshot from disk.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// diffSnapshots prints the per-benchmark ns/op movement between two
+// snapshots, plus benchmarks present in only one of them.
+func diffSnapshots(w io.Writer, oldPath, newPath string) error {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	index := func(s *Snapshot) map[string]Result {
+		m := make(map[string]Result, len(s.Benchmarks))
+		for _, r := range s.Benchmarks {
+			m[r.Name] = r
+		}
+		return m
+	}
+	oldBy, newBy := index(oldSnap), index(newSnap)
+	names := make([]string, 0, len(oldBy)+len(newBy))
+	for name := range oldBy {
+		names = append(names, name)
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-50s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o, haveOld := oldBy[name]
+		n, haveNew := newBy[name]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%-50s %14s %14.0f %9s\n", name, "-", n.Metrics["ns/op"], "new")
+		case !haveNew:
+			fmt.Fprintf(w, "%-50s %14.0f %14s %9s\n", name, o.Metrics["ns/op"], "-", "gone")
+		default:
+			ov, nv := o.Metrics["ns/op"], n.Metrics["ns/op"]
+			delta := "n/a"
+			if ov > 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			fmt.Fprintf(w, "%-50s %14.0f %14.0f %9s\n", name, ov, nv, delta)
+		}
+	}
+	return nil
 }
 
 // trimProcSuffix drops the trailing -N GOMAXPROCS marker.

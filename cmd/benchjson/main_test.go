@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnap(t *testing.T, path, body string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeSnap(t, oldPath, `{"benchmarks":[
+		{"name":"BenchmarkA","iterations":1,"metrics":{"ns/op":1000}},
+		{"name":"BenchmarkGone","iterations":1,"metrics":{"ns/op":50}}]}`)
+	writeSnap(t, newPath, `{"benchmarks":[
+		{"name":"BenchmarkA","iterations":1,"metrics":{"ns/op":500}},
+		{"name":"BenchmarkNew","iterations":1,"metrics":{"ns/op":70}}]}`)
+	var sb strings.Builder
+	if err := diffSnapshots(&sb, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"BenchmarkA", "-50.0%", "BenchmarkGone", "gone", "BenchmarkNew", "new"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkFoo-8   \t 1000\t 1234 ns/op\t 56 B/op\t 7 allocs/op")
+	if !ok || r.Name != "BenchmarkFoo" || r.Iterations != 1000 {
+		t.Fatalf("parse: %+v ok=%v", r, ok)
+	}
+	if r.Metrics["ns/op"] != 1234 || r.Metrics["B/op"] != 56 || r.Metrics["allocs/op"] != 7 {
+		t.Fatalf("metrics: %+v", r.Metrics)
+	}
+	if _, ok := parseBenchLine("Benchmark nope"); ok {
+		t.Fatal("malformed line accepted")
+	}
+}

@@ -30,6 +30,7 @@ func main() {
 		tx        = flag.Int("tx", 150, "transactions per block")
 		seed      = flag.Int64("seed", 42, "workload RNG seed")
 		outDir    = flag.String("out", "", "also write the artifact-layout output tree to this directory")
+		workers   = flag.Int("import-workers", 0, "import pipeline fan-out (0 = ETHKV_IMPORT_WORKERS or GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -42,7 +43,9 @@ func main() {
 	start := time.Now()
 	fmt.Printf("== collecting traces: %d blocks, %d EOAs, %d contracts, %d tx/block\n",
 		*blocks, *accounts, *contracts, *tx)
-	bare, cached, err := lab.RunBoth(*blocks, workload)
+	bare, cached, err := lab.RunBothConfigs(
+		lab.Config{Mode: lab.Bare, Blocks: *blocks, Workload: workload, ImportWorkers: *workers},
+		lab.Config{Mode: lab.Cached, Blocks: *blocks, Workload: workload, ImportWorkers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -146,6 +146,9 @@ func (s *Store) Stats() kv.Stats {
 			out.PhysicalBytesRead += st.PhysicalBytesRead
 			out.PhysicalBytesWrite += st.PhysicalBytesWrite
 			out.CompactionCount += st.CompactionCount
+			out.FlushCount += st.FlushCount
+			out.WriteStalls += st.WriteStalls
+			out.WriteStallNanos += st.WriteStallNanos
 			out.TombstonesLive += st.TombstonesLive
 		}
 	}

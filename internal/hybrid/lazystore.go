@@ -197,6 +197,9 @@ func (s *LazyStore) Stats() kv.Stats {
 		out.PhysicalBytesRead += inner.PhysicalBytesRead
 		out.PhysicalBytesWrite += inner.PhysicalBytesWrite
 		out.CompactionCount += inner.CompactionCount
+		out.FlushCount += inner.FlushCount
+		out.WriteStalls += inner.WriteStalls
+		out.WriteStallNanos += inner.WriteStallNanos
 		out.TombstonesLive = inner.TombstonesLive
 	}
 	return out

@@ -107,6 +107,10 @@ type Stats struct {
 
 	CompactionCount uint64 // background compactions run
 	TombstonesLive  uint64 // tombstones not yet purged by compaction
+
+	FlushCount      uint64 // memtable flushes to the storage layer
+	WriteStalls     uint64 // writes that blocked on backpressure (full flush queue)
+	WriteStallNanos uint64 // total nanoseconds writers spent stalled
 }
 
 // WriteAmplification returns physical/logical write ratio, or 0 if no

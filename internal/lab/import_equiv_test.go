@@ -1,0 +1,42 @@
+package lab
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestImportWorkersEquivalence: a lab run must emit the byte-identical
+// trace — and identical import/KV counters — at any import-pipeline width.
+// This is the end-to-end version of the chain package's pipelined
+// equivalence suite: it covers the full Run path (genesis, traced store,
+// freezer, census) rather than a bare processor.
+func TestImportWorkersEquivalence(t *testing.T) {
+	workload := testWorkload()
+	for _, mode := range []Mode{Bare, Cached} {
+		t.Run(mode.String(), func(t *testing.T) {
+			seq, err := Run(Config{Mode: mode, Blocks: 20, Workload: workload, ImportWorkers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4} {
+				par, err := Run(Config{Mode: mode, Blocks: 20, Workload: workload, ImportWorkers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.Stats != seq.Stats {
+					t.Fatalf("workers=%d: stats %+v != sequential %+v", workers, par.Stats, seq.Stats)
+				}
+				if len(par.Ops) != len(seq.Ops) {
+					t.Fatalf("workers=%d: %d ops vs %d sequential", workers, len(par.Ops), len(seq.Ops))
+				}
+				for i := range seq.Ops {
+					a, b := seq.Ops[i], par.Ops[i]
+					if a.Type != b.Type || a.Class != b.Class || !bytes.Equal(a.Key, b.Key) ||
+						a.ValueSize != b.ValueSize || a.Hit != b.Hit {
+						t.Fatalf("workers=%d: op %d diverged:\nseq %+v\npar %+v", workers, i, a, b)
+					}
+				}
+			}
+		})
+	}
+}

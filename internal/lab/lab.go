@@ -56,6 +56,11 @@ type Config struct {
 	TraceBootstrap bool
 	// Processor overrides the default processor configuration when set.
 	Processor *chain.ProcessorConfig
+	// ImportWorkers is the import pipeline's fan-out width. 0 defers to
+	// ETHKV_IMPORT_WORKERS / GOMAXPROCS (chain.DefaultImportWorkers); 1
+	// forces the plain sequential import loop. The emitted trace is
+	// byte-identical at every width.
+	ImportWorkers int
 }
 
 // DefaultConfig returns a laptop-scale run mirroring the artifact's
@@ -167,7 +172,11 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := proc.ImportBlocks(cfg.Blocks); err != nil {
+	workers := cfg.ImportWorkers
+	if workers == 0 {
+		workers = chain.DefaultImportWorkers()
+	}
+	if err := proc.ImportBlocksPipelined(cfg.Blocks, workers); err != nil {
 		return nil, err
 	}
 	if err := proc.Shutdown(); err != nil {
@@ -205,10 +214,17 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // RunBoth executes the bare and cached configurations over the same
-// workload, the setup every comparative finding needs. The two runs are
-// fully independent (separate stores, freezers, and sinks), so they execute
-// concurrently.
+// workload, the setup every comparative finding needs.
 func RunBoth(blocks int, workload chain.WorkloadConfig) (bare, cached *Result, err error) {
+	return RunBothConfigs(
+		Config{Mode: Bare, Blocks: blocks, Workload: workload},
+		Config{Mode: Cached, Blocks: blocks, Workload: workload})
+}
+
+// RunBothConfigs executes a bare and a cached configuration. The two runs
+// are fully independent (separate stores, freezers, and sinks), so they
+// execute concurrently.
+func RunBothConfigs(bareCfg, cachedCfg Config) (bare, cached *Result, err error) {
 	var (
 		wg         sync.WaitGroup
 		bErr, cErr error
@@ -216,11 +232,11 @@ func RunBoth(blocks int, workload chain.WorkloadConfig) (bare, cached *Result, e
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		bare, bErr = Run(Config{Mode: Bare, Blocks: blocks, Workload: workload})
+		bare, bErr = Run(bareCfg)
 	}()
 	go func() {
 		defer wg.Done()
-		cached, cErr = Run(Config{Mode: Cached, Blocks: blocks, Workload: workload})
+		cached, cErr = Run(cachedCfg)
 	}()
 	wg.Wait()
 	if bErr != nil {

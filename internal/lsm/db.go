@@ -2,12 +2,14 @@
 // repository's stand-in for Pebble, the store Geth uses by default.
 //
 // Architecture: writes land in a WAL and a skiplist memtable; full memtables
-// flush to level-0 SSTables; a leveled compactor merges L0 into
-// non-overlapping runs on L1+ with exponentially growing level capacities.
-// Deletes write tombstones that survive until they compact into the bottom
-// level — exactly the cost model the paper's Finding 5 critiques. The store
-// tracks logical vs physical I/O so experiments can report write/read
-// amplification.
+// rotate into an immutable queue that a background goroutine flushes to
+// level-0 SSTables and compacts into non-overlapping runs on L1+ with
+// exponentially growing level capacities — Put/Delete never block on table
+// I/O, they only stall when the flush queue is full (write-stall
+// backpressure, counted in Stats). Deletes write tombstones that survive
+// until they compact into the bottom level — exactly the cost model the
+// paper's Finding 5 critiques. The store tracks logical vs physical I/O so
+// experiments can report write/read amplification.
 package lsm
 
 import (
@@ -20,6 +22,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ethkv/internal/kv"
 )
@@ -27,8 +30,11 @@ import (
 // Options tunes a DB. The zero value is usable; unset fields assume
 // defaults scaled for simulator workloads.
 type Options struct {
-	// MemtableBytes is the flush threshold for the write buffer.
+	// MemtableBytes is the rotation threshold for the write buffer.
 	MemtableBytes int
+	// MaxImmutableMemtables bounds the flush queue; writers stall when a
+	// rotation would exceed it.
+	MaxImmutableMemtables int
 	// L0CompactionTrigger is the number of L0 tables that triggers a
 	// compaction into L1.
 	L0CompactionTrigger int
@@ -50,6 +56,9 @@ func (o Options) withDefaults() Options {
 	if o.MemtableBytes == 0 {
 		o.MemtableBytes = 4 << 20
 	}
+	if o.MaxImmutableMemtables == 0 {
+		o.MaxImmutableMemtables = 2
+	}
 	if o.L0CompactionTrigger == 0 {
 		o.L0CompactionTrigger = 4
 	}
@@ -68,25 +77,50 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// flushTask is one frozen memtable awaiting background flush, paired with
+// the WAL generation that made it durable (0 when the WAL is disabled). The
+// WAL file is deleted only after the flush installs its SSTable.
+type flushTask struct {
+	mem    *memtable
+	walSeq uint64
+}
+
 // DB is the LSM store. It implements kv.Store and kv.StatsProvider.
 type DB struct {
 	mu   sync.RWMutex
+	cond *sync.Cond // signalled by the background worker; L is &mu
 	opts Options
 	dir  string
-	wal  *wal
+	wal  *wal   // active log, paired with mem
+	walSeq uint64 // generation of the active log
 	mem  *memtable
-	// imm holds frozen memtables awaiting flush (newest last). Flushes are
-	// currently synchronous, so this stays empty; the read path already
-	// consults it so an async flusher can be added without touching reads.
-	imm    []*memtable
+	memSeq int64 // memtable generation, perturbs the skiplist seed
+	// imm holds frozen memtables awaiting flush, oldest first. The read
+	// path consults them newest-first between mem and L0.
+	imm    []flushTask
 	levels [][]tableMeta
 	// open caches tableReaders. Guarded by openMu, not mu: Get (holding
 	// only the read lock) opens tables lazily, and concurrent readers must
 	// not race on the map.
 	openMu sync.Mutex
 	open   map[uint64]*tableReader
-	next   uint64 // next file number
+	next   atomic.Uint64 // next file number
 	closed bool
+
+	// Background worker plumbing: bgC (capacity 1) kicks the worker, which
+	// drains the flush queue and runs due compactions, broadcasting on cond
+	// after each install. bgErr latches the first background failure;
+	// writers surface it.
+	bgC      chan struct{}
+	bgWG     sync.WaitGroup
+	bgActive bool
+	bgErr    error
+	// forceCompact makes pickCompaction drain every level to the bottom
+	// (CompactAll).
+	forceCompact bool
+	// compactionHook, when set (tests), runs during the merge phase of each
+	// background compaction — outside db.mu, proving readers stay live.
+	compactionHook func()
 
 	// I/O counters. Atomics: Get mutates them under the read lock, which
 	// many readers hold concurrently.
@@ -99,6 +133,8 @@ type dbStats struct {
 	logicalBytesRead, logicalBytesWritten atomic.Uint64
 	physicalBytesRead, physicalBytesWrite atomic.Uint64
 	compactionCount, tombstonesLive       atomic.Uint64
+	flushCount                            atomic.Uint64
+	writeStalls, writeStallNanos          atomic.Uint64
 }
 
 var _ kv.Store = (*DB)(nil)
@@ -116,34 +152,118 @@ func Open(dir string, opts Options) (*DB, error) {
 		mem:    newMemtable(opts.Seed),
 		levels: make([][]tableMeta, opts.MaxLevels),
 		open:   make(map[uint64]*tableReader),
-		next:   1,
+		bgC:    make(chan struct{}, 1),
 	}
+	db.cond = sync.NewCond(&db.mu)
+	db.next.Store(1)
 	if err := db.loadManifest(); err != nil {
 		return nil, err
 	}
 	if !opts.DisableWAL {
-		// Recover the durable tail of the previous run into the memtable.
-		if err := replayWAL(db.walPath(), func(op byte, key, value []byte) error {
-			if op == walOpDelete {
-				db.mem.del(key)
-			} else {
-				db.mem.put(key, value)
-			}
-			return nil
-		}); err != nil {
+		if err := db.recoverWALs(); err != nil {
 			return nil, err
 		}
-		w, err := openWAL(db.walPath())
+		db.walSeq = 1
+		w, err := openWAL(db.walFile(db.walSeq))
 		if err != nil {
 			return nil, err
 		}
 		db.wal = w
 	}
+	db.bgWG.Add(1)
+	go db.background()
+	db.kickLocked() // pick up any compaction debt left by recovery
 	return db, nil
 }
 
-func (db *DB) walPath() string      { return filepath.Join(db.dir, "wal.log") }
-func (db *DB) manifestPath() string { return filepath.Join(db.dir, "MANIFEST") }
+// recoverWALs replays every log left by the previous run into the memtable
+// (oldest generation first), synchronously flushes the recovered state to
+// L0, and deletes the stale logs.
+func (db *DB) recoverWALs() error {
+	paths := []string{db.legacyWALPath()}
+	seqs, err := db.walSeqsOnDisk()
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		paths = append(paths, db.walFile(seq))
+	}
+	replay := func(op byte, key, value []byte) error {
+		if op == walOpDelete {
+			db.mem.del(key)
+		} else {
+			db.mem.put(key, value)
+		}
+		return nil
+	}
+	for _, p := range paths {
+		if err := replayWAL(p, replay); err != nil {
+			return err
+		}
+	}
+	if db.mem.count() > 0 {
+		num := db.next.Add(1) - 1
+		meta, err := writeTable(db.dir, num, 0, db.mem.entries())
+		if err != nil {
+			return err
+		}
+		db.stats.physicalBytesWrite.Add(uint64(meta.size))
+		db.stats.flushCount.Add(1)
+		db.levels[0] = append(db.levels[0], meta)
+		db.memSeq++
+		db.mem = newMemtable(db.opts.Seed + db.memSeq)
+		if err := db.saveManifest(); err != nil {
+			return err
+		}
+	}
+	for _, p := range paths {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// walSeqsOnDisk lists the numbered WAL generations present in dir, sorted.
+func (db *DB) walSeqsOnDisk() ([]uint64, error) {
+	matches, err := filepath.Glob(filepath.Join(db.dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, m := range matches {
+		var seq uint64
+		if _, err := fmt.Sscanf(filepath.Base(m), "wal-%d.log", &seq); err == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+func (db *DB) walFile(seq uint64) string {
+	return filepath.Join(db.dir, fmt.Sprintf("wal-%06d.log", seq))
+}
+func (db *DB) legacyWALPath() string { return filepath.Join(db.dir, "wal.log") }
+func (db *DB) manifestPath() string  { return filepath.Join(db.dir, "MANIFEST") }
+
+// activeWALPath returns the path of the log currently receiving records;
+// crash-recovery tests truncate it to simulate torn writes.
+func (db *DB) activeWALPath() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.walFile(db.walSeq)
+}
+
+// kickLocked wakes the background worker (non-blocking; the channel holds
+// one pending token). Callers hold db.mu, except Open before the DB is
+// shared.
+func (db *DB) kickLocked() {
+	select {
+	case db.bgC <- struct{}{}:
+	default:
+	}
+}
 
 // Put implements kv.Writer.
 func (db *DB) Put(key, value []byte) error {
@@ -151,6 +271,9 @@ func (db *DB) Put(key, value []byte) error {
 	defer db.mu.Unlock()
 	if db.closed {
 		return kv.ErrClosed
+	}
+	if db.bgErr != nil {
+		return db.bgErr
 	}
 	if db.wal != nil {
 		n, err := db.wal.appendRecord(walOpPut, key, value)
@@ -162,7 +285,7 @@ func (db *DB) Put(key, value []byte) error {
 	db.mem.put(key, value)
 	db.stats.puts.Add(1)
 	db.stats.logicalBytesWritten.Add(uint64(len(key) + len(value)))
-	return db.maybeFlushLocked()
+	return db.maybeRotateLocked()
 }
 
 // Delete implements kv.Writer: it writes a tombstone.
@@ -171,6 +294,9 @@ func (db *DB) Delete(key []byte) error {
 	defer db.mu.Unlock()
 	if db.closed {
 		return kv.ErrClosed
+	}
+	if db.bgErr != nil {
+		return db.bgErr
 	}
 	if db.wal != nil {
 		n, err := db.wal.appendRecord(walOpDelete, key, nil)
@@ -183,7 +309,7 @@ func (db *DB) Delete(key []byte) error {
 	db.stats.deletes.Add(1)
 	db.stats.tombstonesLive.Add(1)
 	db.stats.logicalBytesWritten.Add(uint64(len(key)))
-	return db.maybeFlushLocked()
+	return db.maybeRotateLocked()
 }
 
 // Get implements kv.Reader.
@@ -199,7 +325,7 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		return db.finishGet(v, deleted)
 	}
 	for i := len(db.imm) - 1; i >= 0; i-- {
-		if v, found, deleted := db.imm[i].get(key); found {
+		if v, found, deleted := db.imm[i].mem.get(key); found {
 			return db.finishGet(v, deleted)
 		}
 	}
@@ -274,75 +400,167 @@ func (db *DB) reader(meta tableMeta) (*tableReader, error) {
 	return t, nil
 }
 
-// maybeFlushLocked freezes a full memtable and flushes it, then runs any
-// due compactions. Called with db.mu held.
-func (db *DB) maybeFlushLocked() error {
+// maybeRotateLocked rotates a full memtable into the flush queue, stalling
+// first if the queue is at capacity. Called with db.mu held.
+func (db *DB) maybeRotateLocked() error {
 	if db.mem.size() < db.opts.MemtableBytes {
 		return nil
 	}
-	return db.flushLocked()
+	if len(db.imm) >= db.opts.MaxImmutableMemtables {
+		db.stats.writeStalls.Add(1)
+		start := time.Now()
+		for len(db.imm) >= db.opts.MaxImmutableMemtables && db.bgErr == nil && !db.closed {
+			db.kickLocked()
+			db.cond.Wait()
+		}
+		db.stats.writeStallNanos.Add(uint64(time.Since(start)))
+		if db.bgErr != nil {
+			return db.bgErr
+		}
+		if db.closed {
+			return kv.ErrClosed
+		}
+	}
+	return db.rotateLocked()
 }
 
-// flushLocked flushes the current memtable (if non-empty) to an L0 table.
-func (db *DB) flushLocked() error {
+// rotateLocked freezes the current memtable into the flush queue, starts a
+// fresh WAL generation for its successor, and kicks the background worker.
+func (db *DB) rotateLocked() error {
 	if db.mem.count() == 0 {
 		return nil
 	}
-	ents := db.mem.entries()
-	num := db.next
-	db.next++
-	meta, err := writeTable(db.dir, num, 0, ents)
-	if err != nil {
-		return err
-	}
-	db.stats.physicalBytesWrite.Add(uint64(meta.size))
-	db.levels[0] = append(db.levels[0], meta)
-	db.mem = newMemtable(db.opts.Seed + int64(num))
-	// The WAL contents are now durable in the SSTable; start a fresh log.
+	task := flushTask{mem: db.mem}
 	if db.wal != nil {
 		if err := db.wal.close(); err != nil {
 			return err
 		}
-		if err := os.Remove(db.walPath()); err != nil && !errors.Is(err, os.ErrNotExist) {
-			return err
-		}
-		w, err := openWAL(db.walPath())
+		task.walSeq = db.walSeq
+		db.walSeq++
+		w, err := openWAL(db.walFile(db.walSeq))
 		if err != nil {
 			return err
 		}
 		db.wal = w
 	}
-	if err := db.saveManifest(); err != nil {
-		return err
-	}
-	return db.maybeCompactLocked()
+	db.imm = append(db.imm, task)
+	db.memSeq++
+	db.mem = newMemtable(db.opts.Seed + db.memSeq)
+	db.kickLocked()
+	return nil
 }
 
-// Flush forces the memtable to disk; exposed for tests and checkpoints.
+// background is the worker goroutine: each token on bgC triggers one pass
+// of bgWork. It exits when bgC closes (Close).
+func (db *DB) background() {
+	defer db.bgWG.Done()
+	for range db.bgC {
+		db.bgWork()
+	}
+}
+
+// bgWork drains the flush queue, then runs compactions until every level
+// invariant holds. Table I/O (flush writes, compaction merges) happens with
+// db.mu released so readers and writers proceed concurrently; only the
+// version installs take the exclusive lock.
+func (db *DB) bgWork() {
+	db.mu.Lock()
+	db.bgActive = true
+	for db.bgErr == nil && !db.closed {
+		if len(db.imm) > 0 {
+			task := db.imm[0]
+			num := db.next.Add(1) - 1
+			db.mu.Unlock()
+			meta, err := writeTable(db.dir, num, 0, task.mem.entries())
+			db.mu.Lock()
+			if err != nil {
+				db.bgErr = err
+				break
+			}
+			db.stats.physicalBytesWrite.Add(uint64(meta.size))
+			db.stats.flushCount.Add(1)
+			db.levels[0] = append(db.levels[0], meta)
+			db.imm = db.imm[1:]
+			if err := db.saveManifest(); err != nil {
+				db.bgErr = err
+				break
+			}
+			db.cond.Broadcast()
+			if task.walSeq != 0 {
+				// The flushed state is durable in the SSTable; its log is
+				// obsolete.
+				db.mu.Unlock()
+				os.Remove(db.walFile(task.walSeq))
+				db.mu.Lock()
+			}
+			continue
+		}
+		level := db.pickCompaction()
+		if level < 0 {
+			break
+		}
+		plan, ok := db.planCompactionLocked(level)
+		if !ok {
+			break
+		}
+		hook := db.compactionHook
+		db.mu.Unlock()
+		newMetas, readBytes, err := db.runCompaction(plan, hook)
+		db.mu.Lock()
+		if err != nil {
+			db.bgErr = err
+			break
+		}
+		obsolete := db.installCompactionLocked(plan, newMetas, readBytes)
+		if err := db.saveManifest(); err != nil {
+			db.bgErr = err
+			break
+		}
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		db.removeObsolete(obsolete)
+		db.mu.Lock()
+	}
+	db.bgActive = false
+	db.cond.Broadcast()
+	db.mu.Unlock()
+}
+
+// settleLocked rotates any pending writes into the flush queue and waits
+// for the background worker to drain every flush and due compaction.
+// Called with db.mu held.
+func (db *DB) settleLocked() error {
+	if err := db.rotateLocked(); err != nil {
+		return err
+	}
+	for db.bgErr == nil && (len(db.imm) > 0 || db.bgActive || db.pickCompaction() >= 0) {
+		db.kickLocked()
+		db.cond.Wait()
+	}
+	return db.bgErr
+}
+
+// Flush forces buffered writes to disk and waits for background work to
+// settle; exposed for tests and checkpoints.
 func (db *DB) Flush() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return kv.ErrClosed
 	}
-	return db.flushLocked()
-}
-
-// maybeCompactLocked runs compactions until all level invariants hold.
-func (db *DB) maybeCompactLocked() error {
-	for {
-		level := db.pickCompaction()
-		if level < 0 {
-			return nil
-		}
-		if err := db.compactLocked(level); err != nil {
-			return err
-		}
-	}
+	return db.settleLocked()
 }
 
 // pickCompaction returns the most urgent level to compact, or -1.
 func (db *DB) pickCompaction() int {
+	if db.forceCompact {
+		for level := 0; level < len(db.levels)-1; level++ {
+			if len(db.levels[level]) > 0 {
+				return level
+			}
+		}
+		return -1
+	}
 	if len(db.levels[0]) >= db.opts.L0CompactionTrigger {
 		return 0
 	}
@@ -360,22 +578,32 @@ func (db *DB) pickCompaction() int {
 	return -1
 }
 
-// compactLocked merges all of level's tables (plus the overlapping tables
-// of level+1) into new non-overlapping tables on level+1. Compacting into
-// the bottom level drops tombstones.
-func (db *DB) compactLocked(level int) error {
+// compactionPlan captures, under db.mu, everything a merge needs so the
+// merge itself can run with the lock released. Only the background worker
+// mutates levels, so the planned tables cannot change underneath the merge.
+type compactionPlan struct {
+	level, dst     int
+	srcMetas       []tableMeta // all tables of the source level
+	dstIn          []tableMeta // destination tables joining the merge
+	dstOut         []tableMeta // destination tables outside the key range
+	dropTombstones bool
+}
+
+// planCompactionLocked prepares the merge of level into level+1.
+func (db *DB) planCompactionLocked(level int) (compactionPlan, bool) {
 	dst := level + 1
-	if dst >= len(db.levels) {
-		return nil
+	if dst >= len(db.levels) || len(db.levels[level]) == 0 {
+		return compactionPlan{}, false
 	}
-	srcMetas := db.levels[level]
-	if len(srcMetas) == 0 {
-		return nil
+	plan := compactionPlan{
+		level:    level,
+		dst:      dst,
+		srcMetas: append([]tableMeta(nil), db.levels[level]...),
 	}
 	// Key range of the source level.
-	lo := srcMetas[0].smallest
-	hi := srcMetas[0].largest
-	for _, m := range srcMetas[1:] {
+	lo := plan.srcMetas[0].smallest
+	hi := plan.srcMetas[0].largest
+	for _, m := range plan.srcMetas[1:] {
 		if bytes.Compare(m.smallest, lo) < 0 {
 			lo = m.smallest
 		}
@@ -384,39 +612,47 @@ func (db *DB) compactLocked(level int) error {
 		}
 	}
 	// Overlapping destination tables join the merge.
-	var dstIn, dstOut []tableMeta
 	for _, m := range db.levels[dst] {
 		if bytes.Compare(m.largest, lo) < 0 || bytes.Compare(m.smallest, hi) > 0 {
-			dstOut = append(dstOut, m)
+			plan.dstOut = append(plan.dstOut, m)
 		} else {
-			dstIn = append(dstIn, m)
+			plan.dstIn = append(plan.dstIn, m)
 		}
 	}
+	plan.dropTombstones = db.bottomMostLocked(dst, lo, hi)
+	return plan, true
+}
 
+// runCompaction merges the planned tables into new non-overlapping tables
+// on the destination level. Runs WITHOUT db.mu: reads and writes proceed
+// concurrently with the merge I/O. Compacting into the bottom level drops
+// tombstones.
+func (db *DB) runCompaction(plan compactionPlan, hook func()) (newMetas []tableMeta, readBytes int64, err error) {
+	if hook != nil {
+		hook()
+	}
 	// Build merge sources newest-first: L0 files are newest-last on disk,
 	// so reverse them; destination tables are oldest.
 	var sources []source
-	for i := len(srcMetas) - 1; i >= 0; i-- {
-		t, err := db.reader(srcMetas[i])
+	for i := len(plan.srcMetas) - 1; i >= 0; i-- {
+		t, err := db.reader(plan.srcMetas[i])
 		if err != nil {
-			return err
+			return nil, 0, err
 		}
 		sources = append(sources, newTableSource(t, nil))
 	}
-	for _, m := range dstIn {
+	for _, m := range plan.dstIn {
 		t, err := db.reader(m)
 		if err != nil {
-			return err
+			return nil, 0, err
 		}
 		sources = append(sources, newTableSource(t, nil))
 	}
 
-	dropTombstones := db.bottomMostLocked(dst, lo, hi)
 	merged := newMergeIterator(sources)
 	var (
 		out      []entry
 		outBytes int
-		newMetas []tableMeta
 		// Target ~2 MiB output tables so L1+ stays granular.
 		maxOut = 2 << 20
 	)
@@ -424,9 +660,8 @@ func (db *DB) compactLocked(level int) error {
 		if len(out) == 0 {
 			return nil
 		}
-		num := db.next
-		db.next++
-		meta, err := writeTable(db.dir, num, dst, out)
+		num := db.next.Add(1) - 1
+		meta, err := writeTable(db.dir, num, plan.dst, out)
 		if err != nil {
 			return err
 		}
@@ -438,20 +673,18 @@ func (db *DB) compactLocked(level int) error {
 	}
 	for merged.next() {
 		e := merged.entry()
-		if e.tombstone {
-			if dropTombstones {
-				// Saturating decrement: compaction may drop tombstones
-				// recovered from disk that this process never counted.
-				for {
-					cur := db.stats.tombstonesLive.Load()
-					if cur == 0 || db.stats.tombstonesLive.CompareAndSwap(cur, cur-1) {
-						break
-					}
+		if e.tombstone && plan.dropTombstones {
+			// Saturating decrement: compaction may drop tombstones
+			// recovered from disk that this process never counted.
+			for {
+				cur := db.stats.tombstonesLive.Load()
+				if cur == 0 || db.stats.tombstonesLive.CompareAndSwap(cur, cur-1) {
+					break
 				}
-				continue
 			}
+			continue
 		}
-		// Copy: entries alias mapped table data that we are about to delete.
+		// Copy: entries alias table data whose files we are about to delete.
 		out = append(out, entry{
 			key:       append([]byte(nil), e.key...),
 			value:     append([]byte(nil), e.value...),
@@ -460,37 +693,43 @@ func (db *DB) compactLocked(level int) error {
 		outBytes += len(e.key) + len(e.value)
 		if outBytes >= maxOut {
 			if err := flushOut(); err != nil {
-				return err
+				return nil, 0, err
 			}
 		}
 	}
 	if err := flushOut(); err != nil {
-		return err
+		return nil, 0, err
 	}
-
-	// Account the physical read cost of the merge.
 	for _, s := range sources {
-		db.stats.physicalBytesRead.Add(uint64(s.(*tableSource).bytesConsumed()))
+		readBytes += int64(s.(*tableSource).bytesConsumed())
 	}
-	db.stats.compactionCount.Add(1)
+	return newMetas, readBytes, nil
+}
 
-	// Install the new version and delete obsolete files.
-	obsolete := append(append([]tableMeta(nil), srcMetas...), dstIn...)
-	db.levels[level] = nil
-	newLevel := append(dstOut, newMetas...)
+// installCompactionLocked swaps the merged tables into the version and
+// returns the tables made obsolete. Called with db.mu held.
+func (db *DB) installCompactionLocked(plan compactionPlan, newMetas []tableMeta, readBytes int64) []tableMeta {
+	db.stats.physicalBytesRead.Add(uint64(readBytes))
+	db.stats.compactionCount.Add(1)
+	db.levels[plan.level] = nil
+	newLevel := append(append([]tableMeta(nil), plan.dstOut...), newMetas...)
 	sort.Slice(newLevel, func(i, j int) bool {
 		return bytes.Compare(newLevel[i].smallest, newLevel[j].smallest) < 0
 	})
-	db.levels[dst] = newLevel
+	db.levels[plan.dst] = newLevel
+	return append(append([]tableMeta(nil), plan.srcMetas...), plan.dstIn...)
+}
+
+// removeObsolete drops reader-cache entries and deletes the files of
+// compacted-away tables. Runs without db.mu: in-flight readers are safe
+// because tableReaders hold the whole file contents in memory.
+func (db *DB) removeObsolete(obsolete []tableMeta) {
 	for _, m := range obsolete {
 		db.openMu.Lock()
 		delete(db.open, m.num)
 		db.openMu.Unlock()
-		if err := os.Remove(tablePath(db.dir, m.num)); err != nil && !errors.Is(err, os.ErrNotExist) {
-			return err
-		}
+		os.Remove(tablePath(db.dir, m.num))
 	}
-	return db.saveManifest()
 }
 
 // CompactAll forces every level's data down to the bottom of the tree,
@@ -502,18 +741,10 @@ func (db *DB) CompactAll() error {
 	if db.closed {
 		return kv.ErrClosed
 	}
-	if err := db.flushLocked(); err != nil {
-		return err
-	}
-	for level := 0; level < len(db.levels)-1; level++ {
-		if len(db.levels[level]) == 0 {
-			continue
-		}
-		if err := db.compactLocked(level); err != nil {
-			return err
-		}
-	}
-	return nil
+	db.forceCompact = true
+	err := db.settleLocked()
+	db.forceCompact = false
+	return err
 }
 
 // bottomMostLocked reports whether no level below dst holds keys in
@@ -539,7 +770,7 @@ func (db *DB) NewIterator(prefix, start []byte) kv.Iterator {
 	var sources []source
 	sources = append(sources, newMemSource(db.mem, lower))
 	for i := len(db.imm) - 1; i >= 0; i-- {
-		sources = append(sources, newMemSource(db.imm[i], lower))
+		sources = append(sources, newMemSource(db.imm[i].mem, lower))
 	}
 	l0 := db.levels[0]
 	for i := len(l0) - 1; i >= 0; i-- {
@@ -617,8 +848,9 @@ func (it *errIterator) Error() error  { return it.err }
 // NewBatch implements kv.Batcher.
 func (db *DB) NewBatch() kv.Batch { return &dbBatch{db: db} }
 
-// dbBatch buffers writes and applies them through Put/Delete on commit.
-// Application is atomic with respect to crash recovery at WAL granularity.
+// dbBatch buffers writes and commits them under one lock acquisition with a
+// single framed WAL group record — group commit: one log emission and one
+// flush per batch, and crash recovery replays the batch all-or-nothing.
 type dbBatch struct {
 	db   *DB
 	ops  []batchOp
@@ -648,18 +880,38 @@ func (b *dbBatch) Delete(key []byte) error {
 func (b *dbBatch) ValueSize() int { return b.size }
 
 func (b *dbBatch) Write() error {
-	for _, op := range b.ops {
-		var err error
-		if op.delete {
-			err = b.db.Delete(op.key)
-		} else {
-			err = b.db.Put(op.key, op.value)
-		}
+	if len(b.ops) == 0 {
+		return nil
+	}
+	db := b.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return kv.ErrClosed
+	}
+	if db.bgErr != nil {
+		return db.bgErr
+	}
+	if db.wal != nil {
+		n, err := db.wal.appendGroup(b.ops)
 		if err != nil {
 			return err
 		}
+		db.stats.physicalBytesWrite.Add(uint64(n))
 	}
-	return nil
+	for _, op := range b.ops {
+		if op.delete {
+			db.mem.del(op.key)
+			db.stats.deletes.Add(1)
+			db.stats.tombstonesLive.Add(1)
+			db.stats.logicalBytesWritten.Add(uint64(len(op.key)))
+		} else {
+			db.mem.put(op.key, op.value)
+			db.stats.puts.Add(1)
+			db.stats.logicalBytesWritten.Add(uint64(len(op.key) + len(op.value)))
+		}
+	}
+	return db.maybeRotateLocked()
 }
 
 func (b *dbBatch) Reset() {
@@ -695,6 +947,9 @@ func (db *DB) Stats() kv.Stats {
 		PhysicalBytesWrite:  db.stats.physicalBytesWrite.Load(),
 		CompactionCount:     db.stats.compactionCount.Load(),
 		TombstonesLive:      db.stats.tombstonesLive.Load(),
+		FlushCount:          db.stats.flushCount.Load(),
+		WriteStalls:         db.stats.writeStalls.Load(),
+		WriteStallNanos:     db.stats.writeStallNanos.Load(),
 	}
 }
 
@@ -718,35 +973,39 @@ func (db *DB) LevelSizes() []struct {
 	return out
 }
 
-// Close flushes the memtable and releases resources.
+// Close flushes buffered writes, stops the background worker, and releases
+// resources.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return nil
 	}
-	if err := db.flushLocked(); err != nil {
-		return err
-	}
+	err := db.settleLocked()
 	db.closed = true
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	close(db.bgC)
+	db.bgWG.Wait()
 	if db.wal != nil {
-		return db.wal.close()
+		if werr := db.wal.close(); err == nil {
+			err = werr
+		}
 	}
-	return nil
+	return err
 }
 
 // Manifest format: version u32, next u64, then per table:
 // level uvarint | num uvarint | size uvarint | entries uvarint |
 // smallestLen uvarint | smallest | largestLen uvarint | largest.
-// A trailing CRC allows detecting torn writes; saveManifest writes to a
-// temp file and renames for atomicity.
+// saveManifest writes to a temp file and renames for atomicity.
 
 func (db *DB) saveManifest() error {
 	var buf bytes.Buffer
 	var tmp [binary.MaxVarintLen64]byte
 	put := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
 	put(1) // version
-	put(db.next)
+	put(db.next.Load())
 	for level, metas := range db.levels {
 		for _, m := range metas {
 			put(uint64(level))
@@ -789,7 +1048,7 @@ func (db *DB) loadManifest() error {
 	if err != nil {
 		return err
 	}
-	db.next = next
+	db.next.Store(next)
 	for len(raw) > 0 {
 		level, err := get()
 		if err != nil {

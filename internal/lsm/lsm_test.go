@@ -7,8 +7,10 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"ethkv/internal/kv"
 )
@@ -233,7 +235,10 @@ func TestDBFlushAndRead(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Many flushes and compactions must have happened.
+	// Settle background work: many flushes and compactions must have happened.
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	sizes := db.LevelSizes()
 	total := 0
 	for _, s := range sizes {
@@ -444,7 +449,7 @@ func TestDBTornWAL(t *testing.T) {
 	db.wal.sync()
 
 	// Tear: append a partial record.
-	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0)
+	f, err := os.OpenFile(db.activeWALPath(), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -789,6 +794,142 @@ func TestManifestCorruptionRejected(t *testing.T) {
 	os.WriteFile(filepath.Join(dir, "MANIFEST"), raw[:len(raw)-3], 0o644)
 	if _, err := Open(dir, smallOpts()); err == nil {
 		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+// TestDBTornWALGroup: a batch commits as one framed WAL group; tearing the
+// group's record must drop ALL of its ops on recovery (all-or-nothing),
+// while records before the group survive.
+func TestDBTornWALGroup(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts()
+	opts.MemtableBytes = 1 << 20 // keep everything in the memtable
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("pre"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	b := db.NewBatch()
+	b.Put([]byte("g1"), []byte("v1"))
+	b.Put([]byte("g2"), []byte("v2"))
+	b.Delete([]byte("pre"))
+	if err := b.Write(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.wal.sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without Close, with the group's record torn mid-payload.
+	walPath := db.activeWALPath()
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	// None of the torn group's ops may replay — not even a prefix.
+	if _, err := db2.Get([]byte("g1")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("torn group replayed g1: %v", err)
+	}
+	if _, err := db2.Get([]byte("g2")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("torn group replayed g2: %v", err)
+	}
+	// The group's delete must not have applied, and earlier records survive.
+	if v, err := db2.Get([]byte("pre")); err != nil || string(v) != "1" {
+		t.Fatalf("record before torn group lost: %q, %v", v, err)
+	}
+}
+
+// TestWALGroupRecovery: an intact group record replays every op, in batch
+// order, across a simulated crash.
+func TestWALGroupRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts()
+	opts.MemtableBytes = 1 << 20
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("victim"), []byte("x"))
+	b := db.NewBatch()
+	b.Put([]byte("g1"), []byte("v1"))
+	b.Delete([]byte("victim"))
+	b.Put([]byte("g2"), []byte("v2"))
+	if err := b.Write(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.wal.sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without Close.
+	db2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if v, err := db2.Get([]byte("g1")); err != nil || string(v) != "v1" {
+		t.Fatalf("g1 = %q, %v", v, err)
+	}
+	if v, err := db2.Get([]byte("g2")); err != nil || string(v) != "v2" {
+		t.Fatalf("g2 = %q, %v", v, err)
+	}
+	if _, err := db2.Get([]byte("victim")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("group delete lost: %v", err)
+	}
+}
+
+// TestGetDuringCompaction: with compaction running in the background, a
+// reader must complete while the merge is in flight — the regression this
+// guards against is Put/Delete holding the exclusive lock across the whole
+// compaction.
+func TestGetDuringCompaction(t *testing.T) {
+	opts := smallOpts()
+	db := openTestDB(t, opts)
+	var once sync.Once
+	result := make(chan error, 1)
+	db.mu.Lock()
+	db.compactionHook = func() {
+		// Runs inside the merge phase, with db.mu released.
+		once.Do(func() {
+			done := make(chan error, 1)
+			go func() {
+				_, err := db.Get([]byte("k0001"))
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				result <- err
+			case <-time.After(10 * time.Second):
+				result <- fmt.Errorf("Get blocked while compaction in flight")
+			}
+		})
+	}
+	db.mu.Unlock()
+
+	db.Put([]byte("k0001"), []byte("present"))
+	for i := 0; i < 2000; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		if err := db.Put(key, bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().CompactionCount == 0 {
+		t.Fatal("workload did not trigger a compaction")
+	}
+	if err := <-result; err != nil {
+		t.Fatalf("concurrent Get during compaction: %v", err)
 	}
 }
 

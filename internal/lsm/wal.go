@@ -14,15 +14,22 @@ import (
 //
 //	crc32(payload) uint32 | payloadLen uint32 | payload
 //
-// where payload is: opByte (0=put, 1=delete) | keyLen uvarint | key |
-// [valueLen uvarint | value] (value only for puts).
+// where payload is one of:
 //
-// Replay stops cleanly at the first torn or corrupt record, which models
-// crash recovery: everything before the tear is durable.
+//	opByte (0=put, 1=delete) | keyLen uvarint | key |
+//	    [valueLen uvarint | value]                      (value only for puts)
+//	opByte 2 (group) | count uvarint | count sub-ops, each encoded as above
+//
+// A group record frames one write batch: because the whole batch shares a
+// single CRC, a crash replays it all-or-nothing — a torn group drops every
+// op in it, never a prefix. Replay stops cleanly at the first torn or
+// corrupt record, which models crash recovery: everything before the tear
+// is durable.
 
 const (
 	walOpPut    = 0
 	walOpDelete = 1
+	walOpGroup  = 2
 )
 
 // errWALCorrupt marks a record that fails its checksum; replay treats it as
@@ -50,9 +57,8 @@ func openWAL(path string) (*wal, error) {
 	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), len: st.Size()}, nil
 }
 
-// appendRecord writes one put/delete record. Returns bytes appended.
-func (l *wal) appendRecord(op byte, key, value []byte) (int, error) {
-	payload := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(value))
+// appendOp encodes one put/delete into payload.
+func appendOp(payload []byte, op byte, key, value []byte) []byte {
 	payload = append(payload, op)
 	payload = binary.AppendUvarint(payload, uint64(len(key)))
 	payload = append(payload, key...)
@@ -60,6 +66,43 @@ func (l *wal) appendRecord(op byte, key, value []byte) (int, error) {
 		payload = binary.AppendUvarint(payload, uint64(len(value)))
 		payload = append(payload, value...)
 	}
+	return payload
+}
+
+// appendRecord writes one put/delete record. Returns bytes appended.
+func (l *wal) appendRecord(op byte, key, value []byte) (int, error) {
+	payload := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(value))
+	payload = appendOp(payload, op, key, value)
+	return l.appendPayload(payload)
+}
+
+// appendGroup writes one batch as a single framed group record and flushes
+// the stream once — group commit: one WAL emission and one flush per batch
+// instead of one per op. Returns bytes appended.
+func (l *wal) appendGroup(ops []batchOp) (int, error) {
+	size := 1 + binary.MaxVarintLen64
+	for _, op := range ops {
+		size += 1 + 2*binary.MaxVarintLen64 + len(op.key) + len(op.value)
+	}
+	payload := make([]byte, 0, size)
+	payload = append(payload, walOpGroup)
+	payload = binary.AppendUvarint(payload, uint64(len(ops)))
+	for _, op := range ops {
+		if op.delete {
+			payload = appendOp(payload, walOpDelete, op.key, nil)
+		} else {
+			payload = appendOp(payload, walOpPut, op.key, op.value)
+		}
+	}
+	n, err := l.appendPayload(payload)
+	if err != nil {
+		return n, err
+	}
+	return n, l.sync()
+}
+
+// appendPayload frames payload with its checksum and length.
+func (l *wal) appendPayload(payload []byte) (int, error) {
 	var head [8]byte
 	binary.LittleEndian.PutUint32(head[0:], crc32.ChecksumIEEE(payload))
 	binary.LittleEndian.PutUint32(head[4:], uint32(len(payload)))
@@ -91,7 +134,8 @@ func (l *wal) close() error {
 func (l *wal) size() int64 { return l.len }
 
 // replayWAL streams the durable records of the log at path into apply.
-// A torn or corrupt tail terminates replay without error.
+// Group records replay as their constituent ops, in batch order. A torn or
+// corrupt tail terminates replay without error.
 func replayWAL(path string, apply func(op byte, key, value []byte) error) error {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -104,7 +148,7 @@ func replayWAL(path string, apply func(op byte, key, value []byte) error) error 
 
 	r := bufio.NewReaderSize(f, 1<<16)
 	for {
-		op, key, value, err := readWALRecord(r)
+		payload, err := readWALPayload(r)
 		if errors.Is(err, io.EOF) || errors.Is(err, errWALCorrupt) ||
 			errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil
@@ -112,47 +156,92 @@ func replayWAL(path string, apply func(op byte, key, value []byte) error) error 
 		if err != nil {
 			return err
 		}
-		if err := apply(op, key, value); err != nil {
+		if err := applyWALPayload(payload, apply); err != nil {
+			if errors.Is(err, errWALCorrupt) {
+				return nil
+			}
 			return err
 		}
 	}
 }
 
-// readWALRecord parses one record from r.
-func readWALRecord(r *bufio.Reader) (op byte, key, value []byte, err error) {
+// readWALPayload reads one checksummed record body from r.
+func readWALPayload(r *bufio.Reader) ([]byte, error) {
 	var head [8]byte
-	if _, err = io.ReadFull(r, head[:]); err != nil {
-		return 0, nil, nil, err
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, err
 	}
 	wantCRC := binary.LittleEndian.Uint32(head[0:])
 	plen := binary.LittleEndian.Uint32(head[4:])
 	if plen == 0 || plen > 1<<30 {
-		return 0, nil, nil, errWALCorrupt
+		return nil, errWALCorrupt
 	}
 	payload := make([]byte, plen)
-	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, nil, nil, err
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
 	}
 	if crc32.ChecksumIEEE(payload) != wantCRC {
-		return 0, nil, nil, errWALCorrupt
+		return nil, errWALCorrupt
 	}
-	op = payload[0]
+	return payload, nil
+}
+
+// applyWALPayload dispatches a record body: single ops apply directly,
+// groups apply every framed sub-op in order.
+func applyWALPayload(payload []byte, apply func(op byte, key, value []byte) error) error {
+	if payload[0] != walOpGroup {
+		op, key, value, _, err := decodeWALOp(payload)
+		if err != nil {
+			return err
+		}
+		return apply(op, key, value)
+	}
 	rest := payload[1:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return errWALCorrupt
+	}
+	rest = rest[n:]
+	for i := uint64(0); i < count; i++ {
+		op, key, value, used, err := decodeWALOp(rest)
+		if err != nil {
+			return err
+		}
+		if err := apply(op, key, value); err != nil {
+			return err
+		}
+		rest = rest[used:]
+	}
+	if len(rest) != 0 {
+		return errWALCorrupt
+	}
+	return nil
+}
+
+// decodeWALOp parses one op encoding, returning how many bytes it consumed.
+func decodeWALOp(raw []byte) (op byte, key, value []byte, used int, err error) {
+	if len(raw) == 0 {
+		return 0, nil, nil, 0, errWALCorrupt
+	}
+	op = raw[0]
+	rest := raw[1:]
 	klen, n := binary.Uvarint(rest)
 	if n <= 0 || uint64(len(rest)-n) < klen {
-		return 0, nil, nil, errWALCorrupt
+		return 0, nil, nil, 0, errWALCorrupt
 	}
 	rest = rest[n:]
 	key = rest[:klen]
 	rest = rest[klen:]
+	used = 1 + n + int(klen)
 	if op == walOpPut {
-		vlen, n := binary.Uvarint(rest)
-		if n <= 0 || uint64(len(rest)-n) < vlen {
-			return 0, nil, nil, errWALCorrupt
+		vlen, vn := binary.Uvarint(rest)
+		if vn <= 0 || uint64(len(rest)-vn) < vlen {
+			return 0, nil, nil, 0, errWALCorrupt
 		}
-		value = rest[n : n+int(vlen)]
+		value = rest[vn : vn+int(vlen)]
+		used += vn + int(vlen)
 	} else if op != walOpDelete {
-		return 0, nil, nil, fmt.Errorf("%w: unknown op %d", errWALCorrupt, op)
+		return 0, nil, nil, 0, fmt.Errorf("%w: unknown op %d", errWALCorrupt, op)
 	}
-	return op, key, value, nil
+	return op, key, value, used, nil
 }

@@ -1,0 +1,194 @@
+package state
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sort"
+	"testing"
+
+	"ethkv/internal/cache"
+	"ethkv/internal/kv"
+	"ethkv/internal/rawdb"
+	"ethkv/internal/snapshot"
+	"ethkv/internal/trace"
+	"ethkv/internal/trie"
+)
+
+// applyCommitSorted persists a state commit in deterministic (sorted) key
+// order, the way the chain processor's batched flush does — map-order
+// writes would make op-stream comparison meaningless.
+func applyCommitSorted(t *testing.T, b *Backend, c *Commit) {
+	t.Helper()
+	writeSet := func(write func(path []byte, blob []byte), del func(path []byte), set *trie.NodeSet) {
+		paths := make([]string, 0, len(set.Writes))
+		for p := range set.Writes {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			write([]byte(p), set.Writes[p])
+		}
+		dels := append([]string(nil), set.Deletes...)
+		sort.Strings(dels)
+		for _, p := range dels {
+			del([]byte(p))
+		}
+	}
+	writeSet(func(p, blob []byte) { rawdb.WriteAccountTrieNode(b.DB, p, blob) },
+		func(p []byte) { rawdb.DeleteAccountTrieNode(b.DB, p) }, c.AccountNodes)
+	owners := make([]rawdb.Hash, 0, len(c.StorageNodes))
+	for o := range c.StorageNodes {
+		owners = append(owners, o)
+	}
+	sort.Slice(owners, func(i, j int) bool { return bytes.Compare(owners[i][:], owners[j][:]) < 0 })
+	for _, owner := range owners {
+		owner := owner
+		writeSet(func(p, blob []byte) { rawdb.WriteStorageTrieNode(b.DB, owner, p, blob) },
+			func(p []byte) { rawdb.DeleteStorageTrieNode(b.DB, owner, p) }, c.StorageNodes[owner])
+	}
+	if b.Snaps != nil {
+		if err := b.Snaps.Update(c.Root, c.SnapAccounts, c.SnapStorage); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runStateCommit executes a fixed two-block mutation sequence against a
+// fresh traced backend, committing with the given worker count, and returns
+// the emitted op stream plus the second block's commit.
+func runStateCommit(t *testing.T, workers int, cached bool) ([]trace.Op, *Commit) {
+	t.Helper()
+	inner := kv.NewMemStore()
+	t.Cleanup(func() { inner.Close() })
+	sink := &trace.SliceSink{}
+	traced := trace.WrapStore(inner, sink)
+	backend := &Backend{DB: traced}
+	if cached {
+		backend.Snaps = snapshot.NewTree(traced, 8)
+		backend.Caches = cache.NewManager(1<<20, nil)
+	}
+	sdb, err := New(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := func(j int) rawdb.Hash {
+		var h rawdb.Hash
+		h[31] = byte(j)
+		h[0] = byte(j >> 8)
+		return h
+	}
+	val := func(v int) rawdb.Hash {
+		var h rawdb.Hash
+		h[31] = byte(v)
+		h[30] = byte(v >> 8)
+		return h
+	}
+	// Block 1: create 40 accounts, 8 slots each.
+	for i := 0; i < 40; i++ {
+		a := addr(byte(i + 1))
+		sdb.UpdateAccount(a, NewAccount(big.NewInt(int64(i+100))))
+		for j := 0; j < 8; j++ {
+			sdb.SetState(a, slot(j), val(i*100+j+1))
+		}
+	}
+	c1, err := sdb.CommitParallel(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyCommitSorted(t, backend, c1)
+	// Block 2: overwrite slots, clear slots, destruct an account with dirty
+	// storage, create a fresh account.
+	for i := 0; i < 20; i++ {
+		a := addr(byte(i + 1))
+		sdb.SetState(a, slot(i%8), val(9000+i))
+		sdb.SetState(a, slot((i+1)%8), rawdb.Hash{}) // zero clears
+	}
+	victim := addr(5)
+	sdb.SetState(victim, slot(0), rawdb.Hash{})
+	sdb.DestructAccount(victim)
+	fresh := addr(200)
+	sdb.UpdateAccount(fresh, NewAccount(big.NewInt(777)))
+	sdb.SetState(fresh, slot(3), val(31337))
+	c2, err := sdb.CommitParallel(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyCommitSorted(t, backend, c2)
+	return sink.Ops, c2
+}
+
+func nodeSetsEqual(t *testing.T, label string, a, b *trie.NodeSet) {
+	t.Helper()
+	if len(a.Writes) != len(b.Writes) {
+		t.Fatalf("%s: %d vs %d writes", label, len(a.Writes), len(b.Writes))
+	}
+	for p, enc := range a.Writes {
+		if !bytes.Equal(b.Writes[p], enc) {
+			t.Fatalf("%s: write at %x differs", label, p)
+		}
+	}
+	ad := append([]string(nil), a.Deletes...)
+	bd := append([]string(nil), b.Deletes...)
+	sort.Strings(ad)
+	sort.Strings(bd)
+	if fmt.Sprint(ad) != fmt.Sprint(bd) {
+		t.Fatalf("%s: deletes differ: %x vs %x", label, ad, bd)
+	}
+}
+
+// TestCommitParallelEquivalence: at every worker count, in both backend
+// configurations, the parallel commit must produce the identical state
+// root, node sets, snapshot deltas, AND the byte-identical KV-op stream as
+// the sequential commit.
+func TestCommitParallelEquivalence(t *testing.T) {
+	counts := []int{2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, cached := range []bool{false, true} {
+		name := "bare"
+		if cached {
+			name = "cached"
+		}
+		t.Run(name, func(t *testing.T) {
+			seqOps, seqCommit := runStateCommit(t, 1, cached)
+			for _, workers := range counts {
+				parOps, parCommit := runStateCommit(t, workers, cached)
+				if parCommit.Root != seqCommit.Root {
+					t.Fatalf("workers=%d: root %x != %x", workers, parCommit.Root, seqCommit.Root)
+				}
+				nodeSetsEqual(t, fmt.Sprintf("workers=%d account nodes", workers),
+					seqCommit.AccountNodes, parCommit.AccountNodes)
+				if len(seqCommit.StorageNodes) != len(parCommit.StorageNodes) {
+					t.Fatalf("workers=%d: storage owners %d vs %d", workers,
+						len(seqCommit.StorageNodes), len(parCommit.StorageNodes))
+				}
+				for owner, set := range seqCommit.StorageNodes {
+					got, ok := parCommit.StorageNodes[owner]
+					if !ok {
+						t.Fatalf("workers=%d: owner %x missing", workers, owner)
+					}
+					nodeSetsEqual(t, fmt.Sprintf("workers=%d owner %x", workers, owner), set, got)
+				}
+				for h, enc := range seqCommit.SnapAccounts {
+					if !bytes.Equal(parCommit.SnapAccounts[h], enc) {
+						t.Fatalf("workers=%d: snap account %x differs", workers, h)
+					}
+				}
+				// The op streams must match byte for byte.
+				if len(parOps) != len(seqOps) {
+					t.Fatalf("workers=%d: %d ops vs %d sequential", workers, len(parOps), len(seqOps))
+				}
+				for i := range seqOps {
+					a, b := seqOps[i], parOps[i]
+					if a.Type != b.Type || !bytes.Equal(a.Key, b.Key) ||
+						a.ValueSize != b.ValueSize || a.Hit != b.Hit || a.Class != b.Class {
+						t.Fatalf("workers=%d: op %d differs:\nseq %+v\npar %+v", workers, i, a, b)
+					}
+				}
+			}
+		})
+	}
+}
