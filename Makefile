@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff check fuzz vet fmt repro artifacts clean
+.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts clean
 
 all: build test
 
@@ -17,8 +17,16 @@ race:
 	$(GO) test -race ./...
 
 # The default pre-merge gate: static checks plus the full suite under the
-# race detector (the parallel analysis engine must stay race-clean).
-check: build vet race
+# race detector (the parallel analysis engine must stay race-clean) and a
+# wide crash-recovery sweep.
+check: build vet race crashtest
+
+# Crash-recovery fault injection: hundreds of seeded workload/crash-point
+# replays through the injectable VFS, verified against an in-memory model.
+# ETHKV_CRASHTEST_SEEDS widens the sweep; ETHKV_CRASHTEST_SEED replays one
+# failing seed.
+crashtest:
+	ETHKV_CRASHTEST_SEEDS=200 $(GO) test -race -run TestCrashRecovery ./internal/lsm/crashtest/
 
 # Regenerate every table and figure once (E1-E13 of DESIGN.md).
 bench:
@@ -40,6 +48,8 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzSplitList -fuzztime=10s ./internal/rlp/
 	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=10s ./internal/trace/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeNode -fuzztime=10s ./internal/trie/
+	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=10s ./internal/lsm/
+	$(GO) test -run=NONE -fuzz=FuzzSSTableOpen -fuzztime=10s ./internal/lsm/
 
 vet:
 	$(GO) vet ./...

@@ -76,6 +76,8 @@ func main() {
 		st.WriteAmplification(), st.ReadAmplification())
 	fmt.Printf("tombstones live: %d   compactions: %d\n",
 		st.TombstonesLive, st.CompactionCount)
+	fmt.Printf("io retries: %d   degraded: %d\n",
+		st.IORetries, st.Degraded)
 }
 
 // buildBackend constructs the requested store under dir.

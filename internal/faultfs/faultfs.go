@@ -1,0 +1,133 @@
+// Package faultfs is the filesystem seam under the storage layer. The LSM
+// store performs every byte of durable I/O — WAL appends, SSTable writes,
+// manifest installs, log deletion — through the FS interface, so tests can
+// substitute an in-memory filesystem that models durability precisely
+// (synced vs un-synced bytes) and injects faults from a seeded
+// deterministic plan: torn writes, short or failed Syncs, transient and
+// permanent I/O errors, and a hard crash that discards everything the
+// store never synced. Production code uses OS, a thin passthrough to the
+// os package.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the handle interface the storage layer uses for both streaming
+// appends (WAL) and one-shot table writes. Sync is the durability barrier:
+// bytes written before a successful Sync survive a crash, bytes after it
+// may not.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync forces written bytes to durable storage.
+	Sync() error
+	// Close releases the handle. Close does NOT imply Sync.
+	Close() error
+	// Size returns the current logical size of the file.
+	Size() (int64, error)
+}
+
+// FS abstracts the filesystem operations the storage layer needs.
+// Implementations must make Rename atomic and Remove/Rename durable, the
+// guarantees journaling filesystems give for metadata.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens path for writing, truncating any existing content.
+	Create(path string) (File, error)
+	// OpenAppend opens (creating if needed) path for appending.
+	OpenAppend(path string) (File, error)
+	// Open opens path for reading.
+	Open(path string) (File, error)
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path; removing an absent path returns fs.ErrNotExist.
+	Remove(path string) error
+	// Glob lists paths matching pattern (filepath.Match syntax).
+	Glob(pattern string) ([]string, error)
+}
+
+// OS is the production FS: a passthrough to the os package. Sync is a real
+// fsync.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) Read(p []byte) (int, error)  { return o.f.Read(p) }
+func (o osFile) Write(p []byte) (int, error) { return o.f.Write(p) }
+func (o osFile) Sync() error                 { return o.f.Sync() }
+func (o osFile) Close() error                { return o.f.Close() }
+
+func (o osFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(path string) (File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f: f}, nil
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f: f}, nil
+}
+
+func (osFS) Open(path string) (File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f: f}, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+// WriteFileSync writes data to path via fsys with a full
+// create-write-sync-close sequence, propagating every error — the durable
+// replacement for os.WriteFile.
+func WriteFileSync(fsys FS, path string, data []byte) error {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// notExist returns the canonical wrapped not-exist error for path.
+func notExist(op, path string) error {
+	return &fs.PathError{Op: op, Path: path, Err: fs.ErrNotExist}
+}

@@ -1,0 +1,283 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"testing"
+)
+
+func TestMemFSDurabilityModel(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.OpenAppend("wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("synced-"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("volatile"))
+	if got := m.UnsyncedBytes(); got != 8 {
+		t.Fatalf("UnsyncedBytes = %d, want 8", got)
+	}
+	// Live reads see everything.
+	raw, err := m.ReadFile("wal.log")
+	if err != nil || string(raw) != "synced-volatile" {
+		t.Fatalf("ReadFile = %q, %v", raw, err)
+	}
+	// Crash drops the volatile tail.
+	m.Crash(nil)
+	raw, _ = m.ReadFile("wal.log")
+	if string(raw) != "synced-" {
+		t.Fatalf("post-crash contents = %q, want %q", raw, "synced-")
+	}
+}
+
+func TestMemFSCrashTornTail(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.OpenAppend("wal.log")
+	f.Write([]byte("AB"))
+	f.Sync()
+	f.Write([]byte("CDEFGH"))
+	m.Crash(func(path string, volatile []byte) []byte {
+		if string(volatile) != "CDEFGH" {
+			t.Fatalf("volatile = %q", volatile)
+		}
+		return volatile[:3]
+	})
+	raw, _ := m.ReadFile("wal.log")
+	if string(raw) != "ABCDE" {
+		t.Fatalf("torn contents = %q, want ABCDE", raw)
+	}
+}
+
+func TestMemFSRenameAndRemove(t *testing.T) {
+	m := NewMemFS()
+	if err := WriteFileSync(m, "a.tmp", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("a.tmp", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("a.tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("tmp survived rename: %v", err)
+	}
+	m.Crash(nil)
+	raw, err := m.ReadFile("a")
+	if err != nil || string(raw) != "payload" {
+		t.Fatalf("renamed file = %q, %v", raw, err)
+	}
+	if err := m.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("a"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestMemFSGlobAndRead(t *testing.T) {
+	m := NewMemFS()
+	for _, name := range []string{"d/wal-01.log", "d/wal-02.log", "d/x.sst"} {
+		if err := WriteFileSync(m, name, []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.Glob("d/wal-*.log")
+	if err != nil || len(got) != 2 || got[0] != "d/wal-01.log" || got[1] != "d/wal-02.log" {
+		t.Fatalf("Glob = %v, %v", got, err)
+	}
+	f, err := m.Open("d/x.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(f)
+	if err != nil || string(raw) != "d/x.sst" {
+		t.Fatalf("read = %q, %v", raw, err)
+	}
+}
+
+func TestPlanCrashPoint(t *testing.T) {
+	plan := NewPlan(1)
+	plan.CrashAfterWrites = 3
+	m := NewMemFS()
+	fsys := Inject(m, plan)
+	f, err := fsys.OpenAppend("w") // write op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("a")); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("b")); err == nil { // op 3: crash
+		t.Fatal("crash point did not trip")
+	} else if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if !plan.Crashed() {
+		t.Fatal("Crashed() false after trip")
+	}
+	// Everything fails after the crash, reads included.
+	if _, err := fsys.ReadFile("w"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	// The failed write must have had no effect.
+	m.Crash(nil)
+	raw, _ := m.ReadFile("w")
+	if len(raw) != 0 {
+		t.Fatalf("unsynced/failed bytes survived: %q", raw)
+	}
+}
+
+func TestPlanTransientFaultsAreRetryable(t *testing.T) {
+	plan := NewPlan(7)
+	plan.TransientProb = 0.5
+	fsys := Inject(NewMemFS(), plan)
+	var f File
+	for {
+		var err error
+		f, err = fsys.OpenAppend("w")
+		if err == nil {
+			break
+		}
+		if !IsTransient(err) {
+			t.Fatalf("unexpected fault class: %v", err)
+		}
+	}
+	wrote := 0
+	for wrote < 100 {
+		_, err := f.Write([]byte{byte(wrote)})
+		if err != nil {
+			if !IsTransient(err) {
+				t.Fatalf("unexpected fault class: %v", err)
+			}
+			continue // retry: failed writes have no effect
+		}
+		wrote++
+	}
+	if err := retrySync(f); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := fsys.ReadFile("w")
+	if err != nil || len(raw) != 100 {
+		t.Fatalf("len = %d, %v; want 100", len(raw), err)
+	}
+	for i, b := range raw {
+		if b != byte(i) {
+			t.Fatalf("byte %d = %d after retries", i, b)
+		}
+	}
+}
+
+func retrySync(f File) error {
+	for {
+		err := f.Sync()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+}
+
+func TestPlanPermanentFailureKeepsReadsAlive(t *testing.T) {
+	plan := NewPlan(3)
+	m := NewMemFS()
+	if err := WriteFileSync(m, "keep", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	plan.FailWritesAfter = 1
+	fsys := Inject(m, plan)
+	if _, err := fsys.Create("new"); err == nil || IsTransient(err) || errors.Is(err, ErrCrashed) {
+		t.Fatalf("want permanent fault, got %v", err)
+	}
+	// Reads still work: the disk is dying for writes, not gone.
+	raw, err := fsys.ReadFile("keep")
+	if err != nil || string(raw) != "ok" {
+		t.Fatalf("read during write failure = %q, %v", raw, err)
+	}
+}
+
+func TestPlanDeterministicReplay(t *testing.T) {
+	run := func() ([]byte, []int64) {
+		plan := NewPlan(99)
+		plan.TransientProb = 0.3
+		plan.CrashAfterWrites = 40
+		m := NewMemFS()
+		fsys := Inject(m, plan)
+		var f File
+		for {
+			var err error
+			f, err = fsys.OpenAppend("w")
+			if err == nil {
+				break
+			}
+			if !IsTransient(err) {
+				t.Fatal(err)
+			}
+		}
+		var trace []int64
+		for i := 0; ; i++ {
+			_, err := f.Write([]byte{byte(i)})
+			if errors.Is(err, ErrCrashed) {
+				break
+			}
+			if err == nil {
+				trace = append(trace, int64(i))
+				if i%10 == 9 {
+					for {
+						if serr := f.Sync(); serr == nil || errors.Is(serr, ErrCrashed) {
+							break
+						}
+					}
+				}
+			}
+		}
+		m.Crash(plan.TornTail())
+		raw, _ := m.ReadFile("w")
+		return raw, trace
+	}
+	raw1, trace1 := run()
+	raw2, trace2 := run()
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("post-crash bytes diverged:\n%x\n%x", raw1, raw2)
+	}
+	if len(trace1) != len(trace2) {
+		t.Fatalf("accepted-write traces diverged: %d vs %d", len(trace1), len(trace2))
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := OS.MkdirAll(dir + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/sub/f.log"
+	f, err := OS.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := f.Size(); err != nil || sz != 5 {
+		t.Fatalf("Size = %d, %v", sz, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := OS.ReadFile(path)
+	if err != nil || string(raw) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", raw, err)
+	}
+	got, err := OS.Glob(dir + "/sub/*.log")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Glob = %v, %v", got, err)
+	}
+	if err := OS.Rename(path, dir+"/sub/g.log"); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove(dir + "/sub/g.log"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models durability byte-for-byte: every
+// file keeps a durable prefix (bytes covered by a successful Sync, or
+// installed atomically by Rename) and a volatile tail (written but never
+// synced). Crash discards the volatile tails — optionally keeping a torn
+// prefix of each — which is exactly what a power loss does to an OS page
+// cache. Metadata operations (create, rename, remove) are modelled as
+// immediately durable, the guarantee journaling filesystems provide.
+//
+// MemFS is safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	durable  []byte
+	volatile []byte
+}
+
+func (f *memFile) contents() []byte {
+	out := make([]byte, 0, len(f.durable)+len(f.volatile))
+	out = append(out, f.durable...)
+	return append(out, f.volatile...)
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+// MkdirAll implements FS. Directories are implicit in MemFS.
+func (m *MemFS) MkdirAll(dir string) error { return nil }
+
+// Create implements FS: it truncates (durably) and returns a write handle.
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[path] = f
+	return &memWriteFile{fs: m, f: f}, nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		f = &memFile{}
+		m.files[path] = f
+	}
+	return &memWriteFile{fs: m, f: f}, nil
+}
+
+// Open implements FS: the returned handle reads a point-in-time snapshot
+// of the file (durable + volatile bytes, the live view a process sees).
+func (m *MemFS) Open(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, notExist("open", path)
+	}
+	return &memReadFile{data: f.contents()}, nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, notExist("read", path)
+	}
+	return f.contents(), nil
+}
+
+// Rename implements FS. The move is atomic and durable; any volatile tail
+// the source had is promoted to durable, matching the rename-after-write
+// install idiom where callers sync before renaming.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldpath]
+	if !ok {
+		return notExist("rename", oldpath)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = &memFile{durable: f.contents()}
+	return nil
+}
+
+// Remove implements FS; removal is immediately durable.
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return notExist("remove", path)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// Glob implements FS.
+func (m *MemFS) Glob(pattern string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for path := range m.files {
+		ok, err := filepath.Match(pattern, path)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Crash simulates a power loss: every file's volatile tail is discarded.
+// keep, when non-nil, is consulted per file (in sorted path order, so
+// seeded keep functions are deterministic) and returns the torn prefix of
+// the volatile tail that "made it to the platter" — nil or empty drops the
+// tail entirely. The kept bytes become durable.
+func (m *MemFS) Crash(keep func(path string, volatile []byte) []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	paths := make([]string, 0, len(m.files))
+	for p := range m.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		f := m.files[p]
+		if len(f.volatile) == 0 {
+			continue
+		}
+		var kept []byte
+		if keep != nil {
+			kept = keep(p, f.volatile)
+		}
+		f.durable = append(f.durable, kept...)
+		f.volatile = nil
+	}
+}
+
+// Paths returns every file path, sorted — for tests and diagnostics.
+func (m *MemFS) Paths() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for p := range m.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnsyncedBytes reports the total volatile byte count across all files —
+// the data a crash right now would lose.
+func (m *MemFS) UnsyncedBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, f := range m.files {
+		n += int64(len(f.volatile))
+	}
+	return n
+}
+
+// errReadOnlyHandle is returned when writing through a read handle.
+var errReadOnlyHandle = errors.New("faultfs: write on read-only handle")
+
+// errWriteOnlyHandle is returned when reading through a write handle.
+var errWriteOnlyHandle = errors.New("faultfs: read on write-only handle")
+
+// memWriteFile is an append handle: writes land in the volatile tail until
+// Sync promotes them to durable.
+type memWriteFile struct {
+	fs     *MemFS
+	f      *memFile
+	closed bool
+}
+
+func (w *memWriteFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.closed {
+		return 0, errors.New("faultfs: write on closed file")
+	}
+	w.f.volatile = append(w.f.volatile, p...)
+	return len(p), nil
+}
+
+func (w *memWriteFile) Sync() error {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.closed {
+		return errors.New("faultfs: sync on closed file")
+	}
+	w.f.durable = append(w.f.durable, w.f.volatile...)
+	w.f.volatile = nil
+	return nil
+}
+
+func (w *memWriteFile) Close() error {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	w.closed = true
+	return nil
+}
+
+func (w *memWriteFile) Read(p []byte) (int, error) { return 0, errWriteOnlyHandle }
+
+func (w *memWriteFile) Size() (int64, error) {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	return int64(len(w.f.durable) + len(w.f.volatile)), nil
+}
+
+// memReadFile streams a snapshot taken at Open.
+type memReadFile struct {
+	data []byte
+	off  int
+}
+
+func (r *memReadFile) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *memReadFile) Write(p []byte) (int, error) { return 0, errReadOnlyHandle }
+func (r *memReadFile) Sync() error                 { return nil }
+func (r *memReadFile) Close() error                { return nil }
+func (r *memReadFile) Size() (int64, error)        { return int64(len(r.data)), nil }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"ethkv/internal/kv"
@@ -83,8 +84,11 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
-// load replays existing segment files into the index, newest last so later
-// records win.
+// load reads the segment files and rebuilds the index — preferably from
+// the INDEX snapshot a clean Close leaves behind (which is what makes
+// deletes durable: records carry no tombstones, so replaying raw segments
+// would resurrect deleted keys). A missing, stale, or inconsistent
+// snapshot falls back to record replay, the store's pre-snapshot behavior.
 func (s *Store) load() error {
 	names, err := filepath.Glob(filepath.Join(s.dir, "seg-*.dat"))
 	if err != nil {
@@ -105,7 +109,20 @@ func (s *Store) load() error {
 			s.nextID = id + 1
 			s.active = seg
 		}
-		// Rebuild index; overwritten slots become garbage.
+	}
+	if s.loadIndexSnapshot() {
+		return nil
+	}
+	// Replay records in segment order, newest last so later records win.
+	// Deletes made after the last snapshot are lost here — this store is
+	// durable across clean shutdown, not crash-safe.
+	ids := make([]uint32, 0, len(s.segs))
+	for id := range s.segs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		buf := s.segs[id].buf
 		off := 0
 		for off < len(buf) {
 			rec := buf[off:]
@@ -132,6 +149,101 @@ func (s *Store) load() error {
 		}
 	}
 	return nil
+}
+
+// indexPath names the index snapshot a clean Close writes.
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "INDEX") }
+
+// loadIndexSnapshot restores the index from the Close-time catalog. It
+// reports false — demanding a replay fallback — on any inconsistency:
+// missing file, unknown version, a segment newer than the snapshot (a
+// crash happened after the last clean close), or a location outside its
+// segment's bounds.
+func (s *Store) loadIndexSnapshot() bool {
+	raw, err := os.ReadFile(s.indexPath())
+	if err != nil {
+		return false
+	}
+	get := func() (uint64, bool) {
+		v, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return 0, false
+		}
+		raw = raw[n:]
+		return v, true
+	}
+	version, ok := get()
+	if !ok || version != 1 {
+		return false
+	}
+	snapNext, ok := get()
+	if !ok {
+		return false
+	}
+	for id := range s.segs {
+		if uint64(id) >= snapNext {
+			return false // segment written after the snapshot: stale
+		}
+	}
+	count, ok := get()
+	if !ok {
+		return false
+	}
+	idx := make(map[string]location, count)
+	for i := uint64(0); i < count; i++ {
+		klen, ok := get()
+		if !ok || uint64(len(raw)) < klen {
+			return false
+		}
+		key := string(raw[:klen])
+		raw = raw[klen:]
+		segID, ok1 := get()
+		off, ok2 := get()
+		length, ok3 := get()
+		if !ok1 || !ok2 || !ok3 {
+			return false
+		}
+		seg, exists := s.segs[uint32(segID)]
+		if !exists || off+length > uint64(len(seg.buf)) {
+			return false
+		}
+		idx[key] = location{segment: uint32(segID), offset: uint32(off), length: uint32(length)}
+	}
+	s.index = idx
+	// Everything not referenced by the snapshot is garbage.
+	live := make(map[uint32]int)
+	for _, loc := range idx {
+		live[loc.segment] += int(loc.length)
+	}
+	for id, seg := range s.segs {
+		seg.garbage = len(seg.buf) - live[id]
+	}
+	if snapNext > uint64(s.nextID) {
+		s.nextID = uint32(snapNext)
+	}
+	return true
+}
+
+// persistIndex writes the key→location catalog atomically. This snapshot
+// is the durability story for deletes: the record log never learns about
+// them.
+func (s *Store) persistIndex() error {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, 1) // version
+	buf = binary.AppendUvarint(buf, uint64(s.nextID))
+	buf = binary.AppendUvarint(buf, uint64(len(s.index)))
+	for keyStr, loc := range s.index {
+		buf = binary.AppendUvarint(buf, uint64(len(keyStr)))
+		buf = append(buf, keyStr...)
+		buf = binary.AppendUvarint(buf, uint64(loc.segment))
+		buf = binary.AppendUvarint(buf, uint64(loc.offset))
+		buf = binary.AppendUvarint(buf, uint64(loc.length))
+	}
+	tmp := s.indexPath() + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.indexPath())
 }
 
 // rollSegment starts a fresh active segment.
@@ -433,7 +545,8 @@ func (s *Store) Stats() kv.Stats {
 	return s.stats
 }
 
-// Close seals the active segment to disk and shuts the store.
+// Close seals the active segment and the index snapshot to disk and shuts
+// the store.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -442,7 +555,9 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	if len(s.active.buf) > 0 {
-		return s.persistSegment(s.active)
+		if err := s.persistSegment(s.active); err != nil {
+			return err
+		}
 	}
-	return nil
+	return s.persistIndex()
 }

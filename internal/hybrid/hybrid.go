@@ -150,6 +150,8 @@ func (s *Store) Stats() kv.Stats {
 			out.WriteStalls += st.WriteStalls
 			out.WriteStallNanos += st.WriteStallNanos
 			out.TombstonesLive += st.TombstonesLive
+			out.IORetries += st.IORetries
+			out.Degraded += st.Degraded
 		}
 	}
 	return out

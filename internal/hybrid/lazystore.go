@@ -201,6 +201,8 @@ func (s *LazyStore) Stats() kv.Stats {
 		out.WriteStalls += inner.WriteStalls
 		out.WriteStallNanos += inner.WriteStallNanos
 		out.TombstonesLive = inner.TombstonesLive
+		out.IORetries += inner.IORetries
+		out.Degraded += inner.Degraded
 	}
 	return out
 }

@@ -17,6 +17,13 @@ var ErrNotFound = errors.New("kv: key not found")
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("kv: store closed")
 
+// ErrDegraded is returned by write operations once a store has latched
+// into read-only degraded mode after a permanent storage failure: reads
+// keep being served from whatever state survives, but no write can be made
+// durable, so none is accepted. The condition is sticky for the life of
+// the store handle; Stats.Degraded reports it.
+var ErrDegraded = errors.New("kv: store degraded to read-only after storage failure")
+
 // Reader provides read access to a store.
 type Reader interface {
 	// Has reports whether the key exists.
@@ -111,6 +118,9 @@ type Stats struct {
 	FlushCount      uint64 // memtable flushes to the storage layer
 	WriteStalls     uint64 // writes that blocked on backpressure (full flush queue)
 	WriteStallNanos uint64 // total nanoseconds writers spent stalled
+
+	IORetries uint64 // transient I/O faults absorbed by retry-with-backoff
+	Degraded  uint64 // 1 once the store latched into read-only degraded mode
 }
 
 // WriteAmplification returns physical/logical write ratio, or 0 if no

@@ -22,29 +22,60 @@ func TestMemStoreConformance(t *testing.T) {
 }
 
 func TestLSMConformance(t *testing.T) {
+	lsmOpts := lsm.Options{
+		MemtableBytes:       8 << 10, // force flushes mid-suite
+		L0CompactionTrigger: 2,
+		LevelBaseBytes:      32 << 10,
+	}
+	var lastDir string
 	Run(t, func(t *testing.T) kv.Store {
-		db, err := lsm.Open(t.TempDir(), lsm.Options{
-			MemtableBytes:       8 << 10, // force flushes mid-suite
-			L0CompactionTrigger: 2,
-			LevelBaseBytes:      32 << 10,
-		})
+		lastDir = t.TempDir()
+		db, err := lsm.Open(lastDir, lsmOpts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { db.Close() })
 		return db
-	}, Options{OrderedScans: true})
+	}, Options{
+		OrderedScans: true,
+		Reopen: func(t *testing.T, s kv.Store) kv.Store {
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db, err := lsm.Open(lastDir, lsmOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			return db
+		},
+	})
 }
 
 func TestHashStoreConformance(t *testing.T) {
+	var lastDir string
 	Run(t, func(t *testing.T) kv.Store {
-		s, err := hashstore.Open(t.TempDir())
+		lastDir = t.TempDir()
+		s, err := hashstore.Open(lastDir)
 		if err != nil {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { s.Close() })
 		return s
-	}, Options{OrderedScans: false})
+	}, Options{
+		OrderedScans: false,
+		Reopen: func(t *testing.T, s kv.Store) kv.Store {
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			hs, err := hashstore.Open(lastDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { hs.Close() })
+			return hs
+		},
+	})
 }
 
 func TestLogStoreConformance(t *testing.T) {

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ethkv/internal/kv"
@@ -20,6 +22,10 @@ type Options struct {
 	// OrderedScans asserts iterators yield ascending keys. Hash- and
 	// log-structured stores intentionally do not maintain order.
 	OrderedScans bool
+	// Reopen closes a store and reopens it on the same underlying state.
+	// Persistent backends set it to unlock the reopen-persistence check;
+	// purely in-memory backends leave it nil.
+	Reopen func(t *testing.T, s kv.Store) kv.Store
 }
 
 // Factory builds a fresh empty store for one subtest.
@@ -34,7 +40,13 @@ func Run(t *testing.T, factory Factory, opts Options) {
 	t.Run("Batch", func(t *testing.T) { testBatch(t, factory) })
 	t.Run("BatchReset", func(t *testing.T) { testBatchReset(t, factory) })
 	t.Run("IteratorPrefix", func(t *testing.T) { testIteratorPrefix(t, factory, opts) })
+	t.Run("ScanAfterMixedOps", func(t *testing.T) { testScanAfterMixedOps(t, factory, opts) })
+	t.Run("EmptyValueRoundTrip", func(t *testing.T) { testEmptyValueRoundTrip(t, factory) })
+	t.Run("ConcurrentReaders", func(t *testing.T) { testConcurrentReaders(t, factory) })
 	t.Run("RandomizedModel", func(t *testing.T) { testRandomizedModel(t, factory) })
+	if opts.Reopen != nil {
+		t.Run("ReopenPersistence", func(t *testing.T) { testReopenPersistence(t, factory, opts) })
+	}
 }
 
 func testPutGetDelete(t *testing.T, factory Factory) {
@@ -188,6 +200,193 @@ func testIteratorPrefix(t *testing.T, factory Factory, opts Options) {
 	}
 	if len(seen) != 20 {
 		t.Fatalf("iterator saw %d keys, want 20", len(seen))
+	}
+}
+
+// testScanAfterMixedOps interleaves puts, overwrites, and deletes, then
+// checks a full scan returns exactly the live keys — in ascending order for
+// ordered backends. Deleted keys reappearing in a scan is the classic
+// tombstone-handling bug in merged iterators.
+func testScanAfterMixedOps(t *testing.T, factory Factory, opts Options) {
+	s := factory(t)
+	model := map[string][]byte{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 600; i++ {
+		k := fmt.Sprintf("m/%03d", rng.Intn(120))
+		if rng.Intn(3) == 0 {
+			if err := s.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		} else {
+			v := []byte(fmt.Sprintf("v%d", i))
+			if err := s.Put([]byte(k), v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		}
+	}
+	it := s.NewIterator([]byte("m/"), nil)
+	defer it.Release()
+	seen := map[string][]byte{}
+	var last []byte
+	for it.Next() {
+		k := append([]byte(nil), it.Key()...)
+		if opts.OrderedScans && last != nil && bytes.Compare(k, last) <= 0 {
+			t.Fatalf("scan not strictly ascending: %q after %q", k, last)
+		}
+		last = k
+		if _, dup := seen[string(k)]; dup {
+			t.Fatalf("scan yielded %q twice", k)
+		}
+		seen[string(k)] = append([]byte(nil), it.Value()...)
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(model) {
+		t.Fatalf("scan saw %d keys, model has %d", len(seen), len(model))
+	}
+	for k, want := range model {
+		if got, ok := seen[k]; !ok || !bytes.Equal(got, want) {
+			t.Fatalf("scan[%q] = %q (%v), want %q", k, got, ok, want)
+		}
+	}
+}
+
+// testEmptyValueRoundTrip pins the empty-value-vs-absent-key distinction
+// through every surface: point reads, batches, and scans.
+func testEmptyValueRoundTrip(t *testing.T, factory Factory) {
+	s := factory(t)
+	b := s.NewBatch()
+	b.Put([]byte("e/batch"), nil)
+	b.Put([]byte("e/full"), []byte("data"))
+	if err := b.Write(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("e/direct"), []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"e/batch", "e/direct"} {
+		v, err := s.Get([]byte(k))
+		if err != nil || len(v) != 0 {
+			t.Fatalf("Get(%s) = %q, %v; want empty, nil", k, v, err)
+		}
+		if ok, err := s.Has([]byte(k)); err != nil || !ok {
+			t.Fatalf("Has(%s) = %v, %v; empty value reported absent", k, ok, err)
+		}
+	}
+	it := s.NewIterator([]byte("e/"), nil)
+	defer it.Release()
+	got := map[string]int{}
+	for it.Next() {
+		got[string(it.Key())] = len(it.Value())
+	}
+	if len(got) != 3 {
+		t.Fatalf("scan saw %d keys, want 3 (empty values must scan)", len(got))
+	}
+	if got["e/batch"] != 0 || got["e/direct"] != 0 || got["e/full"] != 4 {
+		t.Fatalf("scan value lengths: %v", got)
+	}
+	// An empty value deleted is absent again.
+	if err := s.Delete([]byte("e/batch")); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Has([]byte("e/batch")); ok {
+		t.Fatal("deleted empty-value key still present")
+	}
+}
+
+// testConcurrentReaders hammers point reads while a writer mutates disjoint
+// and overlapping keys. Run under -race this is the suite's data-race
+// detector for the read path; semantically, readers must only ever observe
+// a version some Put actually wrote.
+func testConcurrentReaders(t *testing.T, factory Factory) {
+	s := factory(t)
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		if err := s.Put(conKey(i), []byte("gen-0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, 5)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for !stop.Load() {
+				k := conKey(rng.Intn(keys))
+				v, err := s.Get(k)
+				if err != nil {
+					errc <- fmt.Errorf("concurrent Get(%s): %w", k, err)
+					return
+				}
+				if !bytes.HasPrefix(v, []byte("gen-")) {
+					errc <- fmt.Errorf("Get(%s) observed torn value %q", k, v)
+					return
+				}
+				if _, err := s.Has(k); err != nil {
+					errc <- fmt.Errorf("concurrent Has(%s): %w", k, err)
+					return
+				}
+			}
+		}(r)
+	}
+	for gen := 1; gen <= 30; gen++ {
+		for i := 0; i < keys; i++ {
+			if err := s.Put(conKey(i), []byte(fmt.Sprintf("gen-%d", gen))); err != nil {
+				t.Fatalf("writer gen %d: %v", gen, err)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func conKey(i int) []byte { return []byte(fmt.Sprintf("c/%03d", i)) }
+
+// testReopenPersistence checks that state — including deletes and empty
+// values — survives a close/reopen cycle on persistent backends.
+func testReopenPersistence(t *testing.T, factory Factory, opts Options) {
+	s := factory(t)
+	for i := 0; i < 200; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("r/%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i += 3 {
+		if err := s.Delete([]byte(fmt.Sprintf("r/%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put([]byte("r/empty"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	s = opts.Reopen(t, s)
+
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("r/%03d", i))
+		v, err := s.Get(k)
+		if i%3 == 0 {
+			if !errors.Is(err, kv.ErrNotFound) {
+				t.Fatalf("deleted key %s resurrected after reopen: %q, %v", k, v, err)
+			}
+			continue
+		}
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %s lost across reopen: %q, %v", k, v, err)
+		}
+	}
+	if v, err := s.Get([]byte("r/empty")); err != nil || len(v) != 0 {
+		t.Fatalf("empty value across reopen = %q, %v", v, err)
 	}
 }
 

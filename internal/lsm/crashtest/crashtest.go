@@ -1,0 +1,335 @@
+// Package crashtest is a deterministic crash-recovery test driver for the
+// LSM store. Each run executes a seeded random workload against a store
+// whose filesystem is a fault-injecting in-memory VFS, crashes it at a
+// seeded point (hard-failing all subsequent I/O and discarding or tearing
+// every un-synced byte), reopens the store from the surviving bytes, and
+// checks the recovered state against an in-memory model.
+//
+// The correctness condition is prefix consistency per writer: the recovered
+// state must equal the model after some prefix P of that writer's op
+// sequence, where P is at least the last synced-acknowledged unit (so no
+// acknowledged write is ever lost and no acknowledged delete ever
+// resurrects) and units — single ops or whole batches — apply
+// all-or-nothing (so a torn group never leaks a partial batch).
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"ethkv/internal/faultfs"
+	"ethkv/internal/lsm"
+)
+
+// Config parameterizes one crash-recovery run. Everything random derives
+// from Seed, so a single-writer run replays bit-identically.
+type Config struct {
+	Seed    int64
+	Workers int // concurrent writers, each on a disjoint keyspace
+	Units   int // workload units (single ops or batches) per worker
+	// TransientProb injects retryable write faults at this rate, proving
+	// recovery holds while the retry path is being exercised.
+	TransientProb float64
+}
+
+// op is one modelled mutation.
+type op struct {
+	del        bool
+	key, value string
+}
+
+// unit is one atomic workload step: a single op or a whole batch. Batches
+// group-commit (synced), so a successful batch is acknowledged-durable;
+// single ops are buffered and may be lost by a crash without violating
+// consistency.
+type unit struct {
+	ops   []op
+	acked bool // synced and acknowledged: must survive any crash
+}
+
+// workerLog is the per-writer model: the attempted units in order, and the
+// index just past the last acknowledged-durable one (the recovery floor).
+type workerLog struct {
+	worker int
+	units  []unit
+	floor  int
+}
+
+// Result carries what a run observed, for reporting.
+type Result struct {
+	Crashed   bool // the seeded crash point tripped mid-workload
+	UnitsRun  int  // total units attempted across workers
+	IORetries uint64
+}
+
+// Run executes one seeded crash-recovery cycle and verifies the recovered
+// state. The failure callback receives a formatted violation; tests pass
+// t.Fatalf.
+func Run(cfg Config, fail func(format string, args ...any)) Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Units <= 0 {
+		cfg.Units = 40
+	}
+	mem := faultfs.NewMemFS()
+	plan := faultfs.NewPlan(cfg.Seed)
+	plan.TransientProb = cfg.TransientProb
+	seedRng := rand.New(rand.NewSource(cfg.Seed))
+	// Some seeds crash mid-workload, some run to completion and crash at
+	// the end; both phases of the space matter.
+	plan.CrashAfterWrites = 1 + seedRng.Int63n(300)
+
+	opts := lsm.Options{
+		// Tiny thresholds so a small workload exercises rotation, flush,
+		// and compaction — the paths where durability bugs live.
+		MemtableBytes:       2 << 10,
+		MaxImmutableMemtables: 2,
+		L0CompactionTrigger: 2,
+		LevelBaseBytes:      8 << 10,
+		LevelMultiplier:     4,
+		MaxLevels:           4,
+		Seed:                cfg.Seed,
+		FS:                  faultfs.Inject(mem, plan),
+		RetryAttempts:       10,
+		RetryBackoff:        time.Microsecond,
+	}
+	db, err := lsm.Open("crashdb", opts)
+	if err != nil {
+		// The crash point can land inside Open itself; with nothing
+		// acknowledged, any recoverable state is consistent.
+		if !plan.Crashed() && !faultfs.IsTransient(err) {
+			fail("seed %d: open failed without a crash: %v", cfg.Seed, err)
+			return Result{}
+		}
+		db = nil
+	}
+
+	logs := make([]*workerLog, cfg.Workers)
+	if db != nil {
+		done := make(chan *workerLog, cfg.Workers)
+		for w := 0; w < cfg.Workers; w++ {
+			go func(w int) {
+				done <- runWorker(db, cfg, w)
+			}(w)
+		}
+		for range logs {
+			l := <-done
+			logs[l.worker] = l
+		}
+		plan.TripCrash() // end-of-run crash if the scheduled one never hit
+		db.Close()       // the "dead" process's close attempts all fail
+	} else {
+		for w := range logs {
+			logs[w] = &workerLog{worker: w}
+		}
+	}
+
+	// Power loss: un-synced bytes tear away per the seeded schedule.
+	mem.Crash(plan.TornTail())
+
+	// Reboot on the surviving bytes — no fault injection this time.
+	re, err := lsm.Open("crashdb", lsm.Options{
+		MemtableBytes:       2 << 10,
+		L0CompactionTrigger: 2,
+		LevelBaseBytes:      8 << 10,
+		LevelMultiplier:     4,
+		MaxLevels:           4,
+		FS:                  mem,
+	})
+	if err != nil {
+		fail("seed %d: reopen after crash failed: %v", cfg.Seed, err)
+		return Result{}
+	}
+	defer re.Close()
+
+	recovered := dumpStore(re, cfg.Seed, fail)
+	var total int
+	for w, l := range logs {
+		verifyWorker(cfg.Seed, w, l, recovered, fail)
+		total += len(l.units)
+	}
+	// Every recovered key must belong to some worker's keyspace: recovery
+	// must not invent data.
+	for key := range recovered {
+		if workerOf(key) < 0 || workerOf(key) >= cfg.Workers {
+			fail("seed %d: recovered alien key %q", cfg.Seed, key)
+		}
+	}
+
+	res := Result{Crashed: plan.Crashed(), UnitsRun: total}
+	if db != nil {
+		res.IORetries = db.Stats().IORetries
+	}
+	return res
+}
+
+// runWorker drives one writer over its disjoint keyspace until its unit
+// budget is spent or the store fails (crash point, degraded mode).
+func runWorker(db *lsm.DB, cfg Config, w int) *workerLog {
+	l := &workerLog{worker: w}
+	rng := rand.New(rand.NewSource(cfg.Seed*1009 + int64(w)))
+	for i := 0; i < cfg.Units; i++ {
+		if rng.Intn(10) < 6 {
+			// Batch: group commit, synced, acknowledged-durable on success.
+			n := 1 + rng.Intn(6)
+			u := unit{}
+			b := db.NewBatch()
+			for j := 0; j < n; j++ {
+				o := genOp(rng, w, i*10+j)
+				u.ops = append(u.ops, o)
+				if o.del {
+					b.Delete([]byte(o.key))
+				} else {
+					b.Put([]byte(o.key), []byte(o.value))
+				}
+			}
+			err := b.Write()
+			l.units = append(l.units, u)
+			if err != nil {
+				return l // crash or degrade: the tail unit stays un-acked
+			}
+			l.units[len(l.units)-1].acked = true
+			l.floor = len(l.units)
+		} else {
+			// Single op: accepted into WAL buffer + memtable, not synced.
+			o := genOp(rng, w, i*10)
+			var err error
+			if o.del {
+				err = db.Delete([]byte(o.key))
+			} else {
+				err = db.Put([]byte(o.key), []byte(o.value))
+			}
+			l.units = append(l.units, unit{ops: []op{o}})
+			if err != nil {
+				return l
+			}
+		}
+	}
+	return l
+}
+
+// genOp draws one op in worker w's keyspace. Values encode (worker, step)
+// so every overwrite changes the state and misordered recovery is visible.
+func genOp(rng *rand.Rand, w, step int) op {
+	key := fmt.Sprintf("w%02d-k%03d", w, rng.Intn(40))
+	if rng.Intn(4) == 0 {
+		return op{del: true, key: key}
+	}
+	pad := strings.Repeat("x", rng.Intn(48))
+	return op{key: key, value: fmt.Sprintf("v-%d-%d-%s", w, step, pad)}
+}
+
+// workerOf parses the owning worker from a key, or -1.
+func workerOf(key string) int {
+	var w int
+	if _, err := fmt.Sscanf(key, "w%02d-", &w); err != nil {
+		return -1
+	}
+	return w
+}
+
+// dumpStore materializes the recovered store through a full scan, checking
+// the iterator is strictly ascending and agrees with point reads.
+func dumpStore(db *lsm.DB, seed int64, fail func(string, ...any)) map[string]string {
+	out := make(map[string]string)
+	it := db.NewIterator(nil, nil)
+	defer it.Release()
+	prev := ""
+	for it.Next() {
+		k, v := string(it.Key()), string(it.Value())
+		if prev != "" && k <= prev {
+			fail("seed %d: iterator out of order: %q after %q", seed, k, prev)
+		}
+		prev = k
+		out[k] = v
+		got, err := db.Get([]byte(k))
+		if err != nil || string(got) != v {
+			fail("seed %d: Get(%q) = %q, %v disagrees with scan %q",
+				seed, k, got, err, v)
+		}
+	}
+	if err := it.Error(); err != nil {
+		fail("seed %d: recovered iterator error: %v", seed, err)
+	}
+	return out
+}
+
+// verifyWorker checks prefix consistency for one writer: the recovered
+// slice of its keyspace must equal the model after P whole units, for some
+// P between the acknowledged floor and the end of its attempt log.
+func verifyWorker(seed int64, w int, l *workerLog, recovered map[string]string, fail func(string, ...any)) {
+	prefix := fmt.Sprintf("w%02d-", w)
+	got := make(map[string]string)
+	for k, v := range recovered {
+		if strings.HasPrefix(k, prefix) {
+			got[k] = v
+		}
+	}
+	model := make(map[string]string)
+	apply := func(u unit) {
+		for _, o := range u.ops {
+			if o.del {
+				delete(model, o.key)
+			} else {
+				model[o.key] = o.value
+			}
+		}
+	}
+	for i := 0; i < l.floor; i++ {
+		apply(l.units[i])
+	}
+	for p := l.floor; ; p++ {
+		if mapsEqual(model, got) {
+			return
+		}
+		if p >= len(l.units) {
+			break
+		}
+		apply(l.units[p])
+	}
+	fail("seed %d worker %d: recovered state matches no prefix in [%d, %d]\n%s",
+		seed, w, l.floor, len(l.units), diffState(model, got))
+}
+
+// mapsEqual reports deep equality of two string maps.
+func mapsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// diffState renders a compact model-vs-recovered diff (against the full
+// model, the most useful anchor) for failure messages.
+func diffState(model, got map[string]string) string {
+	var keys []string
+	seen := map[string]bool{}
+	for k := range model {
+		keys, seen[k] = append(keys, k), true
+	}
+	for k := range got {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		mv, mok := model[k]
+		gv, gok := got[k]
+		if mok && gok && mv == gv {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %q: model=%q(%v) recovered=%q(%v)\n", k, mv, mok, gv, gok)
+	}
+	return sb.String()
+}

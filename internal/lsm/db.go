@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ethkv/internal/faultfs"
 	"ethkv/internal/kv"
 )
 
@@ -49,6 +50,17 @@ type Options struct {
 	DisableWAL bool
 	// Seed makes skiplist heights deterministic across runs.
 	Seed int64
+	// FS is the filesystem seam all durable I/O goes through. Nil means
+	// the real OS filesystem; tests substitute faultfs.MemFS (with fault
+	// injection) to exercise crash recovery deterministically.
+	FS faultfs.FS
+	// RetryAttempts bounds the retry-with-backoff loop for transient I/O
+	// faults (faultfs.IsTransient); the attempt that exhausts the budget
+	// surfaces the error and degrades the store.
+	RetryAttempts int
+	// RetryBackoff is the first retry's sleep; each subsequent retry
+	// doubles it.
+	RetryBackoff time.Duration
 }
 
 // withDefaults fills unset options.
@@ -74,6 +86,15 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.FS == nil {
+		o.FS = faultfs.OS
+	}
+	if o.RetryAttempts == 0 {
+		o.RetryAttempts = 4
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 200 * time.Microsecond
+	}
 	return o
 }
 
@@ -91,6 +112,7 @@ type DB struct {
 	cond *sync.Cond // signalled by the background worker; L is &mu
 	opts Options
 	dir  string
+	fs   faultfs.FS // all durable I/O goes through this seam
 	wal  *wal   // active log, paired with mem
 	walSeq uint64 // generation of the active log
 	mem  *memtable
@@ -115,6 +137,11 @@ type DB struct {
 	bgWG     sync.WaitGroup
 	bgActive bool
 	bgErr    error
+	// degradedErr latches the first permanent storage failure; once set
+	// the store is read-only: writes return kv.ErrDegraded, reads keep
+	// serving whatever state survives. Guarded by mu; mirrored into
+	// stats.degraded for lock-free Stats().
+	degradedErr error
 	// forceCompact makes pickCompaction drain every level to the bottom
 	// (CompactAll).
 	forceCompact bool
@@ -135,6 +162,7 @@ type dbStats struct {
 	compactionCount, tombstonesLive       atomic.Uint64
 	flushCount                            atomic.Uint64
 	writeStalls, writeStallNanos          atomic.Uint64
+	ioRetries, degraded                   atomic.Uint64
 }
 
 var _ kv.Store = (*DB)(nil)
@@ -143,16 +171,17 @@ var _ kv.StatsProvider = (*DB)(nil)
 // Open creates or reopens an LSM database in dir.
 func Open(dir string, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
 	db := &DB{
 		opts:   opts,
 		dir:    dir,
+		fs:     opts.FS,
 		mem:    newMemtable(opts.Seed),
 		levels: make([][]tableMeta, opts.MaxLevels),
 		open:   make(map[uint64]*tableReader),
 		bgC:    make(chan struct{}, 1),
+	}
+	if err := db.retryIO(func() error { return db.fs.MkdirAll(dir) }); err != nil {
+		return nil, err
 	}
 	db.cond = sync.NewCond(&db.mu)
 	db.next.Store(1)
@@ -164,7 +193,7 @@ func Open(dir string, opts Options) (*DB, error) {
 			return nil, err
 		}
 		db.walSeq = 1
-		w, err := openWAL(db.walFile(db.walSeq))
+		w, err := openWAL(db.fs, db.walFile(db.walSeq), db.retryIO)
 		if err != nil {
 			return nil, err
 		}
@@ -174,6 +203,65 @@ func Open(dir string, opts Options) (*DB, error) {
 	go db.background()
 	db.kickLocked() // pick up any compaction debt left by recovery
 	return db, nil
+}
+
+// retryIO runs one I/O operation under the store's bounded
+// retry-with-backoff policy: transient faults (faultfs.IsTransient) are
+// retried with doubling sleeps up to Options.RetryAttempts; any other
+// error — and the transient fault that exhausts the budget — returns to
+// the caller, which treats it as permanent.
+func (db *DB) retryIO(op func() error) error {
+	backoff := db.opts.RetryBackoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil || !faultfs.IsTransient(err) || attempt >= db.opts.RetryAttempts {
+			return err
+		}
+		db.stats.ioRetries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// setDegradedLocked latches the store into read-only degraded mode after a
+// permanent storage failure. Called with db.mu held. Sticky: the first
+// cause is kept, later failures are consequences.
+func (db *DB) setDegradedLocked(err error) {
+	if db.degradedErr != nil || err == nil {
+		return
+	}
+	db.degradedErr = err
+	db.stats.degraded.Store(1)
+	db.cond.Broadcast() // release stalled writers
+}
+
+// writeGateLocked is the common admission check for Put/Delete/batch
+// commits. Called with db.mu held.
+func (db *DB) writeGateLocked() error {
+	if db.closed {
+		return kv.ErrClosed
+	}
+	if db.degradedErr != nil {
+		return kv.ErrDegraded
+	}
+	if db.bgErr != nil {
+		return db.bgErr
+	}
+	return nil
+}
+
+// writeTableRetrying persists one SSTable with the retry policy applied to
+// the whole create-write-sync-close sequence (a failed attempt leaves no
+// partial durable state to clean up: Create truncates).
+func (db *DB) writeTableRetrying(num uint64, level int, ents []entry) (tableMeta, error) {
+	var meta tableMeta
+	err := db.retryIO(func() error {
+		var err error
+		meta, err = writeTable(db.fs, db.dir, num, level, ents)
+		return err
+	})
+	return meta, err
 }
 
 // recoverWALs replays every log left by the previous run into the memtable
@@ -197,13 +285,13 @@ func (db *DB) recoverWALs() error {
 		return nil
 	}
 	for _, p := range paths {
-		if err := replayWAL(p, replay); err != nil {
+		if err := replayWAL(db.fs, p, replay); err != nil {
 			return err
 		}
 	}
 	if db.mem.count() > 0 {
 		num := db.next.Add(1) - 1
-		meta, err := writeTable(db.dir, num, 0, db.mem.entries())
+		meta, err := db.writeTableRetrying(num, 0, db.mem.entries())
 		if err != nil {
 			return err
 		}
@@ -217,7 +305,7 @@ func (db *DB) recoverWALs() error {
 		}
 	}
 	for _, p := range paths {
-		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if err := db.fs.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return err
 		}
 	}
@@ -226,7 +314,7 @@ func (db *DB) recoverWALs() error {
 
 // walSeqsOnDisk lists the numbered WAL generations present in dir, sorted.
 func (db *DB) walSeqsOnDisk() ([]uint64, error) {
-	matches, err := filepath.Glob(filepath.Join(db.dir, "wal-*.log"))
+	matches, err := db.fs.Glob(filepath.Join(db.dir, "wal-*.log"))
 	if err != nil {
 		return nil, err
 	}
@@ -269,15 +357,13 @@ func (db *DB) kickLocked() {
 func (db *DB) Put(key, value []byte) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return kv.ErrClosed
-	}
-	if db.bgErr != nil {
-		return db.bgErr
+	if err := db.writeGateLocked(); err != nil {
+		return err
 	}
 	if db.wal != nil {
 		n, err := db.wal.appendRecord(walOpPut, key, value)
 		if err != nil {
+			db.setDegradedLocked(err)
 			return err
 		}
 		db.stats.physicalBytesWrite.Add(uint64(n))
@@ -292,15 +378,13 @@ func (db *DB) Put(key, value []byte) error {
 func (db *DB) Delete(key []byte) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return kv.ErrClosed
-	}
-	if db.bgErr != nil {
-		return db.bgErr
+	if err := db.writeGateLocked(); err != nil {
+		return err
 	}
 	if db.wal != nil {
 		n, err := db.wal.appendRecord(walOpDelete, key, nil)
 		if err != nil {
+			db.setDegradedLocked(err)
 			return err
 		}
 		db.stats.physicalBytesWrite.Add(uint64(n))
@@ -392,8 +476,12 @@ func (db *DB) reader(meta tableMeta) (*tableReader, error) {
 	if t, ok := db.open[meta.num]; ok {
 		return t, nil
 	}
-	t, err := openTable(db.dir, meta)
-	if err != nil {
+	var t *tableReader
+	if err := db.retryIO(func() error {
+		var err error
+		t, err = openTable(db.fs, db.dir, meta)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	db.open[meta.num] = t
@@ -409,11 +497,15 @@ func (db *DB) maybeRotateLocked() error {
 	if len(db.imm) >= db.opts.MaxImmutableMemtables {
 		db.stats.writeStalls.Add(1)
 		start := time.Now()
-		for len(db.imm) >= db.opts.MaxImmutableMemtables && db.bgErr == nil && !db.closed {
+		for len(db.imm) >= db.opts.MaxImmutableMemtables &&
+			db.bgErr == nil && db.degradedErr == nil && !db.closed {
 			db.kickLocked()
 			db.cond.Wait()
 		}
 		db.stats.writeStallNanos.Add(uint64(time.Since(start)))
+		if db.degradedErr != nil {
+			return kv.ErrDegraded
+		}
 		if db.bgErr != nil {
 			return db.bgErr
 		}
@@ -432,13 +524,23 @@ func (db *DB) rotateLocked() error {
 	}
 	task := flushTask{mem: db.mem}
 	if db.wal != nil {
+		// close syncs first: generation N must be fully durable before
+		// generation N+1 opens, or a crash in the gap could surface
+		// later-synced writes while losing earlier ones (a hole in the
+		// op sequence, not a prefix). A failure here is a permanent loss
+		// of the write path — degrade rather than limp on with a log in
+		// an unknown state.
 		if err := db.wal.close(); err != nil {
+			db.wal = nil
+			db.setDegradedLocked(err)
 			return err
 		}
 		task.walSeq = db.walSeq
 		db.walSeq++
-		w, err := openWAL(db.walFile(db.walSeq))
+		w, err := openWAL(db.fs, db.walFile(db.walSeq), db.retryIO)
 		if err != nil {
+			db.wal = nil
+			db.setDegradedLocked(err)
 			return err
 		}
 		db.wal = w
@@ -466,15 +568,16 @@ func (db *DB) background() {
 func (db *DB) bgWork() {
 	db.mu.Lock()
 	db.bgActive = true
-	for db.bgErr == nil && !db.closed {
+	for db.bgErr == nil && db.degradedErr == nil && !db.closed {
 		if len(db.imm) > 0 {
 			task := db.imm[0]
 			num := db.next.Add(1) - 1
 			db.mu.Unlock()
-			meta, err := writeTable(db.dir, num, 0, task.mem.entries())
+			meta, err := db.writeTableRetrying(num, 0, task.mem.entries())
 			db.mu.Lock()
 			if err != nil {
 				db.bgErr = err
+				db.setDegradedLocked(err)
 				break
 			}
 			db.stats.physicalBytesWrite.Add(uint64(meta.size))
@@ -483,15 +586,29 @@ func (db *DB) bgWork() {
 			db.imm = db.imm[1:]
 			if err := db.saveManifest(); err != nil {
 				db.bgErr = err
+				db.setDegradedLocked(err)
 				break
 			}
 			db.cond.Broadcast()
 			if task.walSeq != 0 {
 				// The flushed state is durable in the SSTable; its log is
-				// obsolete.
+				// obsolete. A failed removal is NOT ignorable: a stale
+				// generation would replay on the next open, so a log we
+				// cannot retire is a storage failure like any other.
 				db.mu.Unlock()
-				os.Remove(db.walFile(task.walSeq))
+				rerr := db.retryIO(func() error {
+					err := db.fs.Remove(db.walFile(task.walSeq))
+					if errors.Is(err, os.ErrNotExist) {
+						return nil
+					}
+					return err
+				})
 				db.mu.Lock()
+				if rerr != nil {
+					db.bgErr = rerr
+					db.setDegradedLocked(rerr)
+					break
+				}
 			}
 			continue
 		}
@@ -509,11 +626,13 @@ func (db *DB) bgWork() {
 		db.mu.Lock()
 		if err != nil {
 			db.bgErr = err
+			db.setDegradedLocked(err)
 			break
 		}
 		obsolete := db.installCompactionLocked(plan, newMetas, readBytes)
 		if err := db.saveManifest(); err != nil {
 			db.bgErr = err
+			db.setDegradedLocked(err)
 			break
 		}
 		db.cond.Broadcast()
@@ -530,12 +649,19 @@ func (db *DB) bgWork() {
 // for the background worker to drain every flush and due compaction.
 // Called with db.mu held.
 func (db *DB) settleLocked() error {
+	if db.degradedErr != nil {
+		return kv.ErrDegraded
+	}
 	if err := db.rotateLocked(); err != nil {
 		return err
 	}
-	for db.bgErr == nil && (len(db.imm) > 0 || db.bgActive || db.pickCompaction() >= 0) {
+	for db.bgErr == nil && db.degradedErr == nil &&
+		(len(db.imm) > 0 || db.bgActive || db.pickCompaction() >= 0) {
 		db.kickLocked()
 		db.cond.Wait()
+	}
+	if db.degradedErr != nil {
+		return kv.ErrDegraded
 	}
 	return db.bgErr
 }
@@ -661,7 +787,7 @@ func (db *DB) runCompaction(plan compactionPlan, hook func()) (newMetas []tableM
 			return nil
 		}
 		num := db.next.Add(1) - 1
-		meta, err := writeTable(db.dir, num, plan.dst, out)
+		meta, err := db.writeTableRetrying(num, plan.dst, out)
 		if err != nil {
 			return err
 		}
@@ -728,7 +854,9 @@ func (db *DB) removeObsolete(obsolete []tableMeta) {
 		db.openMu.Lock()
 		delete(db.open, m.num)
 		db.openMu.Unlock()
-		os.Remove(tablePath(db.dir, m.num))
+		// Best-effort: an orphaned table is dead weight, not a hazard — the
+		// manifest no longer references it, so recovery never reads it.
+		db.fs.Remove(tablePath(db.dir, m.num))
 	}
 }
 
@@ -886,15 +1014,13 @@ func (b *dbBatch) Write() error {
 	db := b.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return kv.ErrClosed
-	}
-	if db.bgErr != nil {
-		return db.bgErr
+	if err := db.writeGateLocked(); err != nil {
+		return err
 	}
 	if db.wal != nil {
 		n, err := db.wal.appendGroup(b.ops)
 		if err != nil {
+			db.setDegradedLocked(err)
 			return err
 		}
 		db.stats.physicalBytesWrite.Add(uint64(n))
@@ -950,6 +1076,8 @@ func (db *DB) Stats() kv.Stats {
 		FlushCount:          db.stats.flushCount.Load(),
 		WriteStalls:         db.stats.writeStalls.Load(),
 		WriteStallNanos:     db.stats.writeStallNanos.Load(),
+		IORetries:           db.stats.ioRetries.Load(),
+		Degraded:            db.stats.degraded.Load(),
 	}
 }
 
@@ -1019,14 +1147,18 @@ func (db *DB) saveManifest() error {
 		}
 	}
 	tmpPath := db.manifestPath() + ".tmp"
-	if err := os.WriteFile(tmpPath, buf.Bytes(), 0o644); err != nil {
+	if err := db.retryIO(func() error {
+		return faultfs.WriteFileSync(db.fs, tmpPath, buf.Bytes())
+	}); err != nil {
 		return err
 	}
-	return os.Rename(tmpPath, db.manifestPath())
+	return db.retryIO(func() error {
+		return db.fs.Rename(tmpPath, db.manifestPath())
+	})
 }
 
 func (db *DB) loadManifest() error {
-	raw, err := os.ReadFile(db.manifestPath())
+	raw, err := db.fs.ReadFile(db.manifestPath())
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}

@@ -1,0 +1,126 @@
+package lsm
+
+// Fuzz targets for the two on-disk decoders that crash recovery feeds with
+// arbitrary surviving bytes: WAL replay and SSTable opening. The invariant
+// is that no input — torn, bit-flipped, or adversarial — makes recovery
+// panic; corruption must surface as a clean stop (WAL) or an error
+// (SSTable).
+
+import (
+	"bytes"
+	"testing"
+
+	"ethkv/internal/faultfs"
+)
+
+// walBytes builds a well-formed log in memory for the seed corpus.
+func walBytes(f *testing.F, build func(w *wal)) []byte {
+	f.Helper()
+	m := faultfs.NewMemFS()
+	w, err := openWAL(m, "w", noRetry)
+	if err != nil {
+		f.Fatal(err)
+	}
+	build(w)
+	if err := w.close(); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := m.ReadFile("w")
+	if err != nil {
+		f.Fatal(err)
+	}
+	return raw
+}
+
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(walBytes(f, func(w *wal) {
+		w.appendRecord(walOpPut, []byte("key"), []byte("value"))
+		w.appendRecord(walOpDelete, []byte("gone"), nil)
+	}))
+	f.Add(walBytes(f, func(w *wal) {
+		w.appendGroup([]batchOp{
+			{key: []byte("a"), value: bytes.Repeat([]byte{1}, 300)},
+			{key: []byte("b"), delete: true},
+		})
+	}))
+	// A record torn mid-payload and one with a flipped CRC byte.
+	whole := walBytes(f, func(w *wal) {
+		w.appendRecord(walOpPut, []byte("kk"), bytes.Repeat([]byte{2}, 64))
+	})
+	f.Add(whole[:len(whole)/2])
+	flipped := append([]byte(nil), whole...)
+	flipped[0] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var applied int
+		err := replayWALStream(bytes.NewReader(data), func(op byte, key, value []byte) error {
+			if op != walOpPut && op != walOpDelete {
+				t.Fatalf("replay surfaced unknown op %d", op)
+			}
+			applied++
+			return nil
+		})
+		// Replay never fails on corrupt input — it stops at the tear — and
+		// never applies more ops than the input could possibly frame.
+		if err != nil {
+			t.Fatalf("replay error on arbitrary input: %v", err)
+		}
+		if applied > len(data) {
+			t.Fatalf("replayed %d ops from %d bytes", applied, len(data))
+		}
+	})
+}
+
+func FuzzSSTableOpen(f *testing.F) {
+	// Seed with a real table, its truncations, and targeted corruptions of
+	// the footer region (offsets, lengths, bloom parameters).
+	m := faultfs.NewMemFS()
+	meta, err := writeTable(m, "d", 1, 0, []entry{
+		{key: []byte("alpha"), value: bytes.Repeat([]byte{3}, 100)},
+		{key: []byte("beta"), tombstone: true},
+		{key: []byte("gamma"), value: []byte("v")},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	raw, err := m.ReadFile(tablePath("d", meta.num))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:len(raw)-footerSize/2])
+	f.Add(raw[:footerSize])
+	for _, off := range []int{0, footerSize - 9, footerSize - 20, footerSize - 40} {
+		mut := append([]byte(nil), raw...)
+		mut[len(mut)-1-off] ^= 0x55
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := newTableReader(append([]byte(nil), data...), tableMeta{num: 1})
+		if err != nil {
+			return // rejecting corrupt input is the correct outcome
+		}
+		// An accepted table must be fully traversable without panicking and
+		// with bounded output. Entry ORDER is not asserted: block payloads
+		// are framed but not checksummed, so a footer-valid table can hold
+		// garbage entries — recovery integrity rests on the WAL CRCs and
+		// the sync-before-manifest protocol, not on block contents.
+		it := r.iterator(nil)
+		for n := 0; ; n++ {
+			_, ok := it.nextEntry()
+			if !ok {
+				break
+			}
+			if n > len(data) {
+				t.Fatalf("iterator yielded %d entries from %d bytes", n, len(data))
+			}
+		}
+		// Point lookups on arbitrary keys must also be panic-free.
+		r.get([]byte("alpha"))
+		r.get([]byte{})
+	})
+}

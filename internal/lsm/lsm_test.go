@@ -12,8 +12,13 @@ import (
 	"testing/quick"
 	"time"
 
+	"ethkv/internal/faultfs"
 	"ethkv/internal/kv"
 )
+
+// noRetry is a pass-through retryFn for unit tests that construct WAL and
+// table objects directly.
+func noRetry(op func() error) error { return op() }
 
 // smallOpts forces frequent flushes and compactions so small tests exercise
 // the full machinery.
@@ -144,14 +149,14 @@ func TestSSTableRoundTrip(t *testing.T) {
 			tombstone: i%7 == 0,
 		})
 	}
-	meta, err := writeTable(dir, 1, 0, ents)
+	meta, err := writeTable(faultfs.OS, dir, 1, 0, ents)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(meta.smallest) != "key-0000" || string(meta.largest) != "key-0499" {
 		t.Fatalf("bounds %q..%q", meta.smallest, meta.largest)
 	}
-	r, err := openTable(dir, meta)
+	r, err := openTable(faultfs.OS, dir, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +198,7 @@ func TestSSTableRoundTrip(t *testing.T) {
 
 func TestSSTableCorruption(t *testing.T) {
 	dir := t.TempDir()
-	meta, err := writeTable(dir, 1, 0, []entry{{key: []byte("k"), value: []byte("v")}})
+	meta, err := writeTable(faultfs.OS, dir, 1, 0, []entry{{key: []byte("k"), value: []byte("v")}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +206,7 @@ func TestSSTableCorruption(t *testing.T) {
 	raw, _ := os.ReadFile(path)
 	raw[len(raw)-1] ^= 0xff // corrupt magic
 	os.WriteFile(path, raw, 0o644)
-	if _, err := openTable(dir, meta); !errors.Is(err, errTableCorrupt) {
+	if _, err := openTable(faultfs.OS, dir, meta); !errors.Is(err, errTableCorrupt) {
 		t.Fatalf("want corrupt error, got %v", err)
 	}
 }
@@ -566,7 +571,7 @@ func TestDBDisableWAL(t *testing.T) {
 func TestWALRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "test.wal")
-	w, err := openWAL(path)
+	w, err := openWAL(faultfs.OS, path, noRetry)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -583,7 +588,7 @@ func TestWALRoundTrip(t *testing.T) {
 		vlen int
 	}
 	var got []rec
-	err = replayWAL(path, func(op byte, key, value []byte) error {
+	err = replayWAL(faultfs.OS, path, func(op byte, key, value []byte) error {
 		got = append(got, rec{op, string(key), len(value)})
 		return nil
 	})
@@ -597,7 +602,7 @@ func TestWALRoundTrip(t *testing.T) {
 }
 
 func TestWALMissingFile(t *testing.T) {
-	err := replayWAL(filepath.Join(t.TempDir(), "absent.wal"), func(byte, []byte, []byte) error {
+	err := replayWAL(faultfs.OS, filepath.Join(t.TempDir(), "absent.wal"), func(byte, []byte, []byte) error {
 		t.Fatal("callback on missing file")
 		return nil
 	})

@@ -6,8 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"sort"
+
+	"ethkv/internal/faultfs"
 )
 
 // SSTable file layout (all integers little-endian):
@@ -52,8 +53,11 @@ func tablePath(dir string, num uint64) string {
 }
 
 // writeTable persists sorted entries to an SSTable file and returns its
-// metadata. Entries must be strictly ascending by key.
-func writeTable(dir string, num uint64, level int, ents []entry) (tableMeta, error) {
+// metadata. Entries must be strictly ascending by key. The file is synced
+// before writeTable returns — table installs (and the WAL deletions that
+// follow them) may only happen once the table is crash-durable — and
+// write, sync, and close errors all propagate.
+func writeTable(fsys faultfs.FS, dir string, num uint64, level int, ents []entry) (tableMeta, error) {
 	if len(ents) == 0 {
 		return tableMeta{}, errors.New("lsm: refusing to write empty table")
 	}
@@ -114,7 +118,7 @@ func writeTable(dir string, num uint64, level int, ents []entry) (tableMeta, err
 	buf.Write(footer[:])
 
 	path := tablePath(dir, num)
-	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+	if err := faultfs.WriteFileSync(fsys, path, buf.Bytes()); err != nil {
 		return tableMeta{}, err
 	}
 	return tableMeta{
@@ -146,12 +150,21 @@ type tableReader struct {
 }
 
 // openTable reads and validates the SSTable file for meta.
-func openTable(dir string, meta tableMeta) (*tableReader, error) {
-	data, err := os.ReadFile(tablePath(dir, meta.num))
+func openTable(fsys faultfs.FS, dir string, meta tableMeta) (*tableReader, error) {
+	data, err := fsys.ReadFile(tablePath(dir, meta.num))
 	if err != nil {
 		return nil, err
 	}
-	if len(data) < footerSize {
+	return newTableReader(data, meta)
+}
+
+// newTableReader validates an SSTable image and builds a reader over it.
+// Every structural field is bounds-checked before use: arbitrary (fuzzed,
+// torn, bit-flipped) input must produce errTableCorrupt, never a panic or
+// an out-of-range access.
+func newTableReader(data []byte, meta tableMeta) (*tableReader, error) {
+	dlen := uint64(len(data))
+	if dlen < footerSize {
 		return nil, fmt.Errorf("%w: file shorter than footer", errTableCorrupt)
 	}
 	footer := data[len(data)-footerSize:]
@@ -166,11 +179,18 @@ func openTable(dir string, meta tableMeta) (*tableReader, error) {
 	bloomOff := binary.LittleEndian.Uint64(footer[16:])
 	bloomLen := binary.LittleEndian.Uint64(footer[24:])
 	bloomK := int(binary.LittleEndian.Uint32(footer[32:]))
-	if indexOff+indexLen > uint64(len(data)) || bloomOff+bloomLen > uint64(len(data)) {
+	// Overflow-safe section bounds: compare lengths against the remainder,
+	// never the sum of two attacker-controlled u64s.
+	if indexOff > dlen || indexLen > dlen-indexOff ||
+		bloomOff > dlen || bloomLen > dlen-bloomOff {
 		return nil, fmt.Errorf("%w: section out of range", errTableCorrupt)
 	}
+	if bloomK < 0 || bloomK > 64 {
+		return nil, fmt.Errorf("%w: bloom probe count", errTableCorrupt)
+	}
 
-	index, err := parseIndex(data[indexOff : indexOff+indexLen])
+	// Data blocks live strictly before the index block.
+	index, err := parseIndex(data[indexOff:indexOff+indexLen], indexOff)
 	if err != nil {
 		return nil, err
 	}
@@ -182,8 +202,10 @@ func openTable(dir string, meta tableMeta) (*tableReader, error) {
 	}, nil
 }
 
-// parseIndex decodes the index block.
-func parseIndex(raw []byte) ([]indexEntry, error) {
+// parseIndex decodes the index block. dataLimit is the exclusive upper
+// bound for block extents (the index's own offset): every referenced data
+// block must lie entirely within [0, dataLimit).
+func parseIndex(raw []byte, dataLimit uint64) ([]indexEntry, error) {
 	var index []indexEntry
 	for len(raw) > 0 {
 		klen, n := binary.Uvarint(raw)
@@ -203,6 +225,18 @@ func parseIndex(raw []byte) ([]indexEntry, error) {
 			return nil, fmt.Errorf("%w: index length", errTableCorrupt)
 		}
 		raw = raw[n:]
+		if off > dataLimit || length > dataLimit-off {
+			return nil, fmt.Errorf("%w: block extent out of range", errTableCorrupt)
+		}
+		// Structural monotonicity: blocks ascend by last key and do not
+		// overlap. Catches shuffled or duplicated index entries cheaply;
+		// block payloads themselves are only validated by their framing.
+		if n := len(index); n > 0 {
+			prev := index[n-1]
+			if bytes.Compare(key, prev.lastKey) <= 0 || off < prev.offset+prev.length {
+				return nil, fmt.Errorf("%w: index not monotonic", errTableCorrupt)
+			}
+		}
 		index = append(index, indexEntry{lastKey: key, offset: off, length: length})
 	}
 	return index, nil
@@ -236,21 +270,23 @@ func (t *tableReader) get(key []byte) (value []byte, found, deleted bool, bytesR
 	return nil, false, false, bytesRead
 }
 
-// blockEntries yields the entries of one data block in order.
+// blockEntries yields the entries of one data block in order. A block
+// whose framing is damaged terminates the walk at the last decodable
+// entry — corrupt lengths must never index past the block.
 func blockEntries(block []byte) func(func(entry) bool) {
 	return func(yield func(entry) bool) {
 		for len(block) > 0 {
 			flags := block[0]
 			block = block[1:]
 			klen, n := binary.Uvarint(block)
-			if n <= 0 {
+			if n <= 0 || uint64(len(block)-n) < klen {
 				return
 			}
 			block = block[n:]
 			key := block[:klen]
 			block = block[klen:]
 			vlen, n := binary.Uvarint(block)
-			if n <= 0 {
+			if n <= 0 || uint64(len(block)-n) < vlen {
 				return
 			}
 			block = block[n:]
@@ -316,11 +352,13 @@ func (it *tableIterator) next() bool {
 			it.block = it.t.data[blk.offset : blk.offset+blk.length]
 			it.read += len(it.block)
 			it.blockIdx++
+			// Re-check: a corrupt index may frame a zero-length block.
+			continue
 		}
 		flags := it.block[0]
 		it.block = it.block[1:]
 		klen, n := binary.Uvarint(it.block)
-		if n <= 0 {
+		if n <= 0 || uint64(len(it.block)-n) < klen {
 			it.valid = false
 			return false
 		}
@@ -328,7 +366,7 @@ func (it *tableIterator) next() bool {
 		key := it.block[:klen]
 		it.block = it.block[klen:]
 		vlen, n := binary.Uvarint(it.block)
-		if n <= 0 {
+		if n <= 0 || uint64(len(it.block)-n) < vlen {
 			it.valid = false
 			return false
 		}

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+	"io/fs"
+
+	"ethkv/internal/faultfs"
 )
 
 // Write-ahead log format: a sequence of records, each
@@ -30,31 +32,49 @@ const (
 	walOpPut    = 0
 	walOpDelete = 1
 	walOpGroup  = 2
+
+	// walFlushThreshold bounds the record buffer before it is written
+	// through to the file.
+	walFlushThreshold = 1 << 16
 )
 
 // errWALCorrupt marks a record that fails its checksum; replay treats it as
 // the end of the durable prefix.
 var errWALCorrupt = errors.New("lsm: corrupt wal record")
 
-// wal is an append-only write-ahead log.
+// retryFn wraps one I/O operation with the store's bounded
+// retry-with-backoff policy for transient faults.
+type retryFn func(op func() error) error
+
+// wal is an append-only write-ahead log. Records accumulate in an internal
+// buffer that is written through on sync, close, or when it exceeds
+// walFlushThreshold. The buffer is record-aligned and only cleared after a
+// successful write, so a transiently failed flush (which has no effect on
+// the file) can be retried wholesale without tearing or duplicating
+// records.
 type wal struct {
-	f   *os.File
-	w   *bufio.Writer
-	len int64
+	f     faultfs.File
+	buf   []byte // records not yet written to f
+	len   int64
+	retry retryFn
 }
 
 // openWAL opens (creating if needed) the log at path for appending.
-func openWAL(path string) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
+func openWAL(fsys faultfs.FS, path string, retry retryFn) (*wal, error) {
+	var f faultfs.File
+	if err := retry(func() error {
+		var err error
+		f, err = fsys.OpenAppend(path)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), len: st.Size()}, nil
+	return &wal{f: f, retry: retry, len: size}, nil
 }
 
 // appendOp encodes one put/delete into payload.
@@ -76,9 +96,9 @@ func (l *wal) appendRecord(op byte, key, value []byte) (int, error) {
 	return l.appendPayload(payload)
 }
 
-// appendGroup writes one batch as a single framed group record and flushes
-// the stream once — group commit: one WAL emission and one flush per batch
-// instead of one per op. Returns bytes appended.
+// appendGroup writes one batch as a single framed group record and syncs
+// the log — group commit: one WAL emission and one durability barrier per
+// batch instead of one per op. Returns bytes appended.
 func (l *wal) appendGroup(ops []batchOp) (int, error) {
 	size := 1 + binary.MaxVarintLen64
 	for _, op := range ops {
@@ -106,47 +126,80 @@ func (l *wal) appendPayload(payload []byte) (int, error) {
 	var head [8]byte
 	binary.LittleEndian.PutUint32(head[0:], crc32.ChecksumIEEE(payload))
 	binary.LittleEndian.PutUint32(head[4:], uint32(len(payload)))
-	if _, err := l.w.Write(head[:]); err != nil {
-		return 0, err
-	}
-	if _, err := l.w.Write(payload); err != nil {
-		return 0, err
-	}
+	l.buf = append(l.buf, head[:]...)
+	l.buf = append(l.buf, payload...)
 	n := len(head) + len(payload)
 	l.len += int64(n)
+	if len(l.buf) >= walFlushThreshold {
+		if err := l.flushBuf(); err != nil {
+			return 0, err
+		}
+	}
 	return n, nil
 }
 
-// sync flushes buffered records to the OS. (We do not fsync by default —
-// the simulator favours throughput; Sync is exposed for tests.)
-func (l *wal) sync() error { return l.w.Flush() }
-
-// close flushes and closes the log file.
-func (l *wal) close() error {
-	if err := l.w.Flush(); err != nil {
-		l.f.Close()
+// flushBuf writes the buffered records through to the file. Only a
+// successful write clears the buffer, so retries re-attempt the whole
+// record-aligned run.
+func (l *wal) flushBuf() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if err := l.retry(func() error {
+		_, err := l.f.Write(l.buf)
+		return err
+	}); err != nil {
 		return err
 	}
-	return l.f.Close()
+	l.buf = l.buf[:0]
+	return nil
+}
+
+// sync is the durability barrier: buffered records are written through and
+// the file is synced. Records appended before a successful sync survive a
+// crash.
+func (l *wal) sync() error {
+	if err := l.flushBuf(); err != nil {
+		return err
+	}
+	return l.retry(l.f.Sync)
+}
+
+// close makes the log durable and closes it. The sync-before-close is
+// load-bearing: rotation closes a generation and then deletes it only
+// after its memtable flushes, so every record in a closed generation must
+// survive a crash that happens in between. Close errors propagate — a log
+// we cannot finish writing is a log we cannot rely on.
+func (l *wal) close() error {
+	err := l.sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // size returns the logical length of the log in bytes.
 func (l *wal) size() int64 { return l.len }
 
 // replayWAL streams the durable records of the log at path into apply.
-// Group records replay as their constituent ops, in batch order. A torn or
-// corrupt tail terminates replay without error.
-func replayWAL(path string, apply func(op byte, key, value []byte) error) error {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
+func replayWAL(fsys faultfs.FS, path string, apply func(op byte, key, value []byte) error) error {
+	f, err := fsys.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	return replayWALStream(f, apply)
+}
 
-	r := bufio.NewReaderSize(f, 1<<16)
+// replayWALStream decodes records from r into apply. Group records replay
+// as their constituent ops, in batch order. A torn or corrupt tail
+// terminates replay without error: everything before the tear is the
+// durable prefix, everything after it never happened.
+func replayWALStream(rd io.Reader, apply func(op byte, key, value []byte) error) error {
+	r := bufio.NewReaderSize(rd, 1<<16)
 	for {
 		payload, err := readWALPayload(r)
 		if errors.Is(err, io.EOF) || errors.Is(err, errWALCorrupt) ||
