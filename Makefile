@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts clean
+.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke clean
 
 all: build test
 
@@ -17,8 +17,10 @@ race:
 	$(GO) test -race ./...
 
 # The default pre-merge gate: static checks plus the full suite under the
-# race detector (the parallel analysis engine must stay race-clean) and a
-# wide crash-recovery sweep.
+# race detector (the parallel analysis engine and the lock-free metrics in
+# internal/obs must stay race-clean — `race` covers ./... including
+# internal/obs and the kv.Instrument decorator) and a wide crash-recovery
+# sweep.
 check: build vet race crashtest
 
 # Crash-recovery fault injection: hundreds of seeded workload/crash-point
@@ -33,14 +35,16 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
 
 # Machine-readable benchmark snapshot: runs the paper benchmarks once and
-# writes ns/op, B/op, and allocs/op per benchmark to BENCH_2.json.
-# (BENCH_1.json is the pre-pipeline snapshot; bench-diff compares the two.)
+# writes ns/op, B/op, allocs/op, and the per-op latency percentiles
+# (BenchmarkStoreOpLatency's *-p50-ns/*-p99-ns metrics) to BENCH_4.json.
+# (BENCH_1/BENCH_2 are earlier snapshots; bench-diff compares across.)
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_2.json
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_4.json
 
-# Per-benchmark ns/op movement between the recorded snapshots.
+# Per-benchmark ns/op movement between the recorded snapshots, including
+# latency-percentile delta rows for benchmarks that report them.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_1.json BENCH_2.json
+	$(GO) run ./cmd/benchjson -diff BENCH_2.json BENCH_4.json
 
 # Short fuzz passes over the binary decoders.
 fuzz:
@@ -50,6 +54,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeNode -fuzztime=10s ./internal/trie/
 	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=10s ./internal/lsm/
 	$(GO) test -run=NONE -fuzz=FuzzSSTableOpen -fuzztime=10s ./internal/lsm/
+	$(GO) test -run=NONE -fuzz=FuzzSSTableScan -fuzztime=10s ./internal/lsm/
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +70,34 @@ repro:
 # Reproduction plus the artifact-layout output tree.
 artifacts:
 	$(GO) run ./cmd/ethkvlab -blocks 300 -out artifacts
+
+# End-to-end observability smoke: collect a small trace, replay it with the
+# metrics server up, scrape /metrics until the per-op latency histogram
+# series appear, and touch the pprof index. Fails if the series never show.
+OBS_SMOKE_DIR ?= /tmp/ethkv-obs-smoke
+OBS_SMOKE_ADDR ?= 127.0.0.1:8321
+obs-smoke:
+	rm -rf $(OBS_SMOKE_DIR) && mkdir -p $(OBS_SMOKE_DIR)
+	$(GO) run ./cmd/tracegen -dir $(OBS_SMOKE_DIR)/traces -blocks 20 -mode bare \
+		-accounts 2000 -contracts 200 -tx 40
+	$(GO) build -o $(OBS_SMOKE_DIR)/replaybench ./cmd/replaybench
+	$(OBS_SMOKE_DIR)/replaybench -trace $(OBS_SMOKE_DIR)/traces/BareTrace/BareTrace.bin \
+		-backend lsm -metrics-addr $(OBS_SMOKE_ADDR) -metrics-hold 30s \
+		> $(OBS_SMOKE_DIR)/replay.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 60); do \
+		if curl -sf http://$(OBS_SMOKE_ADDR)/metrics > $(OBS_SMOKE_DIR)/metrics.txt 2>/dev/null \
+			&& grep -q '^ethkv_op_latency_ns_bucket' $(OBS_SMOKE_DIR)/metrics.txt; then \
+			echo "obs-smoke: op latency histogram series present"; \
+			curl -sf http://$(OBS_SMOKE_ADDR)/debug/pprof/ > /dev/null \
+				&& echo "obs-smoke: pprof index reachable"; \
+			kill $$pid 2>/dev/null; \
+			exit 0; \
+		fi; \
+		sleep 1; \
+	done; \
+	echo "obs-smoke: FAILED (series never appeared)"; \
+	cat $(OBS_SMOKE_DIR)/replay.log; kill $$pid 2>/dev/null; exit 1
 
 clean:
 	rm -rf artifacts traces

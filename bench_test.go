@@ -20,9 +20,11 @@ import (
 	"ethkv/internal/chain"
 	"ethkv/internal/hashstore"
 	"ethkv/internal/hybrid"
+	"ethkv/internal/kv"
 	"ethkv/internal/lab"
 	"ethkv/internal/logstore"
 	"ethkv/internal/lsm"
+	"ethkv/internal/obs"
 	"ethkv/internal/rawdb"
 	"ethkv/internal/report"
 	"ethkv/internal/trace"
@@ -436,6 +438,76 @@ func BenchmarkPipelineImport(b *testing.B) {
 				if _, err := lab.Run(lab.Config{
 					Mode: lab.Cached, Blocks: 10, Workload: workload, ImportWorkers: workers,
 				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreOpLatency replays the measured workload against the
+// instrumented LSM and reports per-op latency percentiles — the numbers the
+// paper's storage-design argument turns on (read cost under compaction,
+// write cost under stalls). The percentile units land in BENCH_4.json via
+// benchjson, which diffs any `*-p*-ns` metric across snapshots.
+func BenchmarkStoreOpLatency(b *testing.B) {
+	bare, _ := sharedRuns(b)
+	var snap obs.Snapshot
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		registry := obs.NewRegistry()
+		db, err := lsm.Open(filepath.Join(b.TempDir(), "lsm"), ablationLSMOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := kv.Instrument(db, registry, "store", "lsm")
+		if _, err := hybrid.Replay(store, bare.Ops); err != nil {
+			b.Fatal(err)
+		}
+		store.Close()
+		snap = registry.Snapshot()
+	}
+	b.StopTimer()
+	printOnce("op-latency", func() {
+		fmt.Println("\n=== Store op latency percentiles (instrumented LSM replay) ===")
+		for _, op := range []string{"get", "put", "delete", "scan"} {
+			h, ok := snap.Histograms[obs.Name("ethkv_op_latency_ns", "op", op, "store", "lsm")]
+			if ok && h.Count > 0 {
+				fmt.Printf("%-6s n=%-9d %s\n", op, h.Count, obs.FormatQuantiles(h))
+			}
+		}
+	})
+	for _, op := range []string{"get", "put", "delete", "scan"} {
+		h, ok := snap.Histograms[obs.Name("ethkv_op_latency_ns", "op", op, "store", "lsm")]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		b.ReportMetric(h.Quantile(0.50), op+"-p50-ns")
+		b.ReportMetric(h.Quantile(0.99), op+"-p99-ns")
+	}
+}
+
+// BenchmarkInstrumentOverhead measures the per-op cost the observability
+// decorator adds to a Get, both disabled (nil registry: must be the raw
+// store) and enabled (two histogram observes plus counters). The acceptance
+// bar is <2% on the import pipeline; on a bare MemStore Get — a far harsher
+// denominator — the absolute delta is what matters (tens of ns).
+func BenchmarkInstrumentOverhead(b *testing.B) {
+	key := []byte("overhead-key")
+	for _, mode := range []string{"bare", "instrumented"} {
+		b.Run(mode, func(b *testing.B) {
+			inner := kv.NewMemStore()
+			defer inner.Close()
+			store := kv.Store(inner)
+			if mode == "instrumented" {
+				store = kv.Instrument(inner, obs.NewRegistry(), "store", "mem")
+			}
+			if err := store.Put(key, []byte("value")); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Get(key); err != nil {
 					b.Fatal(err)
 				}
 			}

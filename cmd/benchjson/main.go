@@ -16,6 +16,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -191,9 +192,41 @@ func diffSnapshots(w io.Writer, oldPath, newPath string) error {
 				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
 			}
 			fmt.Fprintf(w, "%-50s %14.0f %14.0f %9s\n", name, ov, nv, delta)
+			diffLatencyMetrics(w, o, n)
 		}
 	}
 	return nil
+}
+
+// latencyMetric matches the custom latency-percentile units that
+// BenchmarkStoreOpLatency reports (get-p50-ns, put-p99-ns, ...).
+var latencyMetric = regexp.MustCompile(`-p[0-9.]+-ns$`)
+
+// diffLatencyMetrics prints indented delta rows for every latency-percentile
+// metric the two results share (plus ones only the new snapshot has —
+// percentile coverage usually grows over time, and those rows would
+// otherwise vanish from the diff).
+func diffLatencyMetrics(w io.Writer, o, n Result) {
+	units := make([]string, 0, len(n.Metrics))
+	for unit := range n.Metrics {
+		if latencyMetric.MatchString(unit) {
+			units = append(units, unit)
+		}
+	}
+	sort.Strings(units)
+	for _, unit := range units {
+		nv := n.Metrics[unit]
+		ov, haveOld := o.Metrics[unit]
+		if !haveOld {
+			fmt.Fprintf(w, "  %-48s %14s %14.0f %9s\n", unit, "-", nv, "new")
+			continue
+		}
+		delta := "n/a"
+		if ov > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+		}
+		fmt.Fprintf(w, "  %-48s %14.0f %14.0f %9s\n", unit, ov, nv, delta)
+	}
 }
 
 // trimProcSuffix drops the trailing -N GOMAXPROCS marker.

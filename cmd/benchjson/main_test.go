@@ -19,20 +19,29 @@ func TestDiffSnapshots(t *testing.T) {
 	oldPath := filepath.Join(dir, "old.json")
 	newPath := filepath.Join(dir, "new.json")
 	writeSnap(t, oldPath, `{"benchmarks":[
-		{"name":"BenchmarkA","iterations":1,"metrics":{"ns/op":1000}},
+		{"name":"BenchmarkA","iterations":1,"metrics":{"ns/op":1000,"get-p50-ns":800,"get-p99-ns":4000}},
 		{"name":"BenchmarkGone","iterations":1,"metrics":{"ns/op":50}}]}`)
 	writeSnap(t, newPath, `{"benchmarks":[
-		{"name":"BenchmarkA","iterations":1,"metrics":{"ns/op":500}},
+		{"name":"BenchmarkA","iterations":1,"metrics":{"ns/op":500,"get-p50-ns":400,"get-p99-ns":4000,"put-p50-ns":900}},
 		{"name":"BenchmarkNew","iterations":1,"metrics":{"ns/op":70}}]}`)
 	var sb strings.Builder
 	if err := diffSnapshots(&sb, oldPath, newPath); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"BenchmarkA", "-50.0%", "BenchmarkGone", "gone", "BenchmarkNew", "new"} {
+	for _, want := range []string{
+		"BenchmarkA", "-50.0%", "BenchmarkGone", "gone", "BenchmarkNew", "new",
+		// Latency-percentile rows: shared (with delta), unchanged, and
+		// new-only percentiles all appear.
+		"get-p50-ns", "get-p99-ns", "+0.0%", "put-p50-ns",
+	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("diff output missing %q:\n%s", want, out)
 		}
+	}
+	// Non-latency custom metrics must not get delta rows.
+	if strings.Contains(out, "dominant-share") {
+		t.Fatalf("unexpected metric row:\n%s", out)
 	}
 }
 

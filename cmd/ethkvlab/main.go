@@ -17,6 +17,7 @@ import (
 	"ethkv/internal/analysis"
 	"ethkv/internal/chain"
 	"ethkv/internal/lab"
+	"ethkv/internal/obs"
 	"ethkv/internal/rawdb"
 	"ethkv/internal/report"
 	"ethkv/internal/trace"
@@ -31,8 +32,20 @@ func main() {
 		seed      = flag.Int64("seed", 42, "workload RNG seed")
 		outDir    = flag.String("out", "", "also write the artifact-layout output tree to this directory")
 		workers   = flag.Int("import-workers", 0, "import pipeline fan-out (0 = ETHKV_IMPORT_WORKERS or GOMAXPROCS, 1 = sequential)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address during the run; empty disables")
 	)
 	flag.Parse()
+
+	var registry *obs.Registry
+	if *metricsAddr != "" {
+		registry = obs.NewRegistry()
+		addr, err := obs.Serve(*metricsAddr, registry)
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		fmt.Printf("metrics: http://%s/metrics   pprof: http://%s/debug/pprof/\n", addr, addr)
+	}
 
 	workload := chain.DefaultWorkload()
 	workload.Accounts = *accounts
@@ -44,13 +57,16 @@ func main() {
 	fmt.Printf("== collecting traces: %d blocks, %d EOAs, %d contracts, %d tx/block\n",
 		*blocks, *accounts, *contracts, *tx)
 	bare, cached, err := lab.RunBothConfigs(
-		lab.Config{Mode: lab.Bare, Blocks: *blocks, Workload: workload, ImportWorkers: *workers},
-		lab.Config{Mode: lab.Cached, Blocks: *blocks, Workload: workload, ImportWorkers: *workers})
+		lab.Config{Mode: lab.Bare, Blocks: *blocks, Workload: workload, ImportWorkers: *workers, Metrics: registry},
+		lab.Config{Mode: lab.Cached, Blocks: *blocks, Workload: workload, ImportWorkers: *workers, Metrics: registry})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("   BareTrace: %d ops   CacheTrace: %d ops   (%.1fs)\n\n",
 		len(bare.Ops), len(cached.Ops), time.Since(start).Seconds())
+	if registry != nil {
+		printOpLatencies(registry)
+	}
 
 	out := os.Stdout
 	// E1: Table I.
@@ -164,4 +180,22 @@ func main() {
 		fmt.Printf("\nartifact output tree written to %s\n", *outDir)
 	}
 	fmt.Printf("\ntotal runtime: %.1fs\n", time.Since(start).Seconds())
+}
+
+// printOpLatencies summarizes per-op store latency percentiles for both
+// trace configurations from the shared registry.
+func printOpLatencies(registry *obs.Registry) {
+	snap := registry.Snapshot()
+	fmt.Println("== store op latency percentiles")
+	for _, mode := range []string{lab.Bare.String(), lab.Cached.String()} {
+		for _, op := range []string{"get", "put", "delete", "has", "scan", "batch"} {
+			name := obs.Name("ethkv_op_latency_ns", "op", op, "trace", mode)
+			h, ok := snap.Histograms[name]
+			if !ok || h.Count == 0 {
+				continue
+			}
+			fmt.Printf("   %-10s %-6s n=%-9d %s\n", mode, op, h.Count, obs.FormatQuantiles(h))
+		}
+	}
+	fmt.Println()
 }

@@ -3,10 +3,15 @@
 // compare store designs (§V) on measured rather than synthetic access
 // patterns.
 //
+// With -metrics-addr the run exposes live Prometheus metrics (per-op latency
+// histograms, store internals) and the net/http/pprof surface, and the final
+// report includes per-op latency percentiles.
+//
 // Usage:
 //
 //	replaybench -trace traces/BareTrace/BareTrace.bin -backend lsm
-//	replaybench -trace traces/BareTrace/BareTrace.bin -backend hybrid
+//	replaybench -trace traces/BareTrace/BareTrace.bin -backend hybrid \
+//	    -metrics-addr 127.0.0.1:8321 -metrics-hold 30s
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"ethkv/internal/hashstore"
@@ -24,14 +30,21 @@ import (
 	"ethkv/internal/kv"
 	"ethkv/internal/logstore"
 	"ethkv/internal/lsm"
+	"ethkv/internal/obs"
 	"ethkv/internal/trace"
 )
 
+// progressChunk is how many trace ops replay between progress lines when a
+// metrics registry is active.
+const progressChunk = 200_000
+
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "trace file to replay")
-		backend   = flag.String("backend", "lsm", "storage backend: lsm, hash, log, lazy, or hybrid")
-		dir       = flag.String("dir", "", "working directory (default: temp)")
+		tracePath   = flag.String("trace", "", "trace file to replay")
+		backend     = flag.String("backend", "lsm", "storage backend: lsm, hash, log, lazy, or hybrid")
+		dir         = flag.String("dir", "", "working directory (default: temp)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8321); empty disables")
+		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics server up this long after the replay finishes (for scraping/profiling a finished run)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -48,10 +61,22 @@ func main() {
 		defer os.RemoveAll(workDir)
 	}
 
+	var registry *obs.Registry
+	if *metricsAddr != "" {
+		registry = obs.NewRegistry()
+		addr, err := obs.Serve(*metricsAddr, registry)
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		fmt.Printf("metrics: http://%s/metrics   pprof: http://%s/debug/pprof/\n", addr, addr)
+	}
+
 	store, err := buildBackend(*backend, workDir)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Instrument is a no-op when registry is nil.
+	store = kv.Instrument(store, registry, "store", *backend)
 	defer store.Close()
 
 	ops, err := loadOps(*tracePath)
@@ -60,7 +85,7 @@ func main() {
 	}
 	fmt.Printf("replaying %d ops against %s...\n", len(ops), *backend)
 	start := time.Now()
-	res, err := hybrid.Replay(store, ops)
+	res, err := replayWithProgress(store, ops, registry, start)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,6 +103,72 @@ func main() {
 		st.TombstonesLive, st.CompactionCount)
 	fmt.Printf("io retries: %d   degraded: %d\n",
 		st.IORetries, st.Degraded)
+	if registry != nil {
+		printLatencySummary(registry, *backend)
+		if *metricsHold > 0 {
+			fmt.Printf("holding metrics server for %s...\n", *metricsHold)
+			time.Sleep(*metricsHold)
+		}
+	}
+}
+
+// replayWithProgress replays ops in chunks, emitting one structured progress
+// line per chunk when metrics are on: position, throughput, and live get/put
+// latency percentiles from the registry. Without a registry it is a single
+// plain Replay call.
+func replayWithProgress(store kv.Store, ops []trace.Op, registry *obs.Registry, start time.Time) (*hybrid.ReplayResult, error) {
+	if registry == nil {
+		return hybrid.Replay(store, ops)
+	}
+	total := &hybrid.ReplayResult{}
+	for off := 0; off < len(ops); off += progressChunk {
+		end := off + progressChunk
+		if end > len(ops) {
+			end = len(ops)
+		}
+		res, err := hybrid.Replay(store, ops[off:end])
+		if err != nil {
+			return nil, err
+		}
+		total.Ops += res.Ops
+		total.Reads += res.Reads
+		total.Writes += res.Writes
+		total.Deletes += res.Deletes
+		total.Scans += res.Scans
+		total.Stats = res.Stats // stats are cumulative on the store
+		elapsed := time.Since(start)
+		snap := registry.Snapshot()
+		fmt.Printf("progress ops=%d/%d ops_per_sec=%.0f get{%s} put{%s}\n",
+			end, len(ops), float64(total.Ops)/elapsed.Seconds(),
+			quantilesFor(snap, "get"), quantilesFor(snap, "put"))
+	}
+	return total, nil
+}
+
+// quantilesFor summarizes one op's latency histogram from a snapshot,
+// aggregating across label sets (store=...) that share the op.
+func quantilesFor(snap obs.Snapshot, op string) string {
+	for name, h := range snap.Histograms {
+		if h.Count > 0 && strings.HasPrefix(name, "ethkv_op_latency_ns{") &&
+			strings.Contains(name, `op="`+op+`"`) {
+			return obs.FormatQuantiles(h)
+		}
+	}
+	return "no samples"
+}
+
+// printLatencySummary prints final per-op latency percentiles.
+func printLatencySummary(registry *obs.Registry, backend string) {
+	snap := registry.Snapshot()
+	fmt.Println("op latency percentiles:")
+	for _, op := range []string{"get", "put", "delete", "has", "scan", "batch"} {
+		name := obs.Name("ethkv_op_latency_ns", "op", op, "store", backend)
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-6s n=%-9d %s\n", op, h.Count, obs.FormatQuantiles(h))
+	}
 }
 
 // buildBackend constructs the requested store under dir.

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"ethkv/internal/kv"
+	"ethkv/internal/obs"
 )
 
 // record layout within a segment:
@@ -30,6 +31,11 @@ const segmentTargetBytes = 4 << 20
 
 // gcGarbageRatio triggers segment rewrite once dead bytes exceed this share.
 const gcGarbageRatio = 0.5
+
+// errCorruptRecord marks a segment record whose framing does not decode. The
+// index locates records by (segment, offset, length); damage inside that
+// extent is only noticed when the record is actually read.
+var errCorruptRecord = errors.New("hashstore: corrupt record")
 
 // location addresses one live record.
 type location struct {
@@ -321,19 +327,36 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 	if !ok {
 		return nil, kv.ErrNotFound
 	}
-	value := s.readValue(loc)
+	value, err := s.readValue(loc)
+	if err != nil {
+		return nil, err
+	}
 	s.stats.LogicalBytesRead += uint64(len(value))
 	s.stats.PhysicalBytesRead += uint64(loc.length)
 	return value, nil
 }
 
-// readValue decodes the value portion of the record at loc.
-func (s *Store) readValue(loc location) []byte {
-	rec := s.segs[loc.segment].buf[loc.offset : loc.offset+loc.length]
+// readValue decodes the value portion of the record at loc. Every access is
+// bounds-checked against the segment: a record whose interior was damaged
+// surfaces errCorruptRecord instead of panicking or returning garbage of the
+// wrong extent.
+func (s *Store) readValue(loc location) ([]byte, error) {
+	seg, ok := s.segs[loc.segment]
+	if !ok || uint64(loc.offset)+uint64(loc.length) > uint64(len(seg.buf)) {
+		return nil, fmt.Errorf("%w: location %d/%d+%d out of range", errCorruptRecord,
+			loc.segment, loc.offset, loc.length)
+	}
+	rec := seg.buf[loc.offset : loc.offset+loc.length]
 	klen, n := binary.Uvarint(rec)
-	rec = rec[n+int(klen):]
+	if n <= 0 || uint64(len(rec)-n) < klen {
+		return nil, fmt.Errorf("%w: key framing at %d/%d", errCorruptRecord, loc.segment, loc.offset)
+	}
+	rec = rec[uint64(n)+klen:]
 	vlen, m := binary.Uvarint(rec)
-	return append([]byte(nil), rec[m:m+int(vlen)]...)
+	if m <= 0 || uint64(len(rec)-m) < vlen {
+		return nil, fmt.Errorf("%w: value framing at %d/%d", errCorruptRecord, loc.segment, loc.offset)
+	}
+	return append([]byte(nil), rec[uint64(m):uint64(m)+vlen]...), nil
 }
 
 // Has implements kv.Reader.
@@ -412,6 +435,26 @@ func (s *Store) GCRuns() uint64 {
 	return s.gcRuns
 }
 
+// RegisterMetrics implements kv.MetricsRegistrar: the shared kv.Stats gauges
+// plus this structure's own shape — segment count, live keys, GC activity.
+func (s *Store) RegisterMetrics(r *obs.Registry, labels ...string) {
+	if r == nil {
+		return
+	}
+	kv.RegisterStatsMetrics(r, s, labels...)
+	r.GaugeFunc(obs.Name("ethkv_hash_segments", labels...), func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.segs))
+	})
+	r.GaugeFunc(obs.Name("ethkv_hash_live_keys", labels...), func() float64 {
+		return float64(s.Len())
+	})
+	r.GaugeFunc(obs.Name("ethkv_hash_gc_runs", labels...), func() float64 {
+		return float64(s.GCRuns())
+	})
+}
+
 // NewIterator implements kv.Iterable. Order is UNSPECIFIED (hash order):
 // this structure intentionally does not maintain key order. Callers that
 // need ordered scans must use an ordered store.
@@ -421,15 +464,23 @@ func (s *Store) NewIterator(prefix, start []byte) kv.Iterator {
 	s.stats.Scans++
 	var keys []string
 	var values [][]byte
+	var deferred error
 	for keyStr, loc := range s.index {
 		key := []byte(keyStr)
 		if len(prefix) > 0 && !hasPrefix(key, prefix) {
 			continue
 		}
+		v, err := s.readValue(loc)
+		if err != nil {
+			// Stop collecting: the iterator yields what decoded cleanly and
+			// reports the corruption through Error(), never a silent subset.
+			deferred = err
+			break
+		}
 		keys = append(keys, keyStr)
-		values = append(values, s.readValue(loc))
+		values = append(values, v)
 	}
-	return &unorderedIterator{keys: keys, values: values, pos: -1}
+	return &unorderedIterator{keys: keys, values: values, pos: -1, err: deferred}
 }
 
 func hasPrefix(b, prefix []byte) bool {
@@ -448,6 +499,7 @@ type unorderedIterator struct {
 	keys   []string
 	values [][]byte
 	pos    int
+	err    error
 }
 
 func (it *unorderedIterator) Next() bool {
@@ -472,8 +524,12 @@ func (it *unorderedIterator) Value() []byte {
 	return it.values[it.pos]
 }
 
-func (it *unorderedIterator) Release()     {}
-func (it *unorderedIterator) Error() error { return nil }
+func (it *unorderedIterator) Release() {}
+
+// Error surfaces a record-decode failure hit while the snapshot was built; a
+// scan that stopped early because of corruption must not look like a
+// complete result.
+func (it *unorderedIterator) Error() error { return it.err }
 
 // NewBatch implements kv.Batcher.
 func (s *Store) NewBatch() kv.Batch { return &batch{store: s} }

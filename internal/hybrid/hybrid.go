@@ -18,6 +18,7 @@ package hybrid
 
 import (
 	"ethkv/internal/kv"
+	"ethkv/internal/obs"
 	"ethkv/internal/rawdb"
 )
 
@@ -155,6 +156,25 @@ func (s *Store) Stats() kv.Stats {
 		}
 	}
 	return out
+}
+
+// RegisterMetrics implements kv.MetricsRegistrar by delegating to each
+// backend that can export internals, labelling series with route=ordered/
+// log/hash so the three backends stay distinguishable on one registry.
+func (s *Store) RegisterMetrics(r *obs.Registry, labels ...string) {
+	if r == nil {
+		return
+	}
+	for route, b := range map[string]kv.Store{
+		"ordered": s.ordered, "log": s.log, "hash": s.hash,
+	} {
+		rl := append([]string{"route", route}, labels...)
+		if reg, ok := b.(kv.MetricsRegistrar); ok {
+			reg.RegisterMetrics(r, rl...)
+		} else if sp, ok := b.(kv.StatsProvider); ok {
+			kv.RegisterStatsMetrics(r, sp, rl...)
+		}
+	}
 }
 
 // BackendStats returns per-route counters for ablation reporting.

@@ -55,7 +55,13 @@ func Replay(store kv.Store, ops []trace.Op) (*ReplayResult, error) {
 			// Scans in the workload touch a bounded neighborhood.
 			for i := 0; i < 32 && it.Next(); i++ {
 			}
+			err := it.Error()
 			it.Release()
+			// A short scan with a non-nil Error() is corruption, not
+			// end-of-range; replays must not paper over it.
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	if sp, ok := store.(kv.StatsProvider); ok {

@@ -1,0 +1,128 @@
+package kv
+
+import (
+	"strings"
+	"testing"
+
+	"ethkv/internal/obs"
+)
+
+func TestInstrumentNilRegistryIsIdentity(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	if got := Instrument(s, nil); got != Store(s) {
+		t.Fatal("nil registry must return the store unchanged")
+	}
+}
+
+func TestInstrumentRecordsPerOp(t *testing.T) {
+	r := obs.NewRegistry()
+	s := Instrument(NewMemStore(), r, "store", "mem")
+	defer s.Close()
+
+	if err := s.Put([]byte("k"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get([]byte("absent")); err != ErrNotFound {
+		t.Fatalf("Get absent = %v", err)
+	}
+	if _, err := s.Has([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	it := s.NewIterator(nil, nil)
+	for it.Next() {
+	}
+	it.Release()
+	b := s.NewBatch()
+	b.Put([]byte("b"), []byte("v"))
+	if err := b.Write(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := r.Snapshot()
+	wantCalls := map[string]uint64{
+		"get": 2, "put": 1, "delete": 1, "has": 1, "scan": 1, "batch": 1,
+	}
+	for op, want := range wantCalls {
+		name := obs.Name("ethkv_op_total", "op", op, "store", "mem")
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+		hname := obs.Name("ethkv_op_latency_ns", "op", op, "store", "mem")
+		h, ok := snap.Histograms[hname]
+		if !ok || h.Count != want {
+			t.Errorf("%s count = %d (present=%v), want %d", hname, h.Count, ok, want)
+		}
+	}
+	// ErrNotFound is an answer, not an error.
+	errName := obs.Name("ethkv_op_errors_total", "op", "get", "store", "mem")
+	if got := snap.Counters[errName]; got != 0 {
+		t.Errorf("%s = %d, want 0 (ErrNotFound must not count)", errName, got)
+	}
+	// Put moved key+value bytes.
+	bytesName := obs.Name("ethkv_op_bytes_total", "op", "put", "store", "mem")
+	if got := snap.Counters[bytesName]; got != uint64(len("k")+len("value")) {
+		t.Errorf("%s = %d", bytesName, got)
+	}
+}
+
+func TestInstrumentCountsRealErrors(t *testing.T) {
+	r := obs.NewRegistry()
+	s := Instrument(NewMemStore(), r)
+	s.Close()
+	if _, err := s.Get([]byte("k")); err != ErrClosed {
+		t.Fatalf("Get on closed = %v", err)
+	}
+	snap := r.Snapshot()
+	if got := snap.Counters[obs.Name("ethkv_op_errors_total", "op", "get")]; got != 1 {
+		t.Fatalf("errors counter = %d, want 1", got)
+	}
+}
+
+func TestInstrumentForwardsStatsAndUnwrap(t *testing.T) {
+	r := obs.NewRegistry()
+	inner := NewMemStore()
+	s := Instrument(inner, r)
+	defer s.Close()
+	if _, ok := s.(StatsProvider); !ok {
+		t.Fatal("instrumented store lost StatsProvider")
+	}
+	u, ok := s.(interface{ Unwrap() Store })
+	if !ok || u.Unwrap() != Store(inner) {
+		t.Fatal("Unwrap does not expose the inner store")
+	}
+}
+
+func TestRegisterStatsMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	s := NewMemStore() // no StatsProvider: registration must be a no-op
+	defer s.Close()
+	RegisterStatsMetrics(r, nil)
+
+	fake := fakeStats{Stats{Gets: 7, PhysicalBytesWrite: 100, LogicalBytesWritten: 50}}
+	RegisterStatsMetrics(r, fake, "store", "fake")
+	snap := r.Snapshot()
+	if got := snap.Gauges[obs.Name("ethkv_store_gets", "store", "fake")]; got != 7 {
+		t.Fatalf("gets gauge = %v", got)
+	}
+	if got := snap.Gauges[obs.Name("ethkv_store_write_amplification", "store", "fake")]; got != 2 {
+		t.Fatalf("write amp gauge = %v", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `ethkv_store_gets{store="fake"} 7`) {
+		t.Fatalf("exposition missing stats gauge:\n%s", b.String())
+	}
+}
+
+type fakeStats struct{ s Stats }
+
+func (f fakeStats) Stats() Stats { return f.s }

@@ -1,6 +1,8 @@
 package kvtest
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"ethkv/internal/hashstore"
@@ -8,8 +10,28 @@ import (
 	"ethkv/internal/kv"
 	"ethkv/internal/logstore"
 	"ethkv/internal/lsm"
+	"ethkv/internal/obs"
 	"ethkv/internal/trace"
 )
+
+// stompBytes overwrites n bytes of the file at off with 0xFF — a run of
+// continuation bytes that no uvarint-framed record decodes through.
+func stompBytes(t *testing.T, path string, off, n int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off+n > len(raw) {
+		t.Fatalf("file %s too short to corrupt (%d bytes)", path, len(raw))
+	}
+	for i := 0; i < n; i++ {
+		raw[off+i] = 0xFF
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // Every store backend in the repository passes the same contract.
 
@@ -49,6 +71,31 @@ func TestLSMConformance(t *testing.T) {
 			t.Cleanup(func() { db.Close() })
 			return db
 		},
+		CorruptScan: func(t *testing.T, s kv.Store) kv.Store {
+			// Push everything into SSTables, then break the entry framing
+			// of each table's first data block (it starts at file offset 0;
+			// byte 0 is the entry's flags, bytes 1+ its key-length varint).
+			// Footers stay valid, so reopening accepts the tables.
+			if err := s.(*lsm.DB).Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tables, err := filepath.Glob(filepath.Join(lastDir, "*.sst"))
+			if err != nil || len(tables) == 0 {
+				t.Fatalf("no tables to corrupt (err=%v)", err)
+			}
+			for _, p := range tables {
+				stompBytes(t, p, 1, 10)
+			}
+			db, err := lsm.Open(lastDir, lsmOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			return db
+		},
 	})
 }
 
@@ -68,6 +115,27 @@ func TestHashStoreConformance(t *testing.T) {
 			if err := s.Close(); err != nil {
 				t.Fatal(err)
 			}
+			hs, err := hashstore.Open(lastDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { hs.Close() })
+			return hs
+		},
+		CorruptScan: func(t *testing.T, s kv.Store) kv.Store {
+			// Close persists the active segment plus an INDEX snapshot whose
+			// locations are only extent-checked on load — record interiors
+			// are trusted until read. A 64-byte 0xFF run is longer than any
+			// record this suite writes, so at least one record's length
+			// varints are destroyed.
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			segs, err := filepath.Glob(filepath.Join(lastDir, "seg-*.dat"))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("no segments to corrupt (err=%v)", err)
+			}
+			stompBytes(t, segs[0], 1000, 64)
 			hs, err := hashstore.Open(lastDir)
 			if err != nil {
 				t.Fatal(err)
@@ -105,6 +173,14 @@ func TestHybridConformance(t *testing.T) {
 func TestLazyStoreConformance(t *testing.T) {
 	Run(t, func(t *testing.T) kv.Store {
 		s := hybrid.NewLazyStore(kv.NewMemStore())
+		t.Cleanup(func() { s.Close() })
+		return s
+	}, Options{OrderedScans: true})
+}
+
+func TestInstrumentedStoreConformance(t *testing.T) {
+	Run(t, func(t *testing.T) kv.Store {
+		s := kv.Instrument(kv.NewMemStore(), obs.NewRegistry(), "store", "mem")
 		t.Cleanup(func() { s.Close() })
 		return s
 	}, Options{OrderedScans: true})

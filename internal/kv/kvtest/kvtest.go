@@ -26,6 +26,13 @@ type Options struct {
 	// Persistent backends set it to unlock the reopen-persistence check;
 	// purely in-memory backends leave it nil.
 	Reopen func(t *testing.T, s kv.Store) kv.Store
+	// CorruptScan injects corruption into the store's durable state and
+	// returns the store to scan (usually a reopen over the damaged files).
+	// Backends that set it unlock the scan-surfaces-corruption check: a
+	// scan over the returned store must report a non-nil Error() rather
+	// than a silently truncated result. Pure in-memory backends, which
+	// have no durable state to damage, leave it nil.
+	CorruptScan func(t *testing.T, s kv.Store) kv.Store
 }
 
 // Factory builds a fresh empty store for one subtest.
@@ -46,6 +53,9 @@ func Run(t *testing.T, factory Factory, opts Options) {
 	t.Run("RandomizedModel", func(t *testing.T) { testRandomizedModel(t, factory) })
 	if opts.Reopen != nil {
 		t.Run("ReopenPersistence", func(t *testing.T) { testReopenPersistence(t, factory, opts) })
+	}
+	if opts.CorruptScan != nil {
+		t.Run("CorruptScanError", func(t *testing.T) { testCorruptScanError(t, factory, opts) })
 	}
 }
 
@@ -387,6 +397,39 @@ func testReopenPersistence(t *testing.T, factory Factory, opts Options) {
 	}
 	if v, err := s.Get([]byte("r/empty")); err != nil || len(v) != 0 {
 		t.Fatalf("empty value across reopen = %q, %v", v, err)
+	}
+}
+
+// testCorruptScanError writes enough data to reach durable storage, lets the
+// backend damage it (CorruptScan), and asserts a full scan over the damaged
+// store reports the corruption through Error(). The silent alternative — a
+// clean-looking scan that stops early — is the bug class this check pins:
+// callers like state sync and pruning treat a short scan as "no more keys".
+func testCorruptScanError(t *testing.T, factory Factory, opts Options) {
+	s := factory(t)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		k := []byte(fmt.Sprintf("cs/%05d", i))
+		if err := s.Put(k, bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s = opts.CorruptScan(t, s)
+
+	it := s.NewIterator([]byte("cs/"), nil)
+	defer it.Release()
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if err := it.Error(); err == nil {
+		t.Fatalf("scan over corrupted store: %d/%d keys and Error() == nil; corruption was swallowed", n, total)
+	} else {
+		t.Logf("scan surfaced corruption after %d/%d keys: %v", n, total, err)
+	}
+	if n >= total {
+		t.Fatalf("scan returned all %d keys from a corrupted store", n)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"ethkv/internal/chain"
 	"ethkv/internal/kv"
 	"ethkv/internal/lsm"
+	"ethkv/internal/obs"
 	"ethkv/internal/rawdb"
 	"ethkv/internal/trace"
 )
@@ -61,6 +62,11 @@ type Config struct {
 	// forces the plain sequential import loop. The emitted trace is
 	// byte-identical at every width.
 	ImportWorkers int
+	// Metrics, when set, instruments the backing store (per-op latency
+	// histograms, store gauges) and records post-run cache hit rates into
+	// the registry. Series carry a trace=<mode> label so the bare and
+	// cached runs of RunBothConfigs share one registry without colliding.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a laptop-scale run mirroring the artifact's
@@ -129,9 +135,14 @@ func Run(cfg Config) (*Result, error) {
 		slice = &trace.SliceSink{}
 		sink = slice
 	}
+	// Observability sits between tracing and the raw store so op latencies
+	// measure the store, not the trace encoder. Instrument is the identity
+	// when Metrics is nil.
+	backing := kv.Instrument(inner, cfg.Metrics, "trace", cfg.Mode.String())
+
 	// Batched emit: ops buffer inside the traced store and reach the sink
 	// as sequence-ordered batches, cutting per-op sink overhead.
-	traced := trace.WrapStoreBuffered(inner, sink, 512)
+	traced := trace.WrapStoreBuffered(backing, sink, 512)
 
 	// Genesis: by default below the tracer — pre-existing state is not
 	// traced (§III-B: the traces cover the 1M-block window over prior
@@ -196,6 +207,27 @@ func Run(cfg Config) (*Result, error) {
 	if flusher, ok := inner.(interface{ Flush() error }); ok {
 		if err := flusher.Flush(); err != nil {
 			return nil, err
+		}
+	}
+
+	// Cache effectiveness lands in the registry after the pipeline has
+	// quiesced: the class LRUs are not safe for concurrent readers, so the
+	// per-class counters are captured once here rather than exposed live.
+	if cfg.Metrics != nil {
+		if cm := proc.Caches(); cm != nil {
+			mode := cfg.Mode.String()
+			for _, cs := range cm.Stats() {
+				cs := cs
+				class := cs.Class.String()
+				cfg.Metrics.GaugeFunc(obs.Name("ethkv_cache_hit_rate", "class", class, "trace", mode),
+					func() float64 { return cs.HitRate })
+				cfg.Metrics.GaugeFunc(obs.Name("ethkv_cache_hits", "class", class, "trace", mode),
+					func() float64 { return float64(cs.Hits) })
+				cfg.Metrics.GaugeFunc(obs.Name("ethkv_cache_misses", "class", class, "trace", mode),
+					func() float64 { return float64(cs.Misses) })
+				cfg.Metrics.GaugeFunc(obs.Name("ethkv_cache_bytes", "class", class, "trace", mode),
+					func() float64 { return float64(cs.Bytes) })
+			}
 		}
 	}
 	result := &Result{

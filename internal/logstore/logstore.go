@@ -12,10 +12,19 @@ package logstore
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"sync"
 
 	"ethkv/internal/kv"
+	"ethkv/internal/obs"
 )
+
+// errCorruptRecord marks a chunk record whose framing does not decode. The
+// store is in-memory, so this indicates index/chunk disagreement (a bug or a
+// deliberately injected fault) rather than media damage; either way reads
+// must report it, not panic or return a silently wrong extent.
+var errCorruptRecord = errors.New("logstore: corrupt record")
 
 // chunkCapacity is the record budget of one log chunk. Lifecycle deletions
 // in blockchains sweep old data, so whole chunks drain together.
@@ -146,18 +155,34 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 	if !ok {
 		return nil, kv.ErrNotFound
 	}
-	v := s.readValue(loc)
+	v, err := s.readValue(loc)
+	if err != nil {
+		return nil, err
+	}
 	s.stats.LogicalBytesRead += uint64(len(v))
 	s.stats.PhysicalBytesRead += uint64(loc.length)
 	return v, nil
 }
 
-func (s *Store) readValue(loc location) []byte {
-	rec := s.chunks[loc.chunk].buf[loc.offset : loc.offset+loc.length]
+// readValue decodes the value of the record at loc, bounds-checking every
+// access against the owning chunk.
+func (s *Store) readValue(loc location) ([]byte, error) {
+	c, ok := s.chunks[loc.chunk]
+	if !ok || uint64(loc.offset)+uint64(loc.length) > uint64(len(c.buf)) {
+		return nil, fmt.Errorf("%w: location %d/%d+%d out of range", errCorruptRecord,
+			loc.chunk, loc.offset, loc.length)
+	}
+	rec := c.buf[loc.offset : loc.offset+loc.length]
 	klen, n := binary.Uvarint(rec)
-	rec = rec[n+int(klen):]
+	if n <= 0 || uint64(len(rec)-n) < klen {
+		return nil, fmt.Errorf("%w: key framing at %d/%d", errCorruptRecord, loc.chunk, loc.offset)
+	}
+	rec = rec[uint64(n)+klen:]
 	vlen, m := binary.Uvarint(rec)
-	return append([]byte(nil), rec[m:m+int(vlen)]...)
+	if m <= 0 || uint64(len(rec)-m) < vlen {
+		return nil, fmt.Errorf("%w: value framing at %d/%d", errCorruptRecord, loc.chunk, loc.offset)
+	}
+	return append([]byte(nil), rec[uint64(m):uint64(m)+vlen]...), nil
 }
 
 // Has implements kv.Reader.
@@ -192,6 +217,25 @@ func (s *Store) LiveChunks() int {
 	return len(s.chunks)
 }
 
+// RegisterMetrics implements kv.MetricsRegistrar: the shared kv.Stats gauges
+// plus chunk lifecycle counters (batched reclamation is this structure's
+// whole point — watching retirement is watching it work).
+func (s *Store) RegisterMetrics(r *obs.Registry, labels ...string) {
+	if r == nil {
+		return
+	}
+	kv.RegisterStatsMetrics(r, s, labels...)
+	r.GaugeFunc(obs.Name("ethkv_log_live_chunks", labels...), func() float64 {
+		return float64(s.LiveChunks())
+	})
+	r.GaugeFunc(obs.Name("ethkv_log_retired_chunks", labels...), func() float64 {
+		return float64(s.RetiredChunks())
+	})
+	r.GaugeFunc(obs.Name("ethkv_log_live_keys", labels...), func() float64 {
+		return float64(s.Len())
+	})
+}
+
 // NewIterator implements kv.Iterable in UNSPECIFIED order (this structure
 // deliberately maintains no key order; see Finding 4).
 func (s *Store) NewIterator(prefix, start []byte) kv.Iterator {
@@ -200,6 +244,7 @@ func (s *Store) NewIterator(prefix, start []byte) kv.Iterator {
 	s.stats.Scans++
 	var keys []string
 	var values [][]byte
+	var deferred error
 	for keyStr, loc := range s.index {
 		if len(prefix) > 0 {
 			key := []byte(keyStr)
@@ -217,16 +262,24 @@ func (s *Store) NewIterator(prefix, start []byte) kv.Iterator {
 				continue
 			}
 		}
+		v, err := s.readValue(loc)
+		if err != nil {
+			// Stop collecting: surface the corruption through Error()
+			// rather than returning a silent subset.
+			deferred = err
+			break
+		}
 		keys = append(keys, keyStr)
-		values = append(values, s.readValue(loc))
+		values = append(values, v)
 	}
-	return &logIterator{keys: keys, values: values, pos: -1}
+	return &logIterator{keys: keys, values: values, pos: -1, err: deferred}
 }
 
 type logIterator struct {
 	keys   []string
 	values [][]byte
 	pos    int
+	err    error
 }
 
 func (it *logIterator) Next() bool {
@@ -251,8 +304,10 @@ func (it *logIterator) Value() []byte {
 	return it.values[it.pos]
 }
 
-func (it *logIterator) Release()     {}
-func (it *logIterator) Error() error { return nil }
+func (it *logIterator) Release() {}
+
+// Error surfaces a record-decode failure hit while the snapshot was built.
+func (it *logIterator) Error() error { return it.err }
 
 // NewBatch implements kv.Batcher.
 func (s *Store) NewBatch() kv.Batch { return &batch{store: s} }

@@ -61,6 +61,10 @@ type Options struct {
 	// RetryBackoff is the first retry's sleep; each subsequent retry
 	// doubles it.
 	RetryBackoff time.Duration
+	// CompactionTableBytes caps the size of tables a compaction writes on
+	// L1+. Smaller caps mean more, finer-grained tables per level — tests
+	// shrink it to exercise multi-table levels cheaply.
+	CompactionTableBytes int
 }
 
 // withDefaults fills unset options.
@@ -94,6 +98,10 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBackoff == 0 {
 		o.RetryBackoff = 200 * time.Microsecond
+	}
+	if o.CompactionTableBytes == 0 {
+		// Target ~2 MiB output tables so L1+ stays granular.
+		o.CompactionTableBytes = 2 << 20
 	}
 	return o
 }
@@ -420,8 +428,11 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, found, deleted, br := t.get(key)
+		v, found, deleted, br, err := t.get(key)
 		db.stats.physicalBytesRead.Add(uint64(br))
+		if err != nil {
+			return nil, err
+		}
 		if found {
 			return db.finishGet(v, deleted)
 		}
@@ -439,8 +450,11 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, found, deleted, br := t.get(key)
+		v, found, deleted, br, err := t.get(key)
 		db.stats.physicalBytesRead.Add(uint64(br))
+		if err != nil {
+			return nil, err
+		}
 		if found {
 			return db.finishGet(v, deleted)
 		}
@@ -779,8 +793,7 @@ func (db *DB) runCompaction(plan compactionPlan, hook func()) (newMetas []tableM
 	var (
 		out      []entry
 		outBytes int
-		// Target ~2 MiB output tables so L1+ stays granular.
-		maxOut = 2 << 20
+		maxOut   = db.opts.CompactionTableBytes
 	)
 	flushOut := func() error {
 		if len(out) == 0 {
@@ -822,6 +835,11 @@ func (db *DB) runCompaction(plan compactionPlan, hook func()) (newMetas []tableM
 				return nil, 0, err
 			}
 		}
+	}
+	// A corrupt input table must abort the compaction: writing out the
+	// partial merge would silently drop every entry past the bad block.
+	if err := merged.err(); err != nil {
+		return nil, 0, fmt.Errorf("compaction aborted: %w", err)
 	}
 	if err := flushOut(); err != nil {
 		return nil, 0, err
@@ -888,12 +906,29 @@ func (db *DB) bottomMostLocked(dst int, lo, hi []byte) bool {
 	return true
 }
 
+// prefixSuccessor returns the smallest key greater than every key with the
+// given prefix, or nil when no such bound exists (empty or all-0xFF prefix).
+// It is the exclusive upper bound of a prefix scan.
+func prefixSuccessor(prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xFF {
+			upper := append([]byte(nil), prefix[:i+1]...)
+			upper[i]++
+			return upper
+		}
+	}
+	return nil
+}
+
 // NewIterator implements kv.Iterable: a merged scan over the entire tree.
 func (db *DB) NewIterator(prefix, start []byte) kv.Iterator {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	db.stats.scans.Add(1)
 	lower := append(append([]byte(nil), prefix...), start...)
+	// Exclusive upper bound: a table whose smallest key is at or past the
+	// prefix successor cannot contribute and need not be opened at all.
+	upper := prefixSuccessor(prefix)
 
 	var sources []source
 	sources = append(sources, newMemSource(db.mem, lower))
@@ -902,7 +937,12 @@ func (db *DB) NewIterator(prefix, start []byte) kv.Iterator {
 	}
 	l0 := db.levels[0]
 	for i := len(l0) - 1; i >= 0; i-- {
-		t, err := db.reader(l0[i])
+		m := l0[i]
+		if bytes.Compare(m.largest, lower) < 0 ||
+			(upper != nil && bytes.Compare(m.smallest, upper) >= 0) {
+			continue
+		}
+		t, err := db.reader(m)
 		if err != nil {
 			return &errIterator{err: err}
 		}
@@ -910,7 +950,8 @@ func (db *DB) NewIterator(prefix, start []byte) kv.Iterator {
 	}
 	for level := 1; level < len(db.levels); level++ {
 		for _, m := range db.levels[level] {
-			if bytes.Compare(m.largest, lower) < 0 {
+			if bytes.Compare(m.largest, lower) < 0 ||
+				(upper != nil && bytes.Compare(m.smallest, upper) >= 0) {
 				continue
 			}
 			t, err := db.reader(m)
@@ -962,7 +1003,11 @@ func (it *dbIterator) Next() bool {
 func (it *dbIterator) Key() []byte   { return it.key }
 func (it *dbIterator) Value() []byte { return it.value }
 func (it *dbIterator) Release()      {}
-func (it *dbIterator) Error() error  { return nil }
+
+// Error surfaces corruption detected mid-scan. A scan that stopped early
+// because a table's block framing was broken reports it here rather than
+// masquerading as a clean short result.
+func (it *dbIterator) Error() error { return it.merged.err() }
 
 // errIterator reports a construction failure through the Iterator API.
 type errIterator struct{ err error }

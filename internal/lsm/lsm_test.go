@@ -161,7 +161,10 @@ func TestSSTableRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, e := range ents {
-		v, found, deleted, _ := r.get(e.key)
+		v, found, deleted, _, err := r.get(e.key)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
 		if !found {
 			t.Fatalf("entry %d not found", i)
 		}
@@ -169,7 +172,7 @@ func TestSSTableRoundTrip(t *testing.T) {
 			t.Fatalf("entry %d mismatch", i)
 		}
 	}
-	if _, found, _, _ := r.get([]byte("nope")); found {
+	if _, found, _, _, _ := r.get([]byte("nope")); found {
 		t.Fatal("found absent key")
 	}
 	// Full iteration returns everything in order.

@@ -6,10 +6,13 @@ import "bytes"
 // table). Sources are ordered by recency: source 0 shadows source 1, etc.
 type source interface {
 	// peek returns the current entry without advancing. ok=false means
-	// exhausted.
+	// exhausted — or failed; callers distinguish via err.
 	peek() (entry, bool)
 	// advance moves past the current entry.
 	advance()
+	// err reports why the source stopped: nil for clean exhaustion,
+	// non-nil for corruption detected mid-walk.
+	err() error
 }
 
 // memSource adapts a frozen skiplist iterator.
@@ -39,6 +42,9 @@ func newMemSource(mt *memtable, start []byte) *memSource {
 
 func (s *memSource) peek() (entry, bool) { return s.cur, s.ok }
 
+// err is always nil: memtable walks cannot fail.
+func (s *memSource) err() error { return nil }
+
 func (s *memSource) advance() {
 	if s.it.next() {
 		s.cur = entry{key: s.it.key(), value: s.it.value(), tombstone: s.it.tombstone()}
@@ -63,6 +69,9 @@ func newTableSource(t *tableReader, start []byte) *tableSource {
 
 func (s *tableSource) peek() (entry, bool) { return s.cur, s.ok }
 
+// err surfaces block-framing corruption detected by the table iterator.
+func (s *tableSource) err() error { return s.it.err }
+
 func (s *tableSource) advance() {
 	s.cur, s.ok = s.it.nextEntry()
 }
@@ -77,20 +86,35 @@ type mergeIterator struct {
 	sources []source
 	cur     entry
 	ok      bool
+	failed  error
 }
 
 func newMergeIterator(sources []source) *mergeIterator {
 	return &mergeIterator{sources: sources}
 }
 
+// err reports the first source failure the merge encountered. A truncated
+// source with a non-nil err poisons the whole merge: returning the surviving
+// sources' entries would present a silently incomplete view.
+func (m *mergeIterator) err() error { return m.failed }
+
 // next advances to the next distinct key and reports availability.
 func (m *mergeIterator) next() bool {
+	if m.failed != nil {
+		m.ok = false
+		return false
+	}
 	// Find the smallest key among sources; ties resolved by source order.
 	best := -1
 	var bestEnt entry
 	for i, s := range m.sources {
 		e, ok := s.peek()
 		if !ok {
+			if err := s.err(); err != nil {
+				m.failed = err
+				m.ok = false
+				return false
+			}
 			continue
 		}
 		if best == -1 || bytes.Compare(e.key, bestEnt.key) < 0 {

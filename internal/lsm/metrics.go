@@ -1,0 +1,93 @@
+package lsm
+
+import (
+	"fmt"
+
+	"ethkv/internal/kv"
+	"ethkv/internal/obs"
+)
+
+// RegisterMetrics exports the DB's internal shape into r as callback gauges,
+// evaluated at scrape/snapshot time. Alongside the kv.Stats counters this
+// surfaces what only the LSM itself knows: per-level table counts and bytes,
+// compaction debt (bytes over each level's target — how far behind the
+// background worker is running), flush-queue depth, and the degraded latch.
+// labels are appended to every series (e.g. store="lsm").
+//
+// The callbacks take db.mu.RLock; obs.Registry.Snapshot evaluates them
+// outside its own lock, so there is no lock-order coupling.
+func (db *DB) RegisterMetrics(r *obs.Registry, labels ...string) {
+	if r == nil {
+		return
+	}
+	kv.RegisterStatsMetrics(r, db, labels...)
+
+	maxLevels := db.opts.MaxLevels
+	for level := 0; level < maxLevels; level++ {
+		level := level
+		ll := append([]string{"level", fmt.Sprintf("%d", level)}, labels...)
+		r.GaugeFunc(obs.Name("ethkv_lsm_level_tables", ll...), func() float64 {
+			tables, _ := db.levelShape(level)
+			return float64(tables)
+		})
+		r.GaugeFunc(obs.Name("ethkv_lsm_level_bytes", ll...), func() float64 {
+			_, bytes := db.levelShape(level)
+			return float64(bytes)
+		})
+	}
+	r.GaugeFunc(obs.Name("ethkv_lsm_compaction_debt_bytes", labels...), func() float64 {
+		return float64(db.compactionDebt())
+	})
+	r.GaugeFunc(obs.Name("ethkv_lsm_flush_queue_depth", labels...), func() float64 {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return float64(len(db.imm))
+	})
+	r.GaugeFunc(obs.Name("ethkv_lsm_open_tables", labels...), func() float64 {
+		db.openMu.Lock()
+		defer db.openMu.Unlock()
+		return float64(len(db.open))
+	})
+}
+
+// levelShape returns the table count and total bytes of one level.
+func (db *DB) levelShape(level int) (tables int, bytes int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if level >= len(db.levels) {
+		return 0, 0
+	}
+	for _, m := range db.levels[level] {
+		bytes += m.size
+	}
+	return len(db.levels[level]), bytes
+}
+
+// compactionDebt estimates the bytes the background worker still owes: L0
+// bytes once the table count passes the compaction trigger, plus each deeper
+// level's overshoot past its size target. Zero means the tree is in shape.
+func (db *DB) compactionDebt() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var debt int64
+	if len(db.levels) == 0 {
+		return 0
+	}
+	if len(db.levels[0]) >= db.opts.L0CompactionTrigger {
+		for _, m := range db.levels[0] {
+			debt += m.size
+		}
+	}
+	target := db.opts.LevelBaseBytes
+	for level := 1; level < len(db.levels)-1; level++ {
+		var size int64
+		for _, m := range db.levels[level] {
+			size += m.size
+		}
+		if size > target {
+			debt += size - target
+		}
+		target *= db.opts.LevelMultiplier
+	}
+	return debt
+}

@@ -243,71 +243,77 @@ func parseIndex(raw []byte, dataLimit uint64) ([]indexEntry, error) {
 }
 
 // get looks up key. bytesRead reports the block bytes touched, so the DB can
-// account physical read I/O.
-func (t *tableReader) get(key []byte) (value []byte, found, deleted bool, bytesRead int) {
+// account physical read I/O. A block whose framing is damaged surfaces
+// errTableCorrupt — a corrupt block must not masquerade as key-not-found.
+func (t *tableReader) get(key []byte) (value []byte, found, deleted bool, bytesRead int, err error) {
 	if !t.bloom.mayContain(key) {
-		return nil, false, false, 0
+		return nil, false, false, 0, nil
 	}
 	// Binary search the first block whose last key >= key.
 	i := sort.Search(len(t.index), func(i int) bool {
 		return bytes.Compare(t.index[i].lastKey, key) >= 0
 	})
 	if i == len(t.index) {
-		return nil, false, false, 0
+		return nil, false, false, 0, nil
 	}
 	blk := t.index[i]
 	block := t.data[blk.offset : blk.offset+blk.length]
 	bytesRead = len(block)
-	for ent := range blockEntries(block) {
+	err = walkBlock(block, func(ent entry) bool {
 		c := bytes.Compare(ent.key, key)
 		if c == 0 {
-			return ent.value, true, ent.tombstone, bytesRead
+			value, found, deleted = ent.value, true, ent.tombstone
+			return false
 		}
-		if c > 0 {
-			break
-		}
+		return c < 0
+	})
+	if err != nil {
+		err = fmt.Errorf("%w: table %06d block at %d", err, t.meta.num, blk.offset)
 	}
-	return nil, false, false, bytesRead
+	return value, found, deleted, bytesRead, err
 }
 
-// blockEntries yields the entries of one data block in order. A block
-// whose framing is damaged terminates the walk at the last decodable
-// entry — corrupt lengths must never index past the block.
-func blockEntries(block []byte) func(func(entry) bool) {
-	return func(yield func(entry) bool) {
-		for len(block) > 0 {
-			flags := block[0]
-			block = block[1:]
-			klen, n := binary.Uvarint(block)
-			if n <= 0 || uint64(len(block)-n) < klen {
-				return
-			}
-			block = block[n:]
-			key := block[:klen]
-			block = block[klen:]
-			vlen, n := binary.Uvarint(block)
-			if n <= 0 || uint64(len(block)-n) < vlen {
-				return
-			}
-			block = block[n:]
-			value := block[:vlen]
-			block = block[vlen:]
-			if !yield(entry{key: key, value: value, tombstone: flags&1 != 0}) {
-				return
-			}
+// walkBlock yields the entries of one data block in order until yield
+// returns false. Damaged framing returns errTableCorrupt; corrupt lengths
+// must never index past the block.
+func walkBlock(block []byte, yield func(entry) bool) error {
+	for len(block) > 0 {
+		flags := block[0]
+		block = block[1:]
+		klen, n := binary.Uvarint(block)
+		if n <= 0 || uint64(len(block)-n) < klen {
+			return fmt.Errorf("%w: entry key framing", errTableCorrupt)
+		}
+		block = block[n:]
+		key := block[:klen]
+		block = block[klen:]
+		vlen, n := binary.Uvarint(block)
+		if n <= 0 || uint64(len(block)-n) < vlen {
+			return fmt.Errorf("%w: entry value framing", errTableCorrupt)
+		}
+		block = block[n:]
+		value := block[:vlen]
+		block = block[vlen:]
+		if !yield(entry{key: key, value: value, tombstone: flags&1 != 0}) {
+			return nil
 		}
 	}
+	return nil
 }
 
 // tableIterator walks the full table in key order, including tombstones.
+// Damaged block framing latches err and ends the walk: a scan over a
+// corrupt table yields a clean prefix and a non-nil error, never a silently
+// truncated result.
 type tableIterator struct {
 	t        *tableReader
 	blockIdx int
 	block    []byte
 	cur      entry
 	valid    bool
-	pending  bool // cur holds a seek result not yet surfaced by nextEntry
-	read     int  // block bytes consumed so far
+	pending  bool  // cur holds a seek result not yet surfaced by nextEntry
+	read     int   // block bytes consumed so far
+	err      error // first framing corruption encountered
 }
 
 // iterator returns a fresh iterator positioned before the first entry, or
@@ -340,8 +346,13 @@ func (it *tableIterator) nextEntry() (entry, bool) {
 	return it.cur, ok
 }
 
-// next advances the raw cursor one entry.
+// next advances the raw cursor one entry. Bad framing latches it.err and
+// terminates the walk.
 func (it *tableIterator) next() bool {
+	if it.err != nil {
+		it.valid = false
+		return false
+	}
 	for {
 		if len(it.block) == 0 {
 			if it.blockIdx >= len(it.t.index) {
@@ -359,16 +370,14 @@ func (it *tableIterator) next() bool {
 		it.block = it.block[1:]
 		klen, n := binary.Uvarint(it.block)
 		if n <= 0 || uint64(len(it.block)-n) < klen {
-			it.valid = false
-			return false
+			return it.fail("entry key framing")
 		}
 		it.block = it.block[n:]
 		key := it.block[:klen]
 		it.block = it.block[klen:]
 		vlen, n := binary.Uvarint(it.block)
 		if n <= 0 || uint64(len(it.block)-n) < vlen {
-			it.valid = false
-			return false
+			return it.fail("entry value framing")
 		}
 		it.block = it.block[n:]
 		value := it.block[:vlen]
@@ -377,4 +386,13 @@ func (it *tableIterator) next() bool {
 		it.valid = true
 		return true
 	}
+}
+
+// fail latches a corruption error and invalidates the cursor.
+func (it *tableIterator) fail(what string) bool {
+	it.err = fmt.Errorf("%w: %s (table %06d, block %d)",
+		errTableCorrupt, what, it.t.meta.num, it.blockIdx-1)
+	it.valid = false
+	it.block = nil
+	return false
 }

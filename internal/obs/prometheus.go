@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative _bucket series with power-of-two "le" bounds plus _sum and
+// _count. Output is sorted by series name so scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	typed := map[string]bool{} // base names whose # TYPE line was emitted
+
+	emitType := func(base, kind string) error {
+		if typed[base] {
+			return nil
+		}
+		typed[base] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+
+	for _, name := range sortedKeys(snap.Counters) {
+		base, _ := splitName(name)
+		if err := emitType(base, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		base, _ := splitName(name)
+		if err := emitType(base, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name,
+			strconv.FormatFloat(snap.Gauges[name], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		base, labels := splitName(name)
+		if err := emitType(base, "histogram"); err != nil {
+			return err
+		}
+		if err := writeHistogram(w, base, labels, snap.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits one histogram's _bucket/_sum/_count series. Buckets
+// are cumulative per the exposition format; empty high buckets past the
+// last populated one collapse into +Inf.
+func writeHistogram(w io.Writer, base, labels string, h HistogramSnapshot) error {
+	withLE := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf(`%s_bucket{le=%q}`, base, le)
+		}
+		return fmt.Sprintf(`%s_bucket{%s,le=%q}`, base, labels, le)
+	}
+	suffix := func(s string) string {
+		if labels == "" {
+			return base + s
+		}
+		return base + s + "{" + labels + "}"
+	}
+	top := 0
+	for i, n := range h.Buckets {
+		if n > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += h.Buckets[i]
+		_, hi := bucketBounds(i)
+		if _, err := fmt.Fprintf(w, "%s %d\n",
+			withLE(strconv.FormatFloat(hi, 'f', -1, 64)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", withLE("+Inf"), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", suffix("_sum"), h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", suffix("_count"), h.Count)
+	return err
+}
+
+// Handler returns an http.Handler serving the registry at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Mux returns the full diagnostics mux: Prometheus text at /metrics and the
+// standard net/http/pprof surface at /debug/pprof/.
+func (r *Registry) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the diagnostics server on addr in a background goroutine and
+// returns the bound listener address (useful with a ":0" port). The server
+// lives until the process exits; tools expose it behind a -metrics-addr
+// flag, so its lifetime is the tool's lifetime by design.
+func Serve(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: r.Mux()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// FormatQuantiles renders a compact "p50=… p90=… p99=… p999=…" summary of a
+// histogram snapshot, for progress lines and run summaries.
+func FormatQuantiles(h HistogramSnapshot) string {
+	if h.Count == 0 {
+		return "no samples"
+	}
+	var b strings.Builder
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}, {"p999", 0.999}} {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", q.label, formatNanos(h.Quantile(q.q)))
+	}
+	return b.String()
+}
+
+// formatNanos renders a nanosecond quantity with a human unit.
+func formatNanos(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
