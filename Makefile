@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke clean
+.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke cache-smoke clean
 
 all: build test
 
@@ -36,15 +36,16 @@ bench:
 
 # Machine-readable benchmark snapshot: runs the paper benchmarks once and
 # writes ns/op, B/op, allocs/op, and the per-op latency percentiles
-# (BenchmarkStoreOpLatency's *-p50-ns/*-p99-ns metrics) to BENCH_4.json.
-# (BENCH_1/BENCH_2 are earlier snapshots; bench-diff compares across.)
+# (BenchmarkStoreOpLatency's *-p50-ns/*-p99-ns metrics) to BENCH_5.json.
+# (BENCH_1/BENCH_2/BENCH_4 are earlier snapshots; bench-diff compares
+# across.)
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_4.json
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_5.json
 
 # Per-benchmark ns/op movement between the recorded snapshots, including
 # latency-percentile delta rows for benchmarks that report them.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_2.json BENCH_4.json
+	$(GO) run ./cmd/benchjson -diff BENCH_4.json BENCH_5.json
 
 # Short fuzz passes over the binary decoders.
 fuzz:
@@ -55,6 +56,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=10s ./internal/lsm/
 	$(GO) test -run=NONE -fuzz=FuzzSSTableOpen -fuzztime=10s ./internal/lsm/
 	$(GO) test -run=NONE -fuzz=FuzzSSTableScan -fuzztime=10s ./internal/lsm/
+	$(GO) test -run=NONE -fuzz=FuzzBlockRead -fuzztime=10s ./internal/lsm/
 
 vet:
 	$(GO) vet ./...
@@ -102,3 +104,31 @@ obs-smoke:
 clean:
 	rm -rf artifacts traces
 	$(GO) clean -testcache
+
+# Block-cache smoke test: replay a small trace against the LSM backend with
+# a 4 MiB block cache and assert, from the live Prometheus endpoint, that
+# the cache actually served hits (nonzero ethkv_store_block_cache_hits).
+CACHE_SMOKE_DIR ?= /tmp/ethkv-cache-smoke
+CACHE_SMOKE_ADDR ?= 127.0.0.1:8322
+cache-smoke:
+	rm -rf $(CACHE_SMOKE_DIR) && mkdir -p $(CACHE_SMOKE_DIR)
+	$(GO) run ./cmd/tracegen -dir $(CACHE_SMOKE_DIR)/traces -blocks 80 -mode bare \
+		-accounts 4000 -contracts 400 -tx 120
+	$(GO) build -o $(CACHE_SMOKE_DIR)/replaybench ./cmd/replaybench
+	$(CACHE_SMOKE_DIR)/replaybench -trace $(CACHE_SMOKE_DIR)/traces/BareTrace/BareTrace.bin \
+		-backend lsm -block-cache-mb 4 -metrics-addr $(CACHE_SMOKE_ADDR) -metrics-hold 60s \
+		> $(CACHE_SMOKE_DIR)/replay.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 60); do \
+		if curl -sf http://$(CACHE_SMOKE_ADDR)/metrics > $(CACHE_SMOKE_DIR)/metrics.txt 2>/dev/null \
+			&& awk '/^ethkv_store_block_cache_hits\{/ { if ($$NF+0 > 0) found=1 } END { exit !found }' \
+				$(CACHE_SMOKE_DIR)/metrics.txt; then \
+			echo "cache-smoke: block cache serving hits"; \
+			grep '^ethkv_store_block_cache' $(CACHE_SMOKE_DIR)/metrics.txt; \
+			kill $$pid 2>/dev/null; \
+			exit 0; \
+		fi; \
+		sleep 1; \
+	done; \
+	echo "cache-smoke: FAILED (no block cache hits observed)"; \
+	cat $(CACHE_SMOKE_DIR)/replay.log; kill $$pid 2>/dev/null; exit 1

@@ -43,8 +43,9 @@ func main() {
 		tracePath   = flag.String("trace", "", "trace file to replay")
 		backend     = flag.String("backend", "lsm", "storage backend: lsm, hash, log, lazy, or hybrid")
 		dir         = flag.String("dir", "", "working directory (default: temp)")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8321); empty disables")
-		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics server up this long after the replay finishes (for scraping/profiling a finished run)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8321); empty disables")
+		metricsHold  = flag.Duration("metrics-hold", 0, "keep the metrics server up this long after the replay finishes (for scraping/profiling a finished run)")
+		blockCacheMB = flag.Int("block-cache-mb", 0, "LSM block cache budget in MiB (0 = store default, negative disables; lsm/lazy/hybrid backends)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -71,7 +72,11 @@ func main() {
 		fmt.Printf("metrics: http://%s/metrics   pprof: http://%s/debug/pprof/\n", addr, addr)
 	}
 
-	store, err := buildBackend(*backend, workDir)
+	cacheBytes := int64(*blockCacheMB)
+	if cacheBytes > 0 {
+		cacheBytes <<= 20
+	}
+	store, err := buildBackend(*backend, workDir, cacheBytes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,6 +108,13 @@ func main() {
 		st.TombstonesLive, st.CompactionCount)
 	fmt.Printf("io retries: %d   degraded: %d\n",
 		st.IORetries, st.Degraded)
+	if st.BlockCacheHits+st.BlockCacheMisses > 0 {
+		fmt.Printf("block cache: %d hits, %d misses (%.1f%% hit rate), %d evictions, %.1f KiB pinned\n",
+			st.BlockCacheHits, st.BlockCacheMisses, 100*st.BlockCacheHitRate(),
+			st.BlockCacheEvictions, float64(st.BlockCachePinnedBytes)/(1<<10))
+		fmt.Printf("bloom: %d negatives short-circuited, %d false positives\n",
+			st.BloomNegatives, st.BloomFalsePositives)
+	}
 	if registry != nil {
 		printLatencySummary(registry, *backend)
 		if *metricsHold > 0 {
@@ -171,13 +183,15 @@ func printLatencySummary(registry *obs.Registry, backend string) {
 	}
 }
 
-// buildBackend constructs the requested store under dir.
-func buildBackend(kind, dir string) (kv.Store, error) {
+// buildBackend constructs the requested store under dir. blockCacheBytes
+// sets the LSM block-cache budget (0 = store default, negative disables).
+func buildBackend(kind, dir string, blockCacheBytes int64) (kv.Store, error) {
 	lsmOpts := lsm.Options{
 		DisableWAL:          true,
 		MemtableBytes:       256 << 10,
 		L0CompactionTrigger: 4,
 		LevelBaseBytes:      1 << 20,
+		BlockCacheBytes:     blockCacheBytes,
 	}
 	switch kind {
 	case "lsm":

@@ -23,6 +23,10 @@ import (
 type File interface {
 	io.Reader
 	io.Writer
+	// ReaderAt is the positional-read seam demand-paged readers use: a
+	// block fetch is one ReadAt, with no handle-wide cursor to race on, so
+	// many goroutines may read the same handle concurrently.
+	io.ReaderAt
 	// Sync forces written bytes to durable storage.
 	Sync() error
 	// Close releases the handle. Close does NOT imply Sync.
@@ -61,10 +65,11 @@ type osFS struct{}
 
 type osFile struct{ f *os.File }
 
-func (o osFile) Read(p []byte) (int, error)  { return o.f.Read(p) }
-func (o osFile) Write(p []byte) (int, error) { return o.f.Write(p) }
-func (o osFile) Sync() error                 { return o.f.Sync() }
-func (o osFile) Close() error                { return o.f.Close() }
+func (o osFile) Read(p []byte) (int, error)            { return o.f.Read(p) }
+func (o osFile) ReadAt(p []byte, off int64) (int, error) { return o.f.ReadAt(p, off) }
+func (o osFile) Write(p []byte) (int, error)           { return o.f.Write(p) }
+func (o osFile) Sync() error                           { return o.f.Sync() }
+func (o osFile) Close() error                          { return o.f.Close() }
 
 func (o osFile) Size() (int64, error) {
 	st, err := o.f.Stat()

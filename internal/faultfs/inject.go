@@ -56,9 +56,15 @@ type Plan struct {
 	// scenario that must drive the store into degraded mode. Zero or
 	// negative disables it.
 	FailWritesAfter int64
+	// ReadTransientProb is the probability that any read-path operation
+	// fails with a retryable fault. Read faults draw from their own RNG
+	// stream (readRng), never from the write-schedule rng: demand-paged
+	// reads must not perturb the seeded crash/fault replay of writes.
+	ReadTransientProb float64
 
 	mu      sync.Mutex
 	rng     *rand.Rand
+	readRng *rand.Rand
 	writes  int64
 	crashed bool
 }
@@ -66,7 +72,10 @@ type Plan struct {
 // NewPlan returns a Plan drawing all randomness from seed. Fault modes are
 // configured by setting the exported fields before use.
 func NewPlan(seed int64) *Plan {
-	return &Plan{rng: rand.New(rand.NewSource(seed))}
+	return &Plan{
+		rng:     rand.New(rand.NewSource(seed)),
+		readRng: rand.New(rand.NewSource(seed ^ 0x7265616461746673)), // "readatfs"
+	}
 }
 
 // Writes returns the number of write-path operations observed so far.
@@ -122,12 +131,25 @@ func (p *Plan) beforeWrite(op, path string) error {
 	return nil
 }
 
-// beforeRead gates one read-path operation: reads only fail post-crash.
+// SetReadTransientProb reconfigures the read-fault probability mid-run,
+// safely while other goroutines are issuing I/O through the plan.
+func (p *Plan) SetReadTransientProb(prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ReadTransientProb = prob
+}
+
+// beforeRead gates one read-path operation: reads fail post-crash, and
+// optionally with transient faults drawn from the dedicated read RNG so
+// the write-side schedule stays untouched.
 func (p *Plan) beforeRead(op, path string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.crashed {
 		return ErrCrashed
+	}
+	if p.ReadTransientProb > 0 && p.readRng.Float64() < p.ReadTransientProb {
+		return &FaultError{Op: op, Path: path, Transient: true}
 	}
 	return nil
 }
@@ -268,6 +290,13 @@ func (f *injectedFile) Read(p []byte) (int, error) {
 		return 0, err
 	}
 	return f.f.Read(p)
+}
+
+func (f *injectedFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.plan.beforeRead("read-at", f.path); err != nil {
+		return 0, err
+	}
+	return f.f.ReadAt(p, off)
 }
 
 func (f *injectedFile) Close() error {

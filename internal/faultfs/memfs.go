@@ -224,6 +224,8 @@ func (w *memWriteFile) Close() error {
 
 func (w *memWriteFile) Read(p []byte) (int, error) { return 0, errWriteOnlyHandle }
 
+func (w *memWriteFile) ReadAt(p []byte, off int64) (int, error) { return 0, errWriteOnlyHandle }
+
 func (w *memWriteFile) Size() (int64, error) {
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
@@ -242,6 +244,23 @@ func (r *memReadFile) Read(p []byte) (int, error) {
 	}
 	n := copy(p, r.data[r.off:])
 	r.off += n
+	return n, nil
+}
+
+// ReadAt reads from the snapshot without touching the handle's cursor, so
+// concurrent positional readers never race. Semantics match io.ReaderAt:
+// a read ending past the snapshot returns the bytes available and io.EOF.
+func (r *memReadFile) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("faultfs: negative ReadAt offset")
+	}
+	if off >= int64(len(r.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
 	return n, nil
 }
 

@@ -153,6 +153,12 @@ func (s *Store) Stats() kv.Stats {
 			out.TombstonesLive += st.TombstonesLive
 			out.IORetries += st.IORetries
 			out.Degraded += st.Degraded
+			out.BlockCacheHits += st.BlockCacheHits
+			out.BlockCacheMisses += st.BlockCacheMisses
+			out.BlockCacheEvictions += st.BlockCacheEvictions
+			out.BlockCachePinnedBytes += st.BlockCachePinnedBytes
+			out.BloomNegatives += st.BloomNegatives
+			out.BloomFalsePositives += st.BloomFalsePositives
 		}
 	}
 	return out

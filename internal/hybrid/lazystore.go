@@ -204,6 +204,12 @@ func (s *LazyStore) Stats() kv.Stats {
 		out.TombstonesLive = inner.TombstonesLive
 		out.IORetries += inner.IORetries
 		out.Degraded += inner.Degraded
+		out.BlockCacheHits += inner.BlockCacheHits
+		out.BlockCacheMisses += inner.BlockCacheMisses
+		out.BlockCacheEvictions += inner.BlockCacheEvictions
+		out.BlockCachePinnedBytes += inner.BlockCachePinnedBytes
+		out.BloomNegatives += inner.BloomNegatives
+		out.BloomFalsePositives += inner.BloomFalsePositives
 	}
 	return out
 }

@@ -175,8 +175,15 @@ func RegisterStatsMetrics(r *obs.Registry, sp StatsProvider, labels ...string) {
 		{"write_stall_nanos", func(s Stats) float64 { return float64(s.WriteStallNanos) }},
 		{"io_retries", func(s Stats) float64 { return float64(s.IORetries) }},
 		{"degraded", func(s Stats) float64 { return float64(s.Degraded) }},
+		{"block_cache_hits", func(s Stats) float64 { return float64(s.BlockCacheHits) }},
+		{"block_cache_misses", func(s Stats) float64 { return float64(s.BlockCacheMisses) }},
+		{"block_cache_evictions", func(s Stats) float64 { return float64(s.BlockCacheEvictions) }},
+		{"block_cache_pinned_bytes", func(s Stats) float64 { return float64(s.BlockCachePinnedBytes) }},
+		{"bloom_negatives", func(s Stats) float64 { return float64(s.BloomNegatives) }},
+		{"bloom_false_positives", func(s Stats) float64 { return float64(s.BloomFalsePositives) }},
 		{"write_amplification", Stats.WriteAmplification},
 		{"read_amplification", Stats.ReadAmplification},
+		{"block_cache_hit_rate", Stats.BlockCacheHitRate},
 	}
 	for _, f := range fields {
 		get := f.get

@@ -121,6 +121,14 @@ type Stats struct {
 
 	IORetries uint64 // transient I/O faults absorbed by retry-with-backoff
 	Degraded  uint64 // 1 once the store latched into read-only degraded mode
+
+	BlockCacheHits        uint64 // demand-paged block reads served from the cache
+	BlockCacheMisses      uint64 // block reads that went to the storage layer
+	BlockCacheEvictions   uint64 // blocks pushed out by the cache byte budget
+	BlockCachePinnedBytes uint64 // index+bloom bytes pinned by open tables
+
+	BloomNegatives      uint64 // point lookups short-circuited by a bloom filter
+	BloomFalsePositives uint64 // bloom passes whose block probe found no match
 }
 
 // WriteAmplification returns physical/logical write ratio, or 0 if no
@@ -139,6 +147,16 @@ func (s Stats) ReadAmplification() float64 {
 		return 0
 	}
 	return float64(s.PhysicalBytesRead) / float64(s.LogicalBytesRead)
+}
+
+// BlockCacheHitRate returns hits/(hits+misses), or 0 when the cache saw no
+// traffic (disabled, or a store that never read a block).
+func (s Stats) BlockCacheHitRate() float64 {
+	total := s.BlockCacheHits + s.BlockCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BlockCacheHits) / float64(total)
 }
 
 // MemStore is a sorted in-memory Store used as the reference implementation

@@ -99,6 +99,61 @@ func TestLSMConformance(t *testing.T) {
 	})
 }
 
+// TestLSMTinyBlockCacheConformance reruns the LSM contract with a block
+// cache far smaller than the working set (256 B/shard — under one 4 KiB
+// block), so every scan and point read churns the cache and evicts blocks
+// mid-iteration. Behaviour must be indistinguishable from the default cache.
+func TestLSMTinyBlockCacheConformance(t *testing.T) {
+	lsmOpts := lsm.Options{
+		MemtableBytes:       8 << 10,
+		L0CompactionTrigger: 2,
+		LevelBaseBytes:      32 << 10,
+		BlockCacheBytes:     4 << 10,
+	}
+	var lastDir string
+	Run(t, func(t *testing.T) kv.Store {
+		lastDir = t.TempDir()
+		db, err := lsm.Open(lastDir, lsmOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		return db
+	}, Options{
+		OrderedScans: true,
+		Reopen: func(t *testing.T, s kv.Store) kv.Store {
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db, err := lsm.Open(lastDir, lsmOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			return db
+		},
+	})
+}
+
+// TestLSMNoBlockCacheConformance covers the cache-disabled path: every block
+// read goes straight to the filesystem.
+func TestLSMNoBlockCacheConformance(t *testing.T) {
+	lsmOpts := lsm.Options{
+		MemtableBytes:       8 << 10,
+		L0CompactionTrigger: 2,
+		LevelBaseBytes:      32 << 10,
+		BlockCacheBytes:     -1,
+	}
+	Run(t, func(t *testing.T) kv.Store {
+		db, err := lsm.Open(t.TempDir(), lsmOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		return db
+	}, Options{OrderedScans: true})
+}
+
 func TestHashStoreConformance(t *testing.T) {
 	var lastDir string
 	Run(t, func(t *testing.T) kv.Store {

@@ -62,6 +62,11 @@ type Config struct {
 	// forces the plain sequential import loop. The emitted trace is
 	// byte-identical at every width.
 	ImportWorkers int
+	// BlockCacheBytes sets the LSM block-cache byte budget for UseLSM runs:
+	// 0 keeps the lsm.Options default, negative disables the cache. The
+	// cache only changes where block bytes are fetched from, so the trace
+	// and every analysis output are identical at any setting.
+	BlockCacheBytes int64
 	// Metrics, when set, instruments the backing store (per-op latency
 	// histograms, store gauges) and records post-run cache hit rates into
 	// the registry. Series carry a trace=<mode> label so the bare and
@@ -97,13 +102,23 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Blocks <= 0 {
 		return nil, fmt.Errorf("lab: block count must be positive")
 	}
-	// Backing store.
+	// Backing store. An LSM run without a Dir keeps the trace in memory and
+	// puts only the store itself in a throwaway temp directory.
 	var inner kv.Store
 	if cfg.UseLSM {
-		if cfg.Dir == "" {
-			return nil, fmt.Errorf("lab: LSM mode requires a directory")
+		lsmDir := cfg.Dir
+		if lsmDir == "" {
+			tmp, err := os.MkdirTemp("", "ethkv-lsm-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(tmp)
+			lsmDir = tmp
 		}
-		db, err := lsm.Open(filepath.Join(cfg.Dir, "lsm"), lsm.Options{DisableWAL: true})
+		db, err := lsm.Open(filepath.Join(lsmDir, "lsm"), lsm.Options{
+			DisableWAL:      true,
+			BlockCacheBytes: cfg.BlockCacheBytes,
+		})
 		if err != nil {
 			return nil, err
 		}

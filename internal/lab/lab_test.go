@@ -2,6 +2,7 @@ package lab
 
 import (
 	"math/rand"
+	"reflect"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,8 +52,20 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	if _, err := Run(Config{Mode: Bare, Blocks: 0}); err == nil {
 		t.Fatal("zero blocks accepted")
 	}
-	if _, err := Run(Config{Mode: Bare, Blocks: 1, UseLSM: true}); err == nil {
-		t.Fatal("LSM without dir accepted")
+}
+
+// TestRunLSMWithoutDir checks that an LSM run with no Dir keeps the trace in
+// memory (Ops populated) while backing the store with a throwaway temp dir.
+func TestRunLSMWithoutDir(t *testing.T) {
+	res, err := Run(Config{Mode: Bare, Blocks: 3, Workload: testWorkload(), UseLSM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ops) == 0 {
+		t.Fatal("no in-memory ops from dirless LSM run")
+	}
+	if res.KVStats.FlushCount == 0 {
+		t.Fatal("LSM store never flushed; run was not LSM-backed")
 	}
 }
 
@@ -355,5 +368,49 @@ func TestDefaultConfig(t *testing.T) {
 	}
 	if cfg.Workload.TxPerBlock == 0 {
 		t.Fatal("workload not populated")
+	}
+}
+
+// TestLSMCacheSizeInvariance runs the same deterministic workload over the
+// LSM store at three block-cache budgets — smaller than one table, disabled,
+// and everything-fits — and checks the emitted trace and store census are
+// byte-identical. The cache may only change where block bytes are fetched
+// from, never what any read returns.
+func TestLSMCacheSizeInvariance(t *testing.T) {
+	run := func(cacheBytes int64) *Result {
+		t.Helper()
+		res, err := Run(Config{
+			Mode: Cached, Blocks: 5, Workload: testWorkload(),
+			UseLSM: true, BlockCacheBytes: cacheBytes,
+		})
+		if err != nil {
+			t.Fatalf("cache=%d: %v", cacheBytes, err)
+		}
+		return res
+	}
+	tiny := run(4 << 10)
+	disabled := run(-1)
+	huge := run(256 << 20)
+
+	for _, other := range []*Result{disabled, huge} {
+		if len(other.Ops) != len(tiny.Ops) {
+			t.Fatalf("op count diverged: %d vs %d", len(other.Ops), len(tiny.Ops))
+		}
+		for i := range tiny.Ops {
+			if !reflect.DeepEqual(tiny.Ops[i], other.Ops[i]) {
+				t.Fatalf("op %d diverged: %+v vs %+v", i, tiny.Ops[i], other.Ops[i])
+			}
+		}
+		if !reflect.DeepEqual(tiny.Store, other.Store) {
+			t.Fatal("store census diverged across cache sizes")
+		}
+	}
+	// The tiny-cache run must actually have churned the cache for the
+	// comparison to mean anything.
+	if tiny.KVStats.BlockCacheEvictions == 0 && tiny.KVStats.BlockCacheMisses == 0 {
+		t.Fatal("tiny-cache run never touched the block cache")
+	}
+	if disabled.KVStats.BlockCacheHits != 0 || disabled.KVStats.BlockCacheMisses != 0 {
+		t.Fatal("disabled cache recorded traffic")
 	}
 }

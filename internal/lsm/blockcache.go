@@ -1,0 +1,199 @@
+package lsm
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// blockCache is the DB-wide cache behind demand-paged SSTable reads: point
+// lookups fetch single 4 KiB data blocks through it instead of keeping
+// whole tables resident. It is sharded to keep lock hold times short under
+// concurrent readers — each shard is an independent LRU list with its own
+// mutex and a slice of the total byte budget, and a key's shard is fixed by
+// a hash of (table number, block index), so two readers of different
+// blocks rarely contend.
+//
+// What the cache deliberately does NOT hold: iterator readahead spans
+// (scans stream through private buffers so one sequential walk cannot
+// evict the point-read working set) and compaction reads (the bypass walk
+// never touches the cache at all). Index and bloom sections are pinned in
+// their tableReaders for the reader's lifetime and only accounted here
+// (pinned), never evicted.
+//
+// All methods tolerate a nil receiver, reading as a disabled cache:
+// Options.BlockCacheBytes < 0 disables caching without a second code path
+// at every call site.
+type blockCache struct {
+	shardCap int64 // byte budget per shard
+	shards   [cacheShardCount]cacheShard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	pinned    atomic.Int64 // index+bloom bytes held by open tableReaders
+}
+
+const cacheShardCount = 16
+
+type cacheKey struct {
+	table uint64
+	block int
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used
+	table map[cacheKey]*list.Element
+	bytes int64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	data []byte
+}
+
+// newBlockCache sizes a cache for capacity total bytes; capacity <= 0
+// returns nil (the disabled cache).
+func newBlockCache(capacity int64) *blockCache {
+	if capacity <= 0 {
+		return nil
+	}
+	c := &blockCache{shardCap: (capacity + cacheShardCount - 1) / cacheShardCount}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].table = make(map[cacheKey]*list.Element)
+	}
+	return c
+}
+
+// shard maps a key to its home shard via a mixed multiplicative hash:
+// adjacent blocks of one table land on different shards, so a hot scan
+// range does not serialize on one mutex.
+func (c *blockCache) shard(k cacheKey) *cacheShard {
+	h := k.table*0x9E3779B97F4A7C15 + uint64(k.block)*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return &c.shards[h%cacheShardCount]
+}
+
+// get returns block's cached payload and promotes it to most recently
+// used. The returned slice is shared and must be treated as read-only.
+func (c *blockCache) get(table uint64, block int) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	k := cacheKey{table: table, block: block}
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.table[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	data := el.Value.(*cacheEntry).data
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return data, true
+}
+
+// put inserts (or refreshes) a block payload and evicts from the cold end
+// until the shard is back under budget. A single block larger than a whole
+// shard is kept as the shard's only entry rather than thrashed — the
+// overshoot is bounded by one block per shard.
+func (c *blockCache) put(table uint64, block int, data []byte) {
+	if c == nil {
+		return
+	}
+	k := cacheKey{table: table, block: block}
+	s := c.shard(k)
+	var evicted uint64
+	s.mu.Lock()
+	if el, ok := s.table[k]; ok {
+		ent := el.Value.(*cacheEntry)
+		s.bytes += int64(len(data)) - int64(len(ent.data))
+		ent.data = data
+		s.lru.MoveToFront(el)
+	} else {
+		s.table[k] = s.lru.PushFront(&cacheEntry{key: k, data: data})
+		s.bytes += int64(len(data))
+	}
+	for s.bytes > c.shardCap && s.lru.Len() > 1 {
+		back := s.lru.Back()
+		ent := back.Value.(*cacheEntry)
+		s.lru.Remove(back)
+		delete(s.table, ent.key)
+		s.bytes -= int64(len(ent.data))
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// dropTable invalidates every cached block of one table — called when the
+// last reference to its tableReader is released (the table was compacted
+// away and no reader can request its blocks again). Invalidations are not
+// counted as evictions: they reflect table lifecycle, not cache pressure.
+func (c *blockCache) dropTable(table uint64) {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, el := range s.table {
+			if k.table == table {
+				s.bytes -= int64(len(el.Value.(*cacheEntry).data))
+				s.lru.Remove(el)
+				delete(s.table, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// addPinned accounts index/bloom bytes pinned by an open tableReader
+// (negative on release). Pinned bytes sit outside the LRU budget.
+func (c *blockCache) addPinned(n int64) {
+	if c == nil {
+		return
+	}
+	c.pinned.Add(n)
+}
+
+// usedBytes reports the bytes currently held across all shards.
+func (c *blockCache) usedBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// capacityBytes reports the configured byte budget.
+func (c *blockCache) capacityBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.shardCap * cacheShardCount
+}
+
+// pinnedBytes reports index/bloom bytes held by open tableReaders.
+func (c *blockCache) pinnedBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	if n := c.pinned.Load(); n > 0 {
+		return n
+	}
+	return 0
+}

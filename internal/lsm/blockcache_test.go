@@ -1,0 +1,323 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ethkv/internal/faultfs"
+	"ethkv/internal/kv"
+)
+
+func TestBlockCacheBasics(t *testing.T) {
+	c := newBlockCache(64 << 10)
+	if _, ok := c.get(1, 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	blk := []byte("block-zero-payload")
+	c.put(1, 0, blk)
+	got, ok := c.get(1, 0)
+	if !ok || !bytes.Equal(got, blk) {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	if h, m := c.hits.Load(), c.misses.Load(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", h, m)
+	}
+	c.dropTable(1)
+	if _, ok := c.get(1, 0); ok {
+		t.Fatal("hit after dropTable")
+	}
+	if c.evictions.Load() != 0 {
+		t.Fatal("dropTable counted as eviction")
+	}
+}
+
+func TestBlockCacheNilIsInert(t *testing.T) {
+	var c *blockCache
+	if c := newBlockCache(0); c != nil {
+		t.Fatal("zero capacity should disable the cache")
+	}
+	c.put(1, 0, []byte("x"))
+	if _, ok := c.get(1, 0); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.dropTable(1)
+	c.addPinned(100)
+	if c.usedBytes() != 0 || c.capacityBytes() != 0 || c.pinnedBytes() != 0 {
+		t.Fatal("nil cache reports nonzero sizes")
+	}
+}
+
+// TestBlockCacheBudgetBound inserts 4x the cache capacity in blocks smaller
+// than one shard's share and checks the byte budget holds throughout.
+func TestBlockCacheBudgetBound(t *testing.T) {
+	capacity := int64(1 << 20)
+	c := newBlockCache(capacity)
+	blk := make([]byte, 4<<10)
+	for i := 0; i < 1024; i++ {
+		c.put(uint64(i%8), i, blk)
+		if used := c.usedBytes(); used > capacity {
+			t.Fatalf("insert %d: usedBytes %d exceeds capacity %d", i, used, capacity)
+		}
+	}
+	if c.evictions.Load() == 0 {
+		t.Fatal("4x overcommit evicted nothing")
+	}
+}
+
+// TestBlockCacheOversizedEntries covers blocks bigger than a shard's share:
+// each shard retains at most one oversized entry, so total usage stays
+// bounded even when the budget is absurdly small.
+func TestBlockCacheOversizedEntries(t *testing.T) {
+	c := newBlockCache(4 << 10) // 256 B/shard, far below one block
+	blk := make([]byte, 4<<10)
+	for i := 0; i < 256; i++ {
+		c.put(uint64(i), 0, blk)
+	}
+	bound := int64(cacheShardCount) * int64(len(blk))
+	if used := c.usedBytes(); used > bound {
+		t.Fatalf("usedBytes %d exceeds oversized bound %d", used, bound)
+	}
+}
+
+// TestTableFormatV1Compat writes a table in the legacy un-checksummed v1
+// format and checks the reader still serves it: format detection by footer
+// magic, keccak-based bloom, no CRC stripping.
+func TestTableFormatV1Compat(t *testing.T) {
+	for _, format := range []int{tableFormatV1, tableFormatV2} {
+		t.Run(fmt.Sprintf("v%d", format), func(t *testing.T) {
+			dir := t.TempDir()
+			var ents []entry
+			for i := 0; i < 500; i++ {
+				ents = append(ents, entry{
+					key:   []byte(fmt.Sprintf("key-%04d", i)),
+					value: []byte(fmt.Sprintf("value-%04d", i)),
+				})
+			}
+			meta, err := writeTableFormat(faultfs.OS, dir, 1, 0, ents, format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := openTable(faultfs.OS, dir, meta, nil, nil, noRetry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.unref()
+			if wantCRC := format == tableFormatV2; r.hasCRC != wantCRC {
+				t.Fatalf("hasCRC = %v for format %d", r.hasCRC, format)
+			}
+			for _, e := range ents {
+				v, found, deleted, _, err := r.get(e.key)
+				if err != nil || !found || deleted || !bytes.Equal(v, e.value) {
+					t.Fatalf("get(%q) = %q found=%v deleted=%v err=%v", e.key, v, found, deleted, err)
+				}
+			}
+			it := r.iterator(nil)
+			n := 0
+			for it.next() {
+				if !bytes.Equal(it.cur.key, ents[n].key) {
+					t.Fatalf("scan entry %d = %q, want %q", n, it.cur.key, ents[n].key)
+				}
+				n++
+			}
+			if it.err != nil || n != len(ents) {
+				t.Fatalf("scan: %d entries, err=%v", n, it.err)
+			}
+		})
+	}
+}
+
+// TestBlockCacheStatsThroughDB checks the whole wiring: misses on first
+// contact, hits on repeat reads, pinned index+bloom bytes, and bloom
+// negative short-circuits, all visible through kv.Stats.
+func TestBlockCacheStatsThroughDB(t *testing.T) {
+	opts := smallOpts()
+	opts.BlockCacheBytes = 1 << 20
+	db := openTestDB(t, opts)
+	for i := 0; i < 300; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%04d", i)), bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 2; rep++ {
+		for i := 0; i < 300; i += 10 {
+			if _, err := db.Get([]byte(fmt.Sprintf("key-%04d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := db.Stats()
+	if st.BlockCacheMisses == 0 {
+		t.Fatal("no cache misses after cold reads")
+	}
+	if st.BlockCacheHits == 0 {
+		t.Fatal("no cache hits after repeat reads")
+	}
+	if st.BlockCachePinnedBytes == 0 {
+		t.Fatal("no pinned index/bloom bytes with open tables")
+	}
+	// Absent keys inside the table's key range (so the range check cannot
+	// exclude them): the bloom filter should short-circuit nearly all.
+	for i := 0; i < 50; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("key-%04d-absent", i))); err != kv.ErrNotFound {
+			t.Fatalf("absent get: %v", err)
+		}
+	}
+	if st = db.Stats(); st.BloomNegatives == 0 {
+		t.Fatal("bloom short-circuited no absent lookups")
+	}
+}
+
+// TestReadTransientFaultsRetried injects transient read faults underneath
+// the demand-paged read path and checks the store's retry policy absorbs
+// them: every read succeeds and the retry counter moves.
+func TestReadTransientFaultsRetried(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	plan := faultfs.NewPlan(7)
+	opts := smallOpts()
+	opts.FS = faultfs.Inject(mem, plan)
+	opts.DisableWAL = true
+	opts.RetryAttempts = 8
+	opts.RetryBackoff = 10 * time.Microsecond
+	opts.BlockCacheBytes = -1 // no cache: every read touches the faulty FS
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 300; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	plan.SetReadTransientProb(0.05)
+	for i := 0; i < 300; i++ {
+		v, err := db.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil {
+			t.Fatalf("get under read faults: %v", err)
+		}
+		if want := fmt.Sprintf("val-%04d", i); string(v) != want {
+			t.Fatalf("get = %q, want %q", v, want)
+		}
+	}
+	plan.SetReadTransientProb(0)
+	if st := db.Stats(); st.IORetries == 0 {
+		t.Fatal("no retries recorded under 5% transient read faults")
+	}
+}
+
+// TestConcurrentReadsDuringCompactionTinyCache races point reads and scans
+// against a writer that keeps the flush/compaction machinery busy, with a
+// cache small enough that blocks are evicted constantly. Run under -race
+// this exercises reader refcounts vs. table removal and shared cache slices.
+func TestConcurrentReadsDuringCompactionTinyCache(t *testing.T) {
+	opts := smallOpts()
+	opts.BlockCacheBytes = 8 << 10
+	db := openTestDB(t, opts)
+	const stable = 2000 // ~50 data blocks of stable keys vs an 8 KiB cache
+	val := func(i int) []byte {
+		return bytes.Repeat([]byte(fmt.Sprintf("val-%04d-", i)), 10)
+	}
+	for i := 0; i < stable; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("stable-%04d", i)), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	errc := make(chan error, 8)
+	var wg sync.WaitGroup
+	// Writer: churn a disjoint key space to drive flushes and compactions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := []byte(fmt.Sprintf("churn-%06d", i%2000))
+			if err := db.Put(k, bytes.Repeat([]byte{byte(i)}, 128)); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	// Readers: stable keys must stay readable with the right values.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := rng.Intn(stable)
+				v, err := db.Get([]byte(fmt.Sprintf("stable-%04d", i)))
+				if err != nil {
+					errc <- fmt.Errorf("reader get: %w", err)
+					return
+				}
+				if !bytes.Equal(v, val(i)) {
+					errc <- fmt.Errorf("reader got %q for stable-%04d", v, i)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	// Scanner: iterate the stable prefix repeatedly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			it := db.NewIterator([]byte("stable-"), nil)
+			n := 0
+			for it.Next() {
+				n++
+			}
+			err := it.Error()
+			it.Release()
+			if err != nil {
+				errc <- fmt.Errorf("scan: %w", err)
+				return
+			}
+			if n != stable {
+				errc <- fmt.Errorf("scan saw %d stable keys, want %d", n, stable)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if st := db.Stats(); st.BlockCacheEvictions == 0 {
+		t.Fatalf("tiny cache evicted nothing (hits=%d misses=%d)", st.BlockCacheHits, st.BlockCacheMisses)
+	}
+}

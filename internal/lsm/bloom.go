@@ -5,16 +5,25 @@ import "ethkv/internal/keccak"
 // bloomFilter is a fixed-width Bloom filter attached to each SSTable to
 // short-circuit point lookups for absent keys. We use ~10 bits per key and
 // 7 hash probes (k = m/n * ln2), the classic LevelDB parameters.
+//
+// The probe hash is versioned by the table format (selected via the footer
+// magic): v2 tables use fastHash64, a non-cryptographic FNV-1a/splitmix64
+// combination — a full Keccak-256 permutation per point-read probe was
+// pure waste on the hot path — while v1 tables keep the original keccak
+// hashing so filters written by older code still answer correctly.
 type bloomFilter struct {
 	bits []byte
 	k    int
+	fast bool // v2: fastHash64 probes; v1: keccak
 }
 
 // bloomBitsPerKey controls the filter size; 10 gives ~1% false positives.
 const bloomBitsPerKey = 10
 
-// newBloomFilter sizes a filter for n expected keys.
-func newBloomFilter(n int) *bloomFilter {
+// newBloomFilter sizes a filter for n expected keys. fast selects the
+// table format's probe hash and must match the format the filter is
+// serialized into.
+func newBloomFilter(n int, fast bool) *bloomFilter {
 	if n < 1 {
 		n = 1
 	}
@@ -22,18 +31,40 @@ func newBloomFilter(n int) *bloomFilter {
 	if nbits < 64 {
 		nbits = 64
 	}
-	return &bloomFilter{bits: make([]byte, (nbits+7)/8), k: 7}
+	return &bloomFilter{bits: make([]byte, (nbits+7)/8), k: 7, fast: fast}
 }
 
-// bloomFromBytes wraps a serialized filter (as written by sstable writer).
-func bloomFromBytes(bits []byte, k int) *bloomFilter {
-	return &bloomFilter{bits: bits, k: k}
+// bloomFromBytes wraps a serialized filter (as written by the sstable
+// writer); fast must reflect the table format it was read from.
+func bloomFromBytes(bits []byte, k int, fast bool) *bloomFilter {
+	return &bloomFilter{bits: bits, k: k, fast: fast}
 }
 
-// hashPair derives two independent 32-bit hashes for double hashing.
-// Keccak is already in the dependency tree and is plenty fast at these key
-// sizes; first 8 digest bytes provide both hashes.
-func hashPair(key []byte) (uint32, uint32) {
+// fastHash64 is an FNV-1a 64-bit pass with a splitmix64 finalizer: the
+// multiply-xor chain gives full avalanche, so the two 32-bit halves are
+// independent enough for double hashing. No allocation, a few ns per key.
+func fastHash64(key []byte) uint64 {
+	h := uint64(14695981039346656037) // FNV offset basis
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211 // FNV prime
+	}
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// hashPair derives two independent 32-bit hashes for double hashing,
+// using the filter's versioned probe hash.
+func (f *bloomFilter) hashPair(key []byte) (uint32, uint32) {
+	if f.fast {
+		h := fastHash64(key)
+		return uint32(h), uint32(h >> 32)
+	}
 	d := keccak.Hash256(key)
 	h1 := uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
 	h2 := uint32(d[4]) | uint32(d[5])<<8 | uint32(d[6])<<16 | uint32(d[7])<<24
@@ -42,7 +73,7 @@ func hashPair(key []byte) (uint32, uint32) {
 
 // add inserts key into the filter.
 func (f *bloomFilter) add(key []byte) {
-	h1, h2 := hashPair(key)
+	h1, h2 := f.hashPair(key)
 	nbits := uint32(len(f.bits) * 8)
 	for i := 0; i < f.k; i++ {
 		pos := (h1 + uint32(i)*h2) % nbits
@@ -56,7 +87,7 @@ func (f *bloomFilter) mayContain(key []byte) bool {
 	if len(f.bits) == 0 {
 		return true
 	}
-	h1, h2 := hashPair(key)
+	h1, h2 := f.hashPair(key)
 	nbits := uint32(len(f.bits) * 8)
 	for i := 0; i < f.k; i++ {
 		pos := (h1 + uint32(i)*h2) % nbits

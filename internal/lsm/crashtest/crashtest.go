@@ -33,6 +33,14 @@ type Config struct {
 	// TransientProb injects retryable write faults at this rate, proving
 	// recovery holds while the retry path is being exercised.
 	TransientProb float64
+	// ReadTransientProb injects retryable read faults at this rate into
+	// the demand-paged block read path (drawn from an rng separate from
+	// the write schedule, so crash-point replay stays deterministic).
+	ReadTransientProb float64
+	// BlockCacheBytes sets both stores' block-cache budget: 0 keeps the
+	// store default, negative disables. Recovery must verify identically
+	// at any cache size.
+	BlockCacheBytes int64
 }
 
 // op is one modelled mutation.
@@ -78,6 +86,7 @@ func Run(cfg Config, fail func(format string, args ...any)) Result {
 	mem := faultfs.NewMemFS()
 	plan := faultfs.NewPlan(cfg.Seed)
 	plan.TransientProb = cfg.TransientProb
+	plan.SetReadTransientProb(cfg.ReadTransientProb)
 	seedRng := rand.New(rand.NewSource(cfg.Seed))
 	// Some seeds crash mid-workload, some run to completion and crash at
 	// the end; both phases of the space matter.
@@ -96,6 +105,7 @@ func Run(cfg Config, fail func(format string, args ...any)) Result {
 		FS:                  faultfs.Inject(mem, plan),
 		RetryAttempts:       10,
 		RetryBackoff:        time.Microsecond,
+		BlockCacheBytes:     cfg.BlockCacheBytes,
 	}
 	db, err := lsm.Open("crashdb", opts)
 	if err != nil {
@@ -139,6 +149,7 @@ func Run(cfg Config, fail func(format string, args ...any)) Result {
 		LevelMultiplier:     4,
 		MaxLevels:           4,
 		FS:                  mem,
+		BlockCacheBytes:     cfg.BlockCacheBytes,
 	})
 	if err != nil {
 		fail("seed %d: reopen after crash failed: %v", cfg.Seed, err)

@@ -64,15 +64,22 @@ func TestCrashRecoverySeeds(t *testing.T) {
 
 // configFor spreads the seed space over concurrency widths and fault
 // mixes: a third single-writer, a third 2-way, a third 4-way; every other
-// seed adds transient write faults on top of the crash.
+// seed adds transient write faults on top of the crash. The block-cache
+// budget rotates orthogonally (default, tiny, disabled) and every fourth
+// seed injects transient read faults, so the sweep also proves recovery
+// is cache-size-independent and read-retry-safe.
 func configFor(seed int64) Config {
 	cfg := Config{
-		Seed:    seed,
-		Workers: []int{1, 2, 4}[seed%3],
-		Units:   40,
+		Seed:            seed,
+		Workers:         []int{1, 2, 4}[seed%3],
+		Units:           40,
+		BlockCacheBytes: []int64{0, 4 << 10, -1}[(seed/3)%3],
 	}
 	if seed%2 == 0 {
 		cfg.TransientProb = 0.05
+	}
+	if seed%4 == 1 {
+		cfg.ReadTransientProb = 0.02
 	}
 	return cfg
 }
@@ -83,6 +90,26 @@ func configFor(seed int64) Config {
 func TestCrashRecoveryDeterministic(t *testing.T) {
 	for seed := int64(101); seed < 106; seed++ {
 		cfg := Config{Seed: seed, Workers: 1, Units: 30, TransientProb: 0.1}
+		a := capture(t, cfg)
+		b := capture(t, cfg)
+		if a != b {
+			t.Fatalf("seed %d diverged between runs:\n%s\n---\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestCrashRecoveryTinyCacheDeterministic replays seeds whose store runs a
+// cache smaller than one table while transient read faults fire. Read
+// faults draw from an rng separate from the write schedule, so replays must
+// stay bit-identical — the invariant that keeps sweep failures reproducible
+// now that reads are demand-paged.
+func TestCrashRecoveryTinyCacheDeterministic(t *testing.T) {
+	for seed := int64(201); seed < 206; seed++ {
+		cfg := Config{
+			Seed: seed, Workers: 1, Units: 30,
+			TransientProb: 0.05, ReadTransientProb: 0.05,
+			BlockCacheBytes: 4 << 10,
+		}
 		a := capture(t, cfg)
 		b := capture(t, cfg)
 		if a != b {

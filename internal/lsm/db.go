@@ -65,6 +65,12 @@ type Options struct {
 	// L1+. Smaller caps mean more, finer-grained tables per level — tests
 	// shrink it to exercise multi-table levels cheaply.
 	CompactionTableBytes int
+	// BlockCacheBytes is the byte budget of the DB-wide sharded block
+	// cache serving demand-paged SSTable reads. 0 selects the 32 MiB
+	// default; negative disables caching entirely (every block read goes
+	// to the filesystem). Index and bloom sections are pinned per open
+	// table outside this budget.
+	BlockCacheBytes int64
 }
 
 // withDefaults fills unset options.
@@ -103,6 +109,9 @@ func (o Options) withDefaults() Options {
 		// Target ~2 MiB output tables so L1+ stays granular.
 		o.CompactionTableBytes = 2 << 20
 	}
+	if o.BlockCacheBytes == 0 {
+		o.BlockCacheBytes = 32 << 20
+	}
 	return o
 }
 
@@ -131,9 +140,13 @@ type DB struct {
 	levels [][]tableMeta
 	// open caches tableReaders. Guarded by openMu, not mu: Get (holding
 	// only the read lock) opens tables lazily, and concurrent readers must
-	// not race on the map.
+	// not race on the map. The map holds one reference per reader; every
+	// consumer takes its own via db.reader and unrefs when done.
 	openMu sync.Mutex
 	open   map[uint64]*tableReader
+	// cache is the DB-wide sharded block cache all demand-paged table
+	// reads go through; nil when Options.BlockCacheBytes is negative.
+	cache *blockCache
 	next   atomic.Uint64 // next file number
 	closed bool
 
@@ -171,6 +184,7 @@ type dbStats struct {
 	flushCount                            atomic.Uint64
 	writeStalls, writeStallNanos          atomic.Uint64
 	ioRetries, degraded                   atomic.Uint64
+	bloomNegatives, bloomFalsePositives   atomic.Uint64
 }
 
 var _ kv.Store = (*DB)(nil)
@@ -186,6 +200,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		mem:    newMemtable(opts.Seed),
 		levels: make([][]tableMeta, opts.MaxLevels),
 		open:   make(map[uint64]*tableReader),
+		cache:  newBlockCache(opts.BlockCacheBytes),
 		bgC:    make(chan struct{}, 1),
 	}
 	if err := db.retryIO(func() error { return db.fs.MkdirAll(dir) }); err != nil {
@@ -424,12 +439,7 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 	// L0 newest-first (files may overlap).
 	l0 := db.levels[0]
 	for i := len(l0) - 1; i >= 0; i-- {
-		t, err := db.reader(l0[i])
-		if err != nil {
-			return nil, err
-		}
-		v, found, deleted, br, err := t.get(key)
-		db.stats.physicalBytesRead.Add(uint64(br))
+		v, found, deleted, err := db.tableGet(l0[i], key)
 		if err != nil {
 			return nil, err
 		}
@@ -446,12 +456,7 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		if i == len(metas) || bytes.Compare(metas[i].smallest, key) > 0 {
 			continue
 		}
-		t, err := db.reader(metas[i])
-		if err != nil {
-			return nil, err
-		}
-		v, found, deleted, br, err := t.get(key)
-		db.stats.physicalBytesRead.Add(uint64(br))
+		v, found, deleted, err := db.tableGet(metas[i], key)
 		if err != nil {
 			return nil, err
 		}
@@ -460,6 +465,20 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		}
 	}
 	return nil, kv.ErrNotFound
+}
+
+// tableGet performs one table probe with reference bracketing and physical
+// I/O accounting. The value is safe to use after unref: block payloads are
+// heap slices, not views of a mapped file.
+func (db *DB) tableGet(meta tableMeta, key []byte) (v []byte, found, deleted bool, err error) {
+	t, err := db.reader(meta)
+	if err != nil {
+		return nil, false, false, err
+	}
+	v, found, deleted, br, err := t.get(key)
+	t.unref()
+	db.stats.physicalBytesRead.Add(uint64(br))
+	return v, found, deleted, err
 }
 
 // finishGet translates an internal lookup result and accounts logical I/O.
@@ -483,22 +502,24 @@ func (db *DB) Has(key []byte) (bool, error) {
 	return true, nil
 }
 
-// reader returns (opening if needed) the cached tableReader for meta.
+// reader returns (opening if needed) the cached tableReader for meta, with
+// a reference taken for the caller — who must unref when done with it. The
+// open map holds its own reference until removeObsolete or Close drops it.
 func (db *DB) reader(meta tableMeta) (*tableReader, error) {
 	db.openMu.Lock()
 	defer db.openMu.Unlock()
 	if t, ok := db.open[meta.num]; ok {
+		t.ref()
 		return t, nil
 	}
-	var t *tableReader
-	if err := db.retryIO(func() error {
-		var err error
-		t, err = openTable(db.fs, db.dir, meta)
-		return err
-	}); err != nil {
+	// openTable applies retryIO to each individual read itself, so
+	// transient faults are absorbed without reopening from scratch.
+	t, err := openTable(db.fs, db.dir, meta, db.cache, &db.stats, db.retryIO)
+	if err != nil {
 		return nil, err
 	}
 	db.open[meta.num] = t
+	t.ref()
 	return t, nil
 }
 
@@ -772,21 +793,35 @@ func (db *DB) runCompaction(plan compactionPlan, hook func()) (newMetas []tableM
 		hook()
 	}
 	// Build merge sources newest-first: L0 files are newest-last on disk,
-	// so reverse them; destination tables are oldest.
-	var sources []source
+	// so reverse them; destination tables are oldest. Sources bypass the
+	// block cache (newTableSourceBypass): a merge streams every block of
+	// its inputs exactly once, and letting that walk touch the cache would
+	// wipe out the hot point-read set. References are held until the merge
+	// finishes so a concurrent removeObsolete cannot close files mid-read.
+	var (
+		sources []source
+		readers []*tableReader
+	)
+	defer func() {
+		for _, t := range readers {
+			t.unref()
+		}
+	}()
 	for i := len(plan.srcMetas) - 1; i >= 0; i-- {
 		t, err := db.reader(plan.srcMetas[i])
 		if err != nil {
 			return nil, 0, err
 		}
-		sources = append(sources, newTableSource(t, nil))
+		readers = append(readers, t)
+		sources = append(sources, newTableSourceBypass(t, nil))
 	}
 	for _, m := range plan.dstIn {
 		t, err := db.reader(m)
 		if err != nil {
 			return nil, 0, err
 		}
-		sources = append(sources, newTableSource(t, nil))
+		readers = append(readers, t)
+		sources = append(sources, newTableSourceBypass(t, nil))
 	}
 
 	merged := newMergeIterator(sources)
@@ -864,14 +899,23 @@ func (db *DB) installCompactionLocked(plan compactionPlan, newMetas []tableMeta,
 	return append(append([]tableMeta(nil), plan.srcMetas...), plan.dstIn...)
 }
 
-// removeObsolete drops reader-cache entries and deletes the files of
-// compacted-away tables. Runs without db.mu: in-flight readers are safe
-// because tableReaders hold the whole file contents in memory.
+// removeObsolete drops the open map's references and deletes the files of
+// compacted-away tables. Runs without db.mu: in-flight readers (gets,
+// scans, merges) hold their own references, so the last unref — not this
+// call — closes the handle and purges the table's cached blocks. Deleting
+// the file under a live handle is safe: the OS keeps unlinked files
+// readable through open descriptors, and MemFS read handles snapshot.
 func (db *DB) removeObsolete(obsolete []tableMeta) {
 	for _, m := range obsolete {
 		db.openMu.Lock()
-		delete(db.open, m.num)
+		t, ok := db.open[m.num]
+		if ok {
+			delete(db.open, m.num)
+		}
 		db.openMu.Unlock()
+		if ok {
+			t.unref()
+		}
 		// Best-effort: an orphaned table is dead weight, not a hazard — the
 		// manifest no longer references it, so recovery never reads it.
 		db.fs.Remove(tablePath(db.dir, m.num))
@@ -930,7 +974,19 @@ func (db *DB) NewIterator(prefix, start []byte) kv.Iterator {
 	// prefix successor cannot contribute and need not be opened at all.
 	upper := prefixSuccessor(prefix)
 
-	var sources []source
+	// Table references live until Release: a compaction may delete source
+	// files mid-scan, and the iterator's refs keep the handles (and the OS
+	// file contents) alive until the walk finishes.
+	var (
+		sources []source
+		readers []*tableReader
+	)
+	fail := func(err error) kv.Iterator {
+		for _, t := range readers {
+			t.unref()
+		}
+		return &errIterator{err: err}
+	}
 	sources = append(sources, newMemSource(db.mem, lower))
 	for i := len(db.imm) - 1; i >= 0; i-- {
 		sources = append(sources, newMemSource(db.imm[i].mem, lower))
@@ -944,8 +1000,9 @@ func (db *DB) NewIterator(prefix, start []byte) kv.Iterator {
 		}
 		t, err := db.reader(m)
 		if err != nil {
-			return &errIterator{err: err}
+			return fail(err)
 		}
+		readers = append(readers, t)
 		sources = append(sources, newTableSource(t, lower))
 	}
 	for level := 1; level < len(db.levels); level++ {
@@ -956,27 +1013,31 @@ func (db *DB) NewIterator(prefix, start []byte) kv.Iterator {
 			}
 			t, err := db.reader(m)
 			if err != nil {
-				return &errIterator{err: err}
+				return fail(err)
 			}
+			readers = append(readers, t)
 			sources = append(sources, newTableSource(t, lower))
 		}
 	}
 	return &dbIterator{
-		db:     db,
-		merged: newMergeIterator(sources),
-		prefix: append([]byte(nil), prefix...),
+		db:      db,
+		merged:  newMergeIterator(sources),
+		prefix:  append([]byte(nil), prefix...),
+		readers: readers,
 	}
 }
 
 // dbIterator adapts mergeIterator to kv.Iterator, hiding tombstones and
 // enforcing the prefix bound.
 type dbIterator struct {
-	db     *DB
-	merged *mergeIterator
-	prefix []byte
-	key    []byte
-	value  []byte
-	done   bool
+	db       *DB
+	merged   *mergeIterator
+	prefix   []byte
+	key      []byte
+	value    []byte
+	done     bool
+	released bool
+	readers  []*tableReader // table references released at Release
 }
 
 func (it *dbIterator) Next() bool {
@@ -1002,7 +1063,27 @@ func (it *dbIterator) Next() bool {
 
 func (it *dbIterator) Key() []byte   { return it.key }
 func (it *dbIterator) Value() []byte { return it.value }
-func (it *dbIterator) Release()      {}
+
+// Release drops the iterator's table references (idempotent); files a
+// compaction obsoleted mid-scan close here on the last reference. The
+// scan's disk fetches land in the physical-read counter here — block-cache
+// hits cost zero, so a fully cached scan adds nothing.
+func (it *dbIterator) Release() {
+	if !it.released {
+		it.released = true
+		var read uint64
+		for _, s := range it.merged.sources {
+			if ts, ok := s.(*tableSource); ok {
+				read += uint64(ts.bytesConsumed())
+			}
+		}
+		it.db.stats.physicalBytesRead.Add(read)
+	}
+	for _, t := range it.readers {
+		t.unref()
+	}
+	it.readers = nil
+}
 
 // Error surfaces corruption detected mid-scan. A scan that stopped early
 // because a table's block framing was broken reports it here rather than
@@ -1107,7 +1188,7 @@ func (b *dbBatch) Replay(w kv.Writer) error {
 
 // Stats implements kv.StatsProvider.
 func (db *DB) Stats() kv.Stats {
-	return kv.Stats{
+	s := kv.Stats{
 		Gets:                db.stats.gets.Load(),
 		Puts:                db.stats.puts.Load(),
 		Deletes:             db.stats.deletes.Load(),
@@ -1123,7 +1204,16 @@ func (db *DB) Stats() kv.Stats {
 		WriteStallNanos:     db.stats.writeStallNanos.Load(),
 		IORetries:           db.stats.ioRetries.Load(),
 		Degraded:            db.stats.degraded.Load(),
+		BloomNegatives:      db.stats.bloomNegatives.Load(),
+		BloomFalsePositives: db.stats.bloomFalsePositives.Load(),
 	}
+	if db.cache != nil {
+		s.BlockCacheHits = db.cache.hits.Load()
+		s.BlockCacheMisses = db.cache.misses.Load()
+		s.BlockCacheEvictions = db.cache.evictions.Load()
+		s.BlockCachePinnedBytes = uint64(db.cache.pinnedBytes())
+	}
+	return s
 }
 
 // LevelSizes returns per-level table counts and byte sizes, for diagnostics.
@@ -1160,6 +1250,14 @@ func (db *DB) Close() error {
 	db.mu.Unlock()
 	close(db.bgC)
 	db.bgWG.Wait()
+	// Drop the open map's table references; outstanding iterators keep
+	// theirs and the handles close on their Release.
+	db.openMu.Lock()
+	for num, t := range db.open {
+		delete(db.open, num)
+		t.unref()
+	}
+	db.openMu.Unlock()
 	if db.wal != nil {
 		if werr := db.wal.close(); err == nil {
 			err = werr

@@ -119,23 +119,27 @@ func TestSkiplistModelProperty(t *testing.T) {
 }
 
 func TestBloomFilter(t *testing.T) {
-	f := newBloomFilter(1000)
-	for i := 0; i < 1000; i++ {
-		f.add([]byte(fmt.Sprintf("key-%d", i)))
-	}
-	for i := 0; i < 1000; i++ {
-		if !f.mayContain([]byte(fmt.Sprintf("key-%d", i))) {
-			t.Fatalf("false negative for key-%d", i)
+	// Both probe hashes must hold the filter contract: the fast v2 hash and
+	// the keccak v1 hash old tables still carry.
+	for _, fast := range []bool{true, false} {
+		f := newBloomFilter(1000, fast)
+		for i := 0; i < 1000; i++ {
+			f.add([]byte(fmt.Sprintf("key-%d", i)))
 		}
-	}
-	fp := 0
-	for i := 0; i < 10000; i++ {
-		if f.mayContain([]byte(fmt.Sprintf("absent-%d", i))) {
-			fp++
+		for i := 0; i < 1000; i++ {
+			if !f.mayContain([]byte(fmt.Sprintf("key-%d", i))) {
+				t.Fatalf("fast=%v: false negative for key-%d", fast, i)
+			}
 		}
-	}
-	if rate := float64(fp) / 10000; rate > 0.05 {
-		t.Fatalf("false positive rate %.3f too high", rate)
+		fp := 0
+		for i := 0; i < 10000; i++ {
+			if f.mayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+				fp++
+			}
+		}
+		if rate := float64(fp) / 10000; rate > 0.05 {
+			t.Fatalf("fast=%v: false positive rate %.3f too high", fast, rate)
+		}
 	}
 }
 
@@ -156,10 +160,11 @@ func TestSSTableRoundTrip(t *testing.T) {
 	if string(meta.smallest) != "key-0000" || string(meta.largest) != "key-0499" {
 		t.Fatalf("bounds %q..%q", meta.smallest, meta.largest)
 	}
-	r, err := openTable(faultfs.OS, dir, meta)
+	r, err := openTable(faultfs.OS, dir, meta, nil, nil, noRetry)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer r.unref()
 	for i, e := range ents {
 		v, found, deleted, _, err := r.get(e.key)
 		if err != nil {
@@ -209,7 +214,7 @@ func TestSSTableCorruption(t *testing.T) {
 	raw, _ := os.ReadFile(path)
 	raw[len(raw)-1] ^= 0xff // corrupt magic
 	os.WriteFile(path, raw, 0o644)
-	if _, err := openTable(faultfs.OS, dir, meta); !errors.Is(err, errTableCorrupt) {
+	if _, err := openTable(faultfs.OS, dir, meta, nil, nil, noRetry); !errors.Is(err, errTableCorrupt) {
 		t.Fatalf("want corrupt error, got %v", err)
 	}
 }

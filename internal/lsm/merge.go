@@ -67,6 +67,15 @@ func newTableSource(t *tableReader, start []byte) *tableSource {
 	return s
 }
 
+// newTableSourceBypass is the compaction variant: the walk streams through
+// private readahead only, never consulting or populating the shared block
+// cache, so a background merge cannot evict the hot point-read set.
+func newTableSourceBypass(t *tableReader, start []byte) *tableSource {
+	s := &tableSource{it: t.iteratorOpts(start, false)}
+	s.advance()
+	return s
+}
+
 func (s *tableSource) peek() (entry, bool) { return s.cur, s.ok }
 
 // err surfaces block-framing corruption detected by the table iterator.

@@ -48,6 +48,12 @@ func (db *DB) RegisterMetrics(r *obs.Registry, labels ...string) {
 		defer db.openMu.Unlock()
 		return float64(len(db.open))
 	})
+	r.GaugeFunc(obs.Name("ethkv_lsm_block_cache_bytes", labels...), func() float64 {
+		return float64(db.cache.usedBytes())
+	})
+	r.GaugeFunc(obs.Name("ethkv_lsm_block_cache_capacity_bytes", labels...), func() float64 {
+		return float64(db.cache.capacityBytes())
+	})
 }
 
 // levelShape returns the table count and total bytes of one level.

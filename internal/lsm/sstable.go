@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"sort"
+	"sync/atomic"
 
 	"ethkv/internal/faultfs"
 )
@@ -15,22 +17,45 @@ import (
 //
 //	data block 0 | data block 1 | ... | index block | bloom block | footer
 //
+// Format v2 (current): every data block, the index block, and the bloom
+// block carry a crc32(payload) trailer appended to the payload; index and
+// footer extents cover payload+trailer. A bit flip anywhere in a block is
+// detected by the checksum at read time, not just by entry-framing luck.
+// Format v1 (still readable) has no per-section checksums and hashes bloom
+// probes with Keccak-256; the footer magic selects the format.
+//
 // Each data block holds consecutive entries:
 //
 //	flags byte (bit0 = tombstone) | keyLen uvarint | key | valueLen uvarint | value
 //
 // The index block records, per data block: lastKeyLen uvarint | lastKey |
-// offset uvarint | length uvarint. Point lookups binary-search the index by
-// last key, read one data block, and scan it linearly.
+// offset uvarint | length uvarint (length spans the stored extent,
+// including the v2 checksum trailer). Point lookups binary-search the
+// index by last key, fetch one data block — through the shared block cache
+// — and scan it linearly.
 //
-// The footer is fixed-size:
+// The footer is fixed-size and identical across formats:
 //
 //	indexOff u64 | indexLen u64 | bloomOff u64 | bloomLen u64 | bloomK u32 |
 //	entryCount u64 | crc32-of-footer-prefix u32 | magic u64
 const (
-	footerSize  = 8*5 + 4 + 4 + 8
-	tableMagic  = 0x657468_6b760001 // "ethkv" + version
-	targetBlock = 4 << 10           // 4 KiB data blocks
+	footerSize   = 8*5 + 4 + 4 + 8
+	tableMagicV1 = 0x657468_6b760001 // "ethkv" + version 1: no section CRCs, keccak bloom
+	tableMagicV2 = 0x657468_6b760002 // version 2: CRC32 trailers, fast bloom hash
+	targetBlock  = 4 << 10           // 4 KiB data blocks
+	blockCRCSize = 4                 // crc32 trailer appended to each v2 section
+
+	// readaheadBytes is the span one iterator fetch covers: sequential
+	// scans and compactions read runs of contiguous blocks in one ReadAt
+	// into a private buffer instead of thrashing the block cache.
+	readaheadBytes = 256 << 10
+)
+
+// Table formats accepted by the reader; the writer emits v2. Tests use
+// writeTableFormat to produce v1 images with the real writer code.
+const (
+	tableFormatV1 = 1
+	tableFormatV2 = 2
 )
 
 // errTableCorrupt marks structural damage detected while opening or reading
@@ -52,37 +77,56 @@ func tablePath(dir string, num uint64) string {
 	return fmt.Sprintf("%s/%06d.sst", dir, num)
 }
 
-// writeTable persists sorted entries to an SSTable file and returns its
-// metadata. Entries must be strictly ascending by key. The file is synced
-// before writeTable returns — table installs (and the WAL deletions that
-// follow them) may only happen once the table is crash-durable — and
-// write, sync, and close errors all propagate.
+// writeTable persists sorted entries to an SSTable file (current format)
+// and returns its metadata. Entries must be strictly ascending by key. The
+// file is synced before writeTable returns — table installs (and the WAL
+// deletions that follow them) may only happen once the table is
+// crash-durable — and write, sync, and close errors all propagate.
 func writeTable(fsys faultfs.FS, dir string, num uint64, level int, ents []entry) (tableMeta, error) {
+	return writeTableFormat(fsys, dir, num, level, ents, tableFormatV2)
+}
+
+// writeTableFormat is writeTable with an explicit format selector, so
+// compatibility tests can produce v1 images through the real writer.
+func writeTableFormat(fsys faultfs.FS, dir string, num uint64, level int, ents []entry, format int) (tableMeta, error) {
 	if len(ents) == 0 {
 		return tableMeta{}, errors.New("lsm: refusing to write empty table")
 	}
+	withCRC := format >= tableFormatV2
 	var (
-		buf       bytes.Buffer
-		block     bytes.Buffer
-		indexBuf  bytes.Buffer
-		lastKey   []byte
-		blockOff  uint64
-		scratch   [binary.MaxVarintLen64]byte
-		putUvar   = func(dst *bytes.Buffer, v uint64) { dst.Write(scratch[:binary.PutUvarint(scratch[:], v)]) }
+		buf      bytes.Buffer
+		block    bytes.Buffer
+		indexBuf bytes.Buffer
+		lastKey  []byte
+		blockOff uint64
+		scratch  [binary.MaxVarintLen64]byte
+		putUvar  = func(dst *bytes.Buffer, v uint64) { dst.Write(scratch[:binary.PutUvarint(scratch[:], v)]) }
+		// appendSection writes payload (plus the v2 checksum trailer) to buf
+		// and returns the stored extent length.
+		appendSection = func(payload []byte) uint64 {
+			buf.Write(payload)
+			if !withCRC {
+				return uint64(len(payload))
+			}
+			var crc [blockCRCSize]byte
+			binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+			buf.Write(crc[:])
+			return uint64(len(payload) + blockCRCSize)
+		}
 		flushBlok = func() {
 			if block.Len() == 0 {
 				return
 			}
+			extent := appendSection(block.Bytes())
 			putUvar(&indexBuf, uint64(len(lastKey)))
 			indexBuf.Write(lastKey)
 			putUvar(&indexBuf, blockOff)
-			putUvar(&indexBuf, uint64(block.Len()))
-			blockOff += uint64(block.Len())
-			buf.Write(block.Bytes())
+			putUvar(&indexBuf, extent)
+			blockOff += extent
 			block.Reset()
 		}
 	)
-	bloom := newBloomFilter(len(ents))
+	bloom := newBloomFilter(len(ents), withCRC)
 	for _, e := range ents {
 		flags := byte(0)
 		if e.tombstone {
@@ -102,19 +146,23 @@ func writeTable(fsys faultfs.FS, dir string, num uint64, level int, ents []entry
 	flushBlok()
 
 	indexOff := uint64(buf.Len())
-	buf.Write(indexBuf.Bytes())
+	indexLen := appendSection(indexBuf.Bytes())
 	bloomOff := uint64(buf.Len())
-	buf.Write(bloom.bits)
+	bloomLen := appendSection(bloom.bits)
 
+	magic := uint64(tableMagicV2)
+	if !withCRC {
+		magic = tableMagicV1
+	}
 	var footer [footerSize]byte
 	binary.LittleEndian.PutUint64(footer[0:], indexOff)
-	binary.LittleEndian.PutUint64(footer[8:], uint64(indexBuf.Len()))
+	binary.LittleEndian.PutUint64(footer[8:], indexLen)
 	binary.LittleEndian.PutUint64(footer[16:], bloomOff)
-	binary.LittleEndian.PutUint64(footer[24:], uint64(len(bloom.bits)))
+	binary.LittleEndian.PutUint64(footer[24:], bloomLen)
 	binary.LittleEndian.PutUint32(footer[32:], uint32(bloom.k))
 	binary.LittleEndian.PutUint64(footer[36:], uint64(len(ents)))
 	binary.LittleEndian.PutUint32(footer[44:], crc32.ChecksumIEEE(footer[:44]))
-	binary.LittleEndian.PutUint64(footer[48:], tableMagic)
+	binary.LittleEndian.PutUint64(footer[48:], magic)
 	buf.Write(footer[:])
 
 	path := tablePath(dir, num)
@@ -131,44 +179,123 @@ func writeTable(fsys faultfs.FS, dir string, num uint64, level int, ents []entry
 	}, nil
 }
 
-// indexEntry locates one data block.
+// indexEntry locates one data block's stored extent (payload plus the v2
+// checksum trailer).
 type indexEntry struct {
 	lastKey []byte
 	offset  uint64
 	length  uint64
 }
 
-// tableReader serves point and range reads from one SSTable. The whole file
-// is mapped into memory on open (tables are small at simulator scale); the
-// bytesRead counter still accounts each block access so amplification
-// numbers remain meaningful.
+// tableReader serves point and range reads from one SSTable by demand
+// paging: only the index and bloom sections are resident (pinned for the
+// reader's lifetime); data blocks are fetched individually through the
+// shared block cache, so a store much larger than memory stays readable
+// within the cache budget.
+//
+// Readers are reference-counted. The DB's open map holds one reference;
+// every in-flight consumer (Get, iterator, compaction) takes its own, so a
+// compaction deleting the file under a live scan is safe: the OS keeps
+// unlinked files readable through open descriptors (MemFS handles hold a
+// snapshot), and the last unref closes the handle and purges the table's
+// cached blocks.
 type tableReader struct {
-	meta  tableMeta
-	data  []byte
-	index []indexEntry
-	bloom *bloomFilter
+	meta   tableMeta
+	src    io.ReaderAt
+	closer func() error // nil for byte-backed readers
+	size   int64
+	index  []indexEntry
+	bloom  *bloomFilter
+	hasCRC bool // v2: per-section crc32 trailers
+	cache  *blockCache
+	stats  *dbStats // bloom effectiveness counters; nil for unit readers
+	retry  retryFn
+	pinned int64 // index+bloom bytes accounted against the cache
+	refs   atomic.Int32
 }
 
-// openTable reads and validates the SSTable file for meta.
-func openTable(fsys faultfs.FS, dir string, meta tableMeta) (*tableReader, error) {
-	data, err := fsys.ReadFile(tablePath(dir, meta.num))
-	if err != nil {
+// passRetry is the identity retry policy for readers outside a DB (fuzz
+// and unit constructions).
+func passRetry(op func() error) error { return op() }
+
+// ref takes one reference.
+func (t *tableReader) ref() { t.refs.Add(1) }
+
+// unref releases one reference; the last release closes the file handle
+// and drops the table's cache footprint.
+func (t *tableReader) unref() {
+	if t.refs.Add(-1) > 0 {
+		return
+	}
+	if t.closer != nil {
+		t.closer()
+	}
+	t.cache.dropTable(t.meta.num)
+	t.cache.addPinned(-t.pinned)
+}
+
+// openTable opens the SSTable file for meta and validates its footer,
+// index, and bloom sections (the only parts read eagerly). Individual
+// reads go through retry so transient faults are absorbed by the store's
+// backoff policy.
+func openTable(fsys faultfs.FS, dir string, meta tableMeta, cache *blockCache, stats *dbStats, retry retryFn) (*tableReader, error) {
+	if retry == nil {
+		retry = passRetry
+	}
+	path := tablePath(dir, meta.num)
+	var f faultfs.File
+	if err := retry(func() error {
+		var err error
+		f, err = fsys.Open(path)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	return newTableReader(data, meta)
+	var size int64
+	if err := retry(func() error {
+		var err error
+		size, err = f.Size()
+		return err
+	}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	t, err := openTableReader(f, f.Close, size, meta, cache, stats, retry)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
 }
 
-// newTableReader validates an SSTable image and builds a reader over it.
-// Every structural field is bounds-checked before use: arbitrary (fuzzed,
-// torn, bit-flipped) input must produce errTableCorrupt, never a panic or
-// an out-of-range access.
+// newTableReader builds a reader over an in-memory SSTable image — the
+// byte-backed constructor fuzz targets and corruption tests use. No cache,
+// no retry policy.
 func newTableReader(data []byte, meta tableMeta) (*tableReader, error) {
-	dlen := uint64(len(data))
-	if dlen < footerSize {
+	return openTableReader(bytes.NewReader(data), nil, int64(len(data)), meta, nil, nil, passRetry)
+}
+
+// openTableReader validates an SSTable through its positional-read source
+// and builds a reader. Every structural field is bounds-checked before
+// use: arbitrary (fuzzed, torn, bit-flipped) input must produce
+// errTableCorrupt, never a panic or an out-of-range access.
+func openTableReader(src io.ReaderAt, closer func() error, size int64, meta tableMeta, cache *blockCache, stats *dbStats, retry retryFn) (*tableReader, error) {
+	t := &tableReader{
+		meta: meta, src: src, closer: closer, size: size,
+		cache: cache, stats: stats, retry: retry,
+	}
+	if size < footerSize {
 		return nil, fmt.Errorf("%w: file shorter than footer", errTableCorrupt)
 	}
-	footer := data[len(data)-footerSize:]
-	if binary.LittleEndian.Uint64(footer[48:]) != tableMagic {
+	var footer [footerSize]byte
+	if err := t.readAt(footer[:], size-footerSize); err != nil {
+		return nil, err
+	}
+	switch binary.LittleEndian.Uint64(footer[48:]) {
+	case tableMagicV2:
+		t.hasCRC = true
+	case tableMagicV1:
+	default:
 		return nil, fmt.Errorf("%w: bad magic", errTableCorrupt)
 	}
 	if crc32.ChecksumIEEE(footer[:44]) != binary.LittleEndian.Uint32(footer[44:]) {
@@ -181,6 +308,7 @@ func newTableReader(data []byte, meta tableMeta) (*tableReader, error) {
 	bloomK := int(binary.LittleEndian.Uint32(footer[32:]))
 	// Overflow-safe section bounds: compare lengths against the remainder,
 	// never the sum of two attacker-controlled u64s.
+	dlen := uint64(size)
 	if indexOff > dlen || indexLen > dlen-indexOff ||
 		bloomOff > dlen || bloomLen > dlen-bloomOff {
 		return nil, fmt.Errorf("%w: section out of range", errTableCorrupt)
@@ -190,22 +318,109 @@ func newTableReader(data []byte, meta tableMeta) (*tableReader, error) {
 	}
 
 	// Data blocks live strictly before the index block.
-	index, err := parseIndex(data[indexOff:indexOff+indexLen], indexOff)
+	indexRaw, err := t.readSection(indexOff, indexLen, "index")
 	if err != nil {
 		return nil, err
 	}
-	return &tableReader{
-		meta:  meta,
-		data:  data,
-		index: index,
-		bloom: bloomFromBytes(data[bloomOff:bloomOff+bloomLen], bloomK),
-	}, nil
+	t.index, err = parseIndex(indexRaw, indexOff, t.hasCRC)
+	if err != nil {
+		return nil, err
+	}
+	bloomBits, err := t.readSection(bloomOff, bloomLen, "bloom")
+	if err != nil {
+		return nil, err
+	}
+	t.bloom = bloomFromBytes(bloomBits, bloomK, t.hasCRC)
+	// Index and bloom stay pinned for the reader's lifetime; account them
+	// so observability reports the true memory footprint.
+	t.pinned = int64(indexLen + bloomLen)
+	t.cache.addPinned(t.pinned)
+	t.refs.Store(1)
+	return t, nil
+}
+
+// readAt fills p from offset off, retrying transient faults. A short read
+// (a truncated file) surfaces as errTableCorrupt.
+func (t *tableReader) readAt(p []byte, off int64) error {
+	return t.retry(func() error {
+		n, err := t.src.ReadAt(p, off)
+		if n == len(p) {
+			return nil
+		}
+		if err == nil || errors.Is(err, io.EOF) {
+			return fmt.Errorf("%w: short read (%d of %d bytes at %d)", errTableCorrupt, n, len(p), off)
+		}
+		return err
+	})
+}
+
+// readSection fetches one pinned section (index or bloom) and, on v2
+// tables, verifies and strips its checksum trailer.
+func (t *tableReader) readSection(off, length uint64, what string) ([]byte, error) {
+	buf := make([]byte, length)
+	if err := t.readAt(buf, int64(off)); err != nil {
+		return nil, err
+	}
+	if !t.hasCRC {
+		return buf, nil
+	}
+	if length < blockCRCSize {
+		return nil, fmt.Errorf("%w: %s shorter than checksum", errTableCorrupt, what)
+	}
+	payload := buf[:length-blockCRCSize]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[length-blockCRCSize:]) {
+		return nil, fmt.Errorf("%w: %s checksum", errTableCorrupt, what)
+	}
+	return payload, nil
+}
+
+// blockPayload verifies extent's checksum trailer (v2) and returns the
+// entry payload. A bit flip anywhere in the stored block fails here with
+// errTableCorrupt — corruption can never be served as data.
+func (t *tableReader) blockPayload(extent []byte, blockIdx int) ([]byte, error) {
+	if !t.hasCRC {
+		return extent, nil
+	}
+	// parseIndex guarantees v2 extents exceed the trailer size.
+	payload := extent[:len(extent)-blockCRCSize]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(extent[len(extent)-blockCRCSize:]) {
+		return nil, fmt.Errorf("%w: block checksum (table %06d, block %d)",
+			errTableCorrupt, t.meta.num, blockIdx)
+	}
+	return payload, nil
+}
+
+// readBlock returns the payload of data block i. useCache selects the
+// shared-cache path (point reads): a hit costs no I/O, a miss fetches the
+// extent and inserts the verified payload. diskBytes reports the bytes
+// actually fetched from the file — 0 on a cache hit — so physical-read
+// accounting reflects true I/O, not logical block touches.
+func (t *tableReader) readBlock(i int, useCache bool) (payload []byte, diskBytes int, err error) {
+	if useCache {
+		if b, ok := t.cache.get(t.meta.num, i); ok {
+			return b, 0, nil
+		}
+	}
+	blk := t.index[i]
+	buf := make([]byte, blk.length)
+	if err := t.readAt(buf, int64(blk.offset)); err != nil {
+		return nil, 0, err
+	}
+	payload, err = t.blockPayload(buf, i)
+	if err != nil {
+		return nil, int(blk.length), err
+	}
+	if useCache {
+		t.cache.put(t.meta.num, i, payload)
+	}
+	return payload, int(blk.length), nil
 }
 
 // parseIndex decodes the index block. dataLimit is the exclusive upper
 // bound for block extents (the index's own offset): every referenced data
-// block must lie entirely within [0, dataLimit).
-func parseIndex(raw []byte, dataLimit uint64) ([]indexEntry, error) {
+// block must lie entirely within [0, dataLimit). withCRC additionally
+// requires each extent to exceed the checksum trailer.
+func parseIndex(raw []byte, dataLimit uint64, withCRC bool) ([]indexEntry, error) {
 	var index []indexEntry
 	for len(raw) > 0 {
 		klen, n := binary.Uvarint(raw)
@@ -228,9 +443,12 @@ func parseIndex(raw []byte, dataLimit uint64) ([]indexEntry, error) {
 		if off > dataLimit || length > dataLimit-off {
 			return nil, fmt.Errorf("%w: block extent out of range", errTableCorrupt)
 		}
+		if withCRC && length <= blockCRCSize {
+			return nil, fmt.Errorf("%w: block extent shorter than checksum", errTableCorrupt)
+		}
 		// Structural monotonicity: blocks ascend by last key and do not
 		// overlap. Catches shuffled or duplicated index entries cheaply;
-		// block payloads themselves are only validated by their framing.
+		// block payloads are then guarded by their own checksums (v2).
 		if n := len(index); n > 0 {
 			prev := index[n-1]
 			if bytes.Compare(key, prev.lastKey) <= 0 || off < prev.offset+prev.length {
@@ -242,11 +460,17 @@ func parseIndex(raw []byte, dataLimit uint64) ([]indexEntry, error) {
 	return index, nil
 }
 
-// get looks up key. bytesRead reports the block bytes touched, so the DB can
-// account physical read I/O. A block whose framing is damaged surfaces
-// errTableCorrupt — a corrupt block must not masquerade as key-not-found.
+// get looks up key. bytesRead reports bytes fetched from disk (0 when the
+// block was cached), so the DB accounts physical read I/O. A block whose
+// checksum or framing is damaged surfaces errTableCorrupt — a corrupt
+// block must not masquerade as key-not-found. Bloom effectiveness is
+// counted on the way: negatives that skip the table entirely, and false
+// positives where the filter passed but the block held no match.
 func (t *tableReader) get(key []byte) (value []byte, found, deleted bool, bytesRead int, err error) {
 	if !t.bloom.mayContain(key) {
+		if t.stats != nil {
+			t.stats.bloomNegatives.Add(1)
+		}
 		return nil, false, false, 0, nil
 	}
 	// Binary search the first block whose last key >= key.
@@ -254,11 +478,15 @@ func (t *tableReader) get(key []byte) (value []byte, found, deleted bool, bytesR
 		return bytes.Compare(t.index[i].lastKey, key) >= 0
 	})
 	if i == len(t.index) {
+		if t.stats != nil {
+			t.stats.bloomFalsePositives.Add(1)
+		}
 		return nil, false, false, 0, nil
 	}
-	blk := t.index[i]
-	block := t.data[blk.offset : blk.offset+blk.length]
-	bytesRead = len(block)
+	block, bytesRead, err := t.readBlock(i, true)
+	if err != nil {
+		return nil, false, false, bytesRead, err
+	}
 	err = walkBlock(block, func(ent entry) bool {
 		c := bytes.Compare(ent.key, key)
 		if c == 0 {
@@ -268,7 +496,11 @@ func (t *tableReader) get(key []byte) (value []byte, found, deleted bool, bytesR
 		return c < 0
 	})
 	if err != nil {
-		err = fmt.Errorf("%w: table %06d block at %d", err, t.meta.num, blk.offset)
+		err = fmt.Errorf("%w: table %06d block at %d", err, t.meta.num, t.index[i].offset)
+		return nil, false, false, bytesRead, err
+	}
+	if !found && t.stats != nil {
+		t.stats.bloomFalsePositives.Add(1)
 	}
 	return value, found, deleted, bytesRead, err
 }
@@ -302,24 +534,42 @@ func walkBlock(block []byte, yield func(entry) bool) error {
 }
 
 // tableIterator walks the full table in key order, including tombstones.
-// Damaged block framing latches err and ends the walk: a scan over a
-// corrupt table yields a clean prefix and a non-nil error, never a silently
-// truncated result.
+// Blocks stream through a private readahead buffer — one ReadAt covers a
+// run of contiguous extents — which is never inserted into the shared
+// cache: a sequential scan must not evict the point-read working set
+// (scan resistance). Cached blocks are still used when present
+// (checkCache); the compaction bypass walk skips the cache entirely.
+// Damaged checksums or block framing latch err and end the walk: a scan
+// over a corrupt table yields a clean prefix and a non-nil error, never a
+// silently truncated result.
 type tableIterator struct {
-	t        *tableReader
-	blockIdx int
-	block    []byte
-	cur      entry
-	valid    bool
-	pending  bool  // cur holds a seek result not yet surfaced by nextEntry
-	read     int   // block bytes consumed so far
-	err      error // first framing corruption encountered
+	t          *tableReader
+	blockIdx   int    // next block index to load
+	block      []byte // remaining payload of the current block
+	cur        entry
+	valid      bool
+	pending    bool  // cur holds a seek result not yet surfaced by nextEntry
+	read       int   // bytes fetched from disk so far (cache hits cost 0)
+	err        error // first corruption or I/O failure encountered
+	checkCache bool
+
+	ra      []byte // private readahead buffer of raw contiguous extents
+	raFirst int    // block index of the first extent in ra
+	raCount int    // extents held in ra
 }
 
-// iterator returns a fresh iterator positioned before the first entry, or
-// at the first entry with key >= start when start is non-nil.
+// iterator returns a fresh cache-aware iterator positioned before the
+// first entry, or at the first entry with key >= start when start is
+// non-nil.
 func (t *tableReader) iterator(start []byte) *tableIterator {
-	it := &tableIterator{t: t}
+	return t.iteratorOpts(start, true)
+}
+
+// iteratorOpts selects the cache policy: checkCache=false is the
+// compaction bypass — the walk neither consults nor populates the shared
+// cache, so a background merge cannot disturb the hot read set.
+func (t *tableReader) iteratorOpts(start []byte, checkCache bool) *tableIterator {
+	it := &tableIterator{t: t, checkCache: checkCache}
 	if start != nil {
 		it.blockIdx = sort.Search(len(t.index), func(i int) bool {
 			return bytes.Compare(t.index[i].lastKey, start) >= 0
@@ -359,11 +609,13 @@ func (it *tableIterator) next() bool {
 				it.valid = false
 				return false
 			}
-			blk := it.t.index[it.blockIdx]
-			it.block = it.t.data[blk.offset : blk.offset+blk.length]
-			it.read += len(it.block)
+			block, err := it.loadBlock(it.blockIdx)
+			if err != nil {
+				return it.failErr(err)
+			}
+			it.block = block
 			it.blockIdx++
-			// Re-check: a corrupt index may frame a zero-length block.
+			// Re-check: a corrupt v1 index may frame a zero-length block.
 			continue
 		}
 		flags := it.block[0]
@@ -388,10 +640,59 @@ func (it *tableIterator) next() bool {
 	}
 }
 
-// fail latches a corruption error and invalidates the cursor.
+// loadBlock returns block i's payload: from the shared cache when allowed,
+// else from the private readahead span, fetching the next span when the
+// current one is exhausted.
+func (it *tableIterator) loadBlock(i int) ([]byte, error) {
+	t := it.t
+	if it.checkCache {
+		if b, ok := t.cache.get(t.meta.num, i); ok {
+			return b, nil
+		}
+	}
+	if i < it.raFirst || i >= it.raFirst+it.raCount {
+		if err := it.fetchSpan(i); err != nil {
+			return nil, err
+		}
+	}
+	blk := t.index[i]
+	base := t.index[it.raFirst].offset
+	extent := it.ra[blk.offset-base : blk.offset-base+blk.length]
+	return t.blockPayload(extent, i)
+}
+
+// fetchSpan reads one readahead span of contiguous block extents starting
+// at block i into the iterator's private buffer: one positional read
+// serves many subsequent blocks.
+func (it *tableIterator) fetchSpan(i int) error {
+	t := it.t
+	start := t.index[i].offset
+	end, total := i, uint64(0)
+	for end < len(t.index) &&
+		t.index[end].offset == start+total && // corrupt v1 indexes may leave gaps
+		(end == i || total+t.index[end].length <= readaheadBytes) {
+		total += t.index[end].length
+		end++
+	}
+	buf := make([]byte, total)
+	if err := t.readAt(buf, int64(start)); err != nil {
+		return err
+	}
+	it.ra, it.raFirst, it.raCount = buf, i, end-i
+	it.read += int(total)
+	return nil
+}
+
+// fail latches a framing-corruption error and invalidates the cursor.
 func (it *tableIterator) fail(what string) bool {
-	it.err = fmt.Errorf("%w: %s (table %06d, block %d)",
-		errTableCorrupt, what, it.t.meta.num, it.blockIdx-1)
+	return it.failErr(fmt.Errorf("%w: %s (table %06d, block %d)",
+		errTableCorrupt, what, it.t.meta.num, it.blockIdx-1))
+}
+
+// failErr latches err (corruption or I/O failure) and invalidates the
+// cursor; the latch is sticky.
+func (it *tableIterator) failErr(err error) bool {
+	it.err = err
 	it.valid = false
 	it.block = nil
 	return false
