@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke cache-smoke clean
+.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke cache-smoke flat-smoke clean
 
 all: build test
 
@@ -36,16 +36,16 @@ bench:
 
 # Machine-readable benchmark snapshot: runs the paper benchmarks once and
 # writes ns/op, B/op, allocs/op, and the per-op latency percentiles
-# (BenchmarkStoreOpLatency's *-p50-ns/*-p99-ns metrics) to BENCH_5.json.
-# (BENCH_1/BENCH_2/BENCH_4 are earlier snapshots; bench-diff compares
-# across.)
+# (BenchmarkStoreOpLatency's *-p50-ns/*-p99-ns metrics) to BENCH_6.json.
+# (BENCH_1/BENCH_2/BENCH_4/BENCH_5 are earlier snapshots; bench-diff
+# compares across.)
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_5.json
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_6.json
 
 # Per-benchmark ns/op movement between the recorded snapshots, including
 # latency-percentile delta rows for benchmarks that report them.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_4.json BENCH_5.json
+	$(GO) run ./cmd/benchjson -diff BENCH_5.json BENCH_6.json
 
 # Short fuzz passes over the binary decoders.
 fuzz:
@@ -57,6 +57,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzSSTableOpen -fuzztime=10s ./internal/lsm/
 	$(GO) test -run=NONE -fuzz=FuzzSSTableScan -fuzztime=10s ./internal/lsm/
 	$(GO) test -run=NONE -fuzz=FuzzBlockRead -fuzztime=10s ./internal/lsm/
+	$(GO) test -run=NONE -fuzz=FuzzFlatEntryReplay -fuzztime=10s ./internal/flatstore/
 
 vet:
 	$(GO) vet ./...
@@ -100,6 +101,24 @@ obs-smoke:
 	done; \
 	echo "obs-smoke: FAILED (series never appeared)"; \
 	cat $(OBS_SMOKE_DIR)/replay.log; kill $$pid 2>/dev/null; exit 1
+
+# Flat-backend smoke test: collect a golden trace once, replay it through
+# the LSM and through the single-seek flat store, and require the two
+# post-state census files (Table I + order-independent content digest) to
+# be byte-identical. Catches any divergence between the storage designs on
+# a real workload end-to-end.
+FLAT_SMOKE_DIR ?= /tmp/ethkv-flat-smoke
+flat-smoke:
+	rm -rf $(FLAT_SMOKE_DIR) && mkdir -p $(FLAT_SMOKE_DIR)
+	$(GO) run ./cmd/tracegen -dir $(FLAT_SMOKE_DIR)/traces -blocks 40 -mode bare \
+		-accounts 2000 -contracts 200 -tx 60
+	$(GO) build -o $(FLAT_SMOKE_DIR)/replaybench ./cmd/replaybench
+	$(FLAT_SMOKE_DIR)/replaybench -trace $(FLAT_SMOKE_DIR)/traces/BareTrace/BareTrace.bin \
+		-backend lsm -census $(FLAT_SMOKE_DIR)/census-lsm.txt
+	$(FLAT_SMOKE_DIR)/replaybench -trace $(FLAT_SMOKE_DIR)/traces/BareTrace/BareTrace.bin \
+		-backend flat -census $(FLAT_SMOKE_DIR)/census-flat.txt
+	cmp $(FLAT_SMOKE_DIR)/census-lsm.txt $(FLAT_SMOKE_DIR)/census-flat.txt \
+		&& echo "flat-smoke: census byte-identical across backends"
 
 clean:
 	rm -rf artifacts traces

@@ -32,9 +32,9 @@ func main() {
 		seed      = flag.Int64("seed", 42, "workload RNG seed")
 		outDir    = flag.String("out", "", "also write the artifact-layout output tree to this directory")
 		workers   = flag.Int("import-workers", 0, "import pipeline fan-out (0 = ETHKV_IMPORT_WORKERS or GOMAXPROCS, 1 = sequential)")
-		useLSM    = flag.Bool("lsm", false, "back both runs with the on-disk LSM store instead of the in-memory reference store")
+		backend   = flag.String("backend", "mem", "storage backend for both runs: mem, lsm, flat, hash, or log")
 
-		blockCacheMB = flag.Int("block-cache-mb", 0, "LSM block cache budget in MiB (0 = store default, negative disables; only with -lsm)")
+		blockCacheMB = flag.Int("block-cache-mb", 0, "LSM block cache budget in MiB (0 = store default, negative disables; -backend lsm only)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address during the run; empty disables")
 	)
 	flag.Parse()
@@ -64,20 +64,28 @@ func main() {
 	}
 	bare, cached, err := lab.RunBothConfigs(
 		lab.Config{Mode: lab.Bare, Blocks: *blocks, Workload: workload, ImportWorkers: *workers,
-			UseLSM: *useLSM, BlockCacheBytes: cacheBytes, Metrics: registry},
+			Backend: *backend, BlockCacheBytes: cacheBytes, Metrics: registry},
 		lab.Config{Mode: lab.Cached, Blocks: *blocks, Workload: workload, ImportWorkers: *workers,
-			UseLSM: *useLSM, BlockCacheBytes: cacheBytes, Metrics: registry})
+			Backend: *backend, BlockCacheBytes: cacheBytes, Metrics: registry})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("   BareTrace: %d ops   CacheTrace: %d ops   (%.1fs)\n",
 		len(bare.Ops), len(cached.Ops), time.Since(start).Seconds())
-	if *useLSM {
+	if *backend == "lsm" {
 		for _, r := range []*lab.Result{bare, cached} {
 			st := r.KVStats
 			fmt.Printf("   %s lsm: block cache %d hits / %d misses (%.1f%% hit rate), bloom %d negatives / %d false positives\n",
 				r.Mode, st.BlockCacheHits, st.BlockCacheMisses, 100*st.BlockCacheHitRate(),
 				st.BloomNegatives, st.BloomFalsePositives)
+		}
+	} else if *backend == "flat" {
+		for _, r := range []*lab.Result{bare, cached} {
+			st := r.KVStats
+			fmt.Printf("   %s flat: %d gets, %d positioned reads (incl. scans), %.1f MiB live / %.1f MiB dead, %d compactions\n",
+				r.Mode, st.Gets, st.PhysicalReadOps,
+				float64(st.LiveDataBytes)/(1<<20), float64(st.DeadDataBytes)/(1<<20),
+				st.CompactionCount)
 		}
 	}
 	fmt.Println()

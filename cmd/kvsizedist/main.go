@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	dbDir := flag.String("db", "", "LSM database directory (from tracegen -lsm)")
+	dbDir := flag.String("db", "", "LSM database directory (from tracegen -backend lsm)")
 	flag.Parse()
 	if *dbDir == "" {
 		log.Fatal("usage: kvsizedist -db <lsm dir>")

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,12 +27,15 @@ import (
 	"strings"
 	"time"
 
+	"ethkv/internal/analysis"
+	"ethkv/internal/flatstore"
 	"ethkv/internal/hashstore"
 	"ethkv/internal/hybrid"
 	"ethkv/internal/kv"
 	"ethkv/internal/logstore"
 	"ethkv/internal/lsm"
 	"ethkv/internal/obs"
+	"ethkv/internal/report"
 	"ethkv/internal/trace"
 )
 
@@ -41,15 +46,16 @@ const progressChunk = 200_000
 func main() {
 	var (
 		tracePath   = flag.String("trace", "", "trace file to replay")
-		backend     = flag.String("backend", "lsm", "storage backend: lsm, hash, log, lazy, or hybrid")
+		backend     = flag.String("backend", "lsm", "storage backend: lsm, flat, hash, log, lazy, or hybrid")
 		dir         = flag.String("dir", "", "working directory (default: temp)")
+		censusPath  = flag.String("census", "", "after the replay, write a post-state census (Table I plus an order-independent content digest) to this file; byte-identical across backends iff the stores hold identical data")
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8321); empty disables")
 		metricsHold  = flag.Duration("metrics-hold", 0, "keep the metrics server up this long after the replay finishes (for scraping/profiling a finished run)")
 		blockCacheMB = flag.Int("block-cache-mb", 0, "LSM block cache budget in MiB (0 = store default, negative disables; lsm/lazy/hybrid backends)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
-		log.Fatal("usage: replaybench -trace <file> -backend <lsm|hash|log|lazy|hybrid>")
+		log.Fatal("usage: replaybench -trace <file> -backend <lsm|flat|hash|log|lazy|hybrid>")
 	}
 
 	workDir := *dir
@@ -114,6 +120,12 @@ func main() {
 			st.BlockCacheEvictions, float64(st.BlockCachePinnedBytes)/(1<<10))
 		fmt.Printf("bloom: %d negatives short-circuited, %d false positives\n",
 			st.BloomNegatives, st.BloomFalsePositives)
+	}
+	if *censusPath != "" {
+		if err := writeCensus(store, *censusPath); err != nil {
+			log.Fatalf("census: %v", err)
+		}
+		fmt.Printf("census written to %s\n", *censusPath)
 	}
 	if registry != nil {
 		printLatencySummary(registry, *backend)
@@ -183,6 +195,46 @@ func printLatencySummary(registry *obs.Registry, backend string) {
 	}
 }
 
+// writeCensus dumps the post-replay state: the per-class size census
+// (Table I) plus an order-independent digest over every key/value pair
+// (XOR of per-pair SHA-256, so unordered backends hash identically to
+// ordered ones). Two backends that replayed the same trace correctly
+// produce byte-identical census files.
+func writeCensus(store kv.Store, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	dist := analysis.CollectSizeDist(store)
+	report.WriteTable1(f, dist)
+
+	var digest [sha256.Size]byte
+	var pairs uint64
+	it := store.NewIterator(nil, nil)
+	defer it.Release()
+	var lenBuf [8]byte
+	for it.Next() {
+		h := sha256.New()
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(it.Key())))
+		h.Write(lenBuf[:])
+		h.Write(it.Key())
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(it.Value())))
+		h.Write(lenBuf[:])
+		h.Write(it.Value())
+		for i, b := range h.Sum(nil) {
+			digest[i] ^= b
+		}
+		pairs++
+	}
+	if err := it.Error(); err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "pairs: %d\nstate digest: %x\n", pairs, digest)
+	return f.Close()
+}
+
 // buildBackend constructs the requested store under dir. blockCacheBytes
 // sets the LSM block-cache budget (0 = store default, negative disables).
 func buildBackend(kind, dir string, blockCacheBytes int64) (kv.Store, error) {
@@ -196,6 +248,8 @@ func buildBackend(kind, dir string, blockCacheBytes int64) (kv.Store, error) {
 	switch kind {
 	case "lsm":
 		return lsm.Open(filepath.Join(dir, "lsm"), lsmOpts)
+	case "flat":
+		return flatstore.Open(filepath.Join(dir, "flat"), flatstore.Options{})
 	case "hash":
 		return hashstore.Open(filepath.Join(dir, "hash"))
 	case "log":

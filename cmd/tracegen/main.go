@@ -28,7 +28,7 @@ func main() {
 		contracts  = flag.Int("contracts", 1500, "pre-seeded contract population")
 		txPerBlock = flag.Int("tx", 150, "transactions per block")
 		seed       = flag.Int64("seed", 42, "workload RNG seed")
-		useLSM     = flag.Bool("lsm", false, "back the run with the LSM store (persists a census-able database)")
+		backend    = flag.String("backend", "mem", "storage backend: mem, lsm, flat, hash, or log (persistent backends leave a census-able database)")
 	)
 	flag.Parse()
 
@@ -59,7 +59,7 @@ func main() {
 			Blocks:   *blocks,
 			Workload: workload,
 			Dir:      runDir,
-			UseLSM:   *useLSM,
+			Backend:  *backend,
 		})
 		if err != nil {
 			log.Fatalf("%s run failed: %v", m, err)

@@ -29,6 +29,10 @@ type File interface {
 	io.ReaderAt
 	// Sync forces written bytes to durable storage.
 	Sync() error
+	// Truncate cuts the file to size bytes. Like rename, the resulting
+	// length is treated as immediately durable (metadata journaling);
+	// recovery code uses it to discard a torn tail in place.
+	Truncate(size int64) error
 	// Close releases the handle. Close does NOT imply Sync.
 	Close() error
 	// Size returns the current logical size of the file.
@@ -69,6 +73,7 @@ func (o osFile) Read(p []byte) (int, error)            { return o.f.Read(p) }
 func (o osFile) ReadAt(p []byte, off int64) (int, error) { return o.f.ReadAt(p, off) }
 func (o osFile) Write(p []byte) (int, error)           { return o.f.Write(p) }
 func (o osFile) Sync() error                           { return o.f.Sync() }
+func (o osFile) Truncate(size int64) error             { return o.f.Truncate(size) }
 func (o osFile) Close() error                          { return o.f.Close() }
 
 func (o osFile) Size() (int64, error) {

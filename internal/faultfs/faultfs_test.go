@@ -281,3 +281,118 @@ func TestOSFSRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMemFSAppendHandleLiveReadAt pins the O_RDWR semantics flat stores
+// depend on: a positional read through the append handle sees the live file
+// — durable prefix plus volatile tail — not a stale snapshot.
+func TestMemFSAppendHandleLiveReadAt(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.OpenAppend("entries.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("durable-"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("volatile"))
+
+	buf := make([]byte, 16)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil || string(buf[:n]) != "durable-volatile" {
+		t.Fatalf("ReadAt(0) = %q, %v", buf[:n], err)
+	}
+	// Straddling the durable/volatile boundary.
+	n, err = f.ReadAt(buf[:6], 5)
+	if err != nil || string(buf[:n]) != "le-vol" {
+		t.Fatalf("ReadAt(5) = %q, %v", buf[:n], err)
+	}
+	// Past EOF: available bytes plus io.EOF, io.ReaderAt contract.
+	n, err = f.ReadAt(buf, 12)
+	if !errors.Is(err, io.EOF) || string(buf[:n]) != "tile" {
+		t.Fatalf("ReadAt(12) = %q, %v", buf[:n], err)
+	}
+	// A read handle opened now still snapshots; the append handle stays live.
+	f.Write([]byte("-more")) // volatile
+	n, err = f.ReadAt(buf[:5], 16)
+	if err != nil || string(buf[:n]) != "-more" {
+		t.Fatalf("ReadAt after second write = %q, %v", buf[:n], err)
+	}
+}
+
+// TestMemFSTruncate pins the torn-tail discard path: truncation is
+// immediately durable, whether the cut lands in the volatile tail or
+// inside the durable prefix.
+func TestMemFSTruncate(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.OpenAppend("entries.log")
+	f.Write([]byte("keepkeep"))
+	f.Sync()
+	f.Write([]byte("tornbytes"))
+
+	// Cut inside the volatile tail.
+	if err := f.Truncate(12); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := m.ReadFile("entries.log")
+	if string(raw) != "keepkeeptorn" {
+		t.Fatalf("after volatile cut: %q", raw)
+	}
+	// The cut survives a crash only for the durable part; the remaining
+	// volatile bytes still tear away.
+	m.Crash(nil)
+	raw, _ = m.ReadFile("entries.log")
+	if string(raw) != "keepkeep" {
+		t.Fatalf("post-crash: %q", raw)
+	}
+
+	// Cut inside the durable prefix: immediately durable.
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash(nil)
+	raw, _ = m.ReadFile("entries.log")
+	if string(raw) != "keep" {
+		t.Fatalf("durable cut: %q", raw)
+	}
+	// Appends continue at the new end.
+	f.Write([]byte("-tail"))
+	raw, _ = m.ReadFile("entries.log")
+	if string(raw) != "keep-tail" {
+		t.Fatalf("append after truncate: %q", raw)
+	}
+	if sz, _ := f.Size(); sz != 9 {
+		t.Fatalf("Size = %d, want 9", sz)
+	}
+}
+
+// TestInjectedTruncateIsWritePathOp proves Truncate advances the write
+// schedule (so crash points and write faults cover it) and that a faulted
+// truncate leaves the file untouched.
+func TestInjectedTruncateIsWritePathOp(t *testing.T) {
+	m := NewMemFS()
+	plan := NewPlan(7)
+	fsys := Inject(m, plan)
+	f, err := fsys.OpenAppend("x.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("0123456789"))
+	before := plan.Writes()
+	plan.SetFailWritesAfter(before + 1)
+	if err := f.Truncate(4); err == nil {
+		t.Fatal("truncate did not observe the injected fault")
+	}
+	raw, _ := m.ReadFile("x.log")
+	if string(raw) != "0123456789" {
+		t.Fatalf("failed truncate mutated the file: %q", raw)
+	}
+	plan.SetFailWritesAfter(0)
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = m.ReadFile("x.log")
+	if string(raw) != "0123" {
+		t.Fatalf("truncate after clearing fault: %q", raw)
+	}
+}

@@ -285,6 +285,13 @@ func (f *injectedFile) Sync() error {
 	return f.f.Sync()
 }
 
+func (f *injectedFile) Truncate(size int64) error {
+	if err := f.plan.beforeWrite("truncate", f.path); err != nil {
+		return err
+	}
+	return f.f.Truncate(size)
+}
+
 func (f *injectedFile) Read(p []byte) (int, error) {
 	if err := f.plan.beforeRead("read", f.path); err != nil {
 		return 0, err

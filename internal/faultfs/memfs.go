@@ -187,7 +187,9 @@ var errReadOnlyHandle = errors.New("faultfs: write on read-only handle")
 var errWriteOnlyHandle = errors.New("faultfs: read on write-only handle")
 
 // memWriteFile is an append handle: writes land in the volatile tail until
-// Sync promotes them to durable.
+// Sync promotes them to durable. Positional reads see the live file —
+// durable prefix plus volatile tail — matching an OS O_RDWR handle, so a
+// store may serve reads from the same handle it appends through.
 type memWriteFile struct {
 	fs     *MemFS
 	f      *memFile
@@ -224,7 +226,62 @@ func (w *memWriteFile) Close() error {
 
 func (w *memWriteFile) Read(p []byte) (int, error) { return 0, errWriteOnlyHandle }
 
-func (w *memWriteFile) ReadAt(p []byte, off int64) (int, error) { return 0, errWriteOnlyHandle }
+// ReadAt reads the live contents — durable prefix plus volatile tail — the
+// view a process sees through its own open handle. Semantics match
+// io.ReaderAt: a read ending past the file returns what exists and io.EOF.
+func (w *memWriteFile) ReadAt(p []byte, off int64) (int, error) {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.closed {
+		return 0, errors.New("faultfs: read on closed file")
+	}
+	if off < 0 {
+		return 0, errors.New("faultfs: negative ReadAt offset")
+	}
+	size := int64(len(w.f.durable) + len(w.f.volatile))
+	if off >= size {
+		return 0, io.EOF
+	}
+	n := 0
+	if off < int64(len(w.f.durable)) {
+		n = copy(p, w.f.durable[off:])
+	}
+	if n < len(p) {
+		volOff := off + int64(n) - int64(len(w.f.durable))
+		if volOff >= 0 && volOff < int64(len(w.f.volatile)) {
+			n += copy(p[n:], w.f.volatile[volOff:])
+		}
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Truncate cuts the live file to size. The new length is immediately
+// durable (metadata journaling, like rename): a shrink below the durable
+// prefix shortens it, and any volatile tail past size is discarded.
+func (w *memWriteFile) Truncate(size int64) error {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.closed {
+		return errors.New("faultfs: truncate on closed file")
+	}
+	if size < 0 {
+		return errors.New("faultfs: negative truncate size")
+	}
+	cur := int64(len(w.f.durable) + len(w.f.volatile))
+	if size >= cur {
+		return nil // grow-to-size is not modelled; callers only shrink
+	}
+	if size <= int64(len(w.f.durable)) {
+		w.f.durable = w.f.durable[:size]
+		w.f.volatile = nil
+		return nil
+	}
+	w.f.volatile = w.f.volatile[:size-int64(len(w.f.durable))]
+	return nil
+}
 
 func (w *memWriteFile) Size() (int64, error) {
 	w.fs.mu.Lock()
@@ -264,7 +321,8 @@ func (r *memReadFile) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
-func (r *memReadFile) Write(p []byte) (int, error) { return 0, errReadOnlyHandle }
-func (r *memReadFile) Sync() error                 { return nil }
-func (r *memReadFile) Close() error                { return nil }
-func (r *memReadFile) Size() (int64, error)        { return int64(len(r.data)), nil }
+func (r *memReadFile) Write(p []byte) (int, error)  { return 0, errReadOnlyHandle }
+func (r *memReadFile) Sync() error                  { return nil }
+func (r *memReadFile) Truncate(size int64) error    { return errReadOnlyHandle }
+func (r *memReadFile) Close() error                 { return nil }
+func (r *memReadFile) Size() (int64, error)         { return int64(len(r.data)), nil }

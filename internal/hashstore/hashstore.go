@@ -64,8 +64,12 @@ type Store struct {
 	active *segment
 	nextID uint32
 	closed bool
-	stats  kv.Stats
-	gcRuns uint64
+	// statsMu guards stats on paths that hold only mu.RLock (Get, scans):
+	// concurrent readers must not race on the counters. Write paths hold
+	// mu exclusively, which already excludes every RLock holder.
+	statsMu sync.Mutex
+	stats   kv.Stats
+	gcRuns  uint64
 }
 
 var _ kv.Store = (*Store)(nil)
@@ -322,7 +326,9 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 	if s.closed {
 		return nil, kv.ErrClosed
 	}
+	s.statsMu.Lock()
 	s.stats.Gets++
+	s.statsMu.Unlock()
 	loc, ok := s.index[string(key)]
 	if !ok {
 		return nil, kv.ErrNotFound
@@ -331,8 +337,10 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.statsMu.Lock()
 	s.stats.LogicalBytesRead += uint64(len(value))
 	s.stats.PhysicalBytesRead += uint64(loc.length)
+	s.statsMu.Unlock()
 	return value, nil
 }
 
@@ -461,7 +469,9 @@ func (s *Store) RegisterMetrics(r *obs.Registry, labels ...string) {
 func (s *Store) NewIterator(prefix, start []byte) kv.Iterator {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.statsMu.Lock()
 	s.stats.Scans++
+	s.statsMu.Unlock()
 	var keys []string
 	var values [][]byte
 	var deferred error
@@ -598,6 +608,8 @@ func (b *batch) Replay(w kv.Writer) error {
 func (s *Store) Stats() kv.Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	return s.stats
 }
 

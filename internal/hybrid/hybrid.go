@@ -132,33 +132,15 @@ func (s *Store) Close() error {
 	return err3
 }
 
-// Stats merges the backends' counters.
+// Stats merges the backends' counters. kv.Stats.Merge carries every field —
+// including counters only some backends track (live/dead value-log bytes,
+// compaction rewrites, physical read ops) — so a new counter added to
+// kv.Stats can never be silently dropped from the merged view.
 func (s *Store) Stats() kv.Stats {
 	var out kv.Stats
 	for _, b := range []kv.Store{s.ordered, s.log, s.hash} {
 		if sp, ok := b.(kv.StatsProvider); ok {
-			st := sp.Stats()
-			out.Gets += st.Gets
-			out.Puts += st.Puts
-			out.Deletes += st.Deletes
-			out.Scans += st.Scans
-			out.LogicalBytesRead += st.LogicalBytesRead
-			out.LogicalBytesWritten += st.LogicalBytesWritten
-			out.PhysicalBytesRead += st.PhysicalBytesRead
-			out.PhysicalBytesWrite += st.PhysicalBytesWrite
-			out.CompactionCount += st.CompactionCount
-			out.FlushCount += st.FlushCount
-			out.WriteStalls += st.WriteStalls
-			out.WriteStallNanos += st.WriteStallNanos
-			out.TombstonesLive += st.TombstonesLive
-			out.IORetries += st.IORetries
-			out.Degraded += st.Degraded
-			out.BlockCacheHits += st.BlockCacheHits
-			out.BlockCacheMisses += st.BlockCacheMisses
-			out.BlockCacheEvictions += st.BlockCacheEvictions
-			out.BlockCachePinnedBytes += st.BlockCachePinnedBytes
-			out.BloomNegatives += st.BloomNegatives
-			out.BloomFalsePositives += st.BloomFalsePositives
+			out.Merge(sp.Stats())
 		}
 	}
 	return out

@@ -188,28 +188,16 @@ func (s *LazyStore) StagedCount() int {
 }
 
 // Stats merges the staging tier's counters with the indexed store's
-// physical costs.
+// physical costs. kv.Stats.MergePhysical folds in every storage-side field
+// (the staging tier counts the logical traffic itself) so counters only the
+// inner backend tracks — live/dead value-log bytes, compaction rewrites,
+// physical read ops — are never silently dropped.
 func (s *LazyStore) Stats() kv.Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := s.stats
 	if sp, ok := s.indexed.(kv.StatsProvider); ok {
-		inner := sp.Stats()
-		out.PhysicalBytesRead += inner.PhysicalBytesRead
-		out.PhysicalBytesWrite += inner.PhysicalBytesWrite
-		out.CompactionCount += inner.CompactionCount
-		out.FlushCount += inner.FlushCount
-		out.WriteStalls += inner.WriteStalls
-		out.WriteStallNanos += inner.WriteStallNanos
-		out.TombstonesLive = inner.TombstonesLive
-		out.IORetries += inner.IORetries
-		out.Degraded += inner.Degraded
-		out.BlockCacheHits += inner.BlockCacheHits
-		out.BlockCacheMisses += inner.BlockCacheMisses
-		out.BlockCacheEvictions += inner.BlockCacheEvictions
-		out.BlockCachePinnedBytes += inner.BlockCachePinnedBytes
-		out.BloomNegatives += inner.BloomNegatives
-		out.BloomFalsePositives += inner.BloomFalsePositives
+		out.MergePhysical(sp.Stats())
 	}
 	return out
 }

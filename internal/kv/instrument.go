@@ -181,6 +181,10 @@ func RegisterStatsMetrics(r *obs.Registry, sp StatsProvider, labels ...string) {
 		{"block_cache_pinned_bytes", func(s Stats) float64 { return float64(s.BlockCachePinnedBytes) }},
 		{"bloom_negatives", func(s Stats) float64 { return float64(s.BloomNegatives) }},
 		{"bloom_false_positives", func(s Stats) float64 { return float64(s.BloomFalsePositives) }},
+		{"physical_read_ops", func(s Stats) float64 { return float64(s.PhysicalReadOps) }},
+		{"live_data_bytes", func(s Stats) float64 { return float64(s.LiveDataBytes) }},
+		{"dead_data_bytes", func(s Stats) float64 { return float64(s.DeadDataBytes) }},
+		{"compaction_rewrites", func(s Stats) float64 { return float64(s.CompactionRewrites) }},
 		{"write_amplification", Stats.WriteAmplification},
 		{"read_amplification", Stats.ReadAmplification},
 		{"block_cache_hit_rate", Stats.BlockCacheHitRate},

@@ -129,6 +129,52 @@ type Stats struct {
 
 	BloomNegatives      uint64 // point lookups short-circuited by a bloom filter
 	BloomFalsePositives uint64 // bloom passes whose block probe found no match
+
+	PhysicalReadOps uint64 // discrete storage-layer read operations (ReadAt calls / block fetches)
+
+	LiveDataBytes      uint64 // bytes of live records resident in value-log backends
+	DeadDataBytes      uint64 // bytes of dead records awaiting compaction (compaction debt)
+	CompactionRewrites uint64 // live records rewritten into a fresh generation by compaction
+}
+
+// Merge adds every counter of o into s. Wrappers that aggregate multiple
+// backends (hybrid routing, shard routers) use this instead of hand-listing
+// fields, so a counter added to Stats can never be silently dropped from a
+// merged view.
+func (s *Stats) Merge(o Stats) {
+	s.Gets += o.Gets
+	s.Puts += o.Puts
+	s.Deletes += o.Deletes
+	s.Scans += o.Scans
+	s.LogicalBytesRead += o.LogicalBytesRead
+	s.LogicalBytesWritten += o.LogicalBytesWritten
+	s.MergePhysical(o)
+}
+
+// MergePhysical adds only the storage-side counters of o into s, leaving
+// the logical op/byte counters alone. Tiered wrappers that count logical
+// traffic themselves (lazystore) use it to fold in the inner backend's
+// physical costs without double-counting client ops.
+func (s *Stats) MergePhysical(o Stats) {
+	s.PhysicalBytesRead += o.PhysicalBytesRead
+	s.PhysicalBytesWrite += o.PhysicalBytesWrite
+	s.CompactionCount += o.CompactionCount
+	s.TombstonesLive += o.TombstonesLive
+	s.FlushCount += o.FlushCount
+	s.WriteStalls += o.WriteStalls
+	s.WriteStallNanos += o.WriteStallNanos
+	s.IORetries += o.IORetries
+	s.Degraded += o.Degraded
+	s.BlockCacheHits += o.BlockCacheHits
+	s.BlockCacheMisses += o.BlockCacheMisses
+	s.BlockCacheEvictions += o.BlockCacheEvictions
+	s.BlockCachePinnedBytes += o.BlockCachePinnedBytes
+	s.BloomNegatives += o.BloomNegatives
+	s.BloomFalsePositives += o.BloomFalsePositives
+	s.PhysicalReadOps += o.PhysicalReadOps
+	s.LiveDataBytes += o.LiveDataBytes
+	s.DeadDataBytes += o.DeadDataBytes
+	s.CompactionRewrites += o.CompactionRewrites
 }
 
 // WriteAmplification returns physical/logical write ratio, or 0 if no

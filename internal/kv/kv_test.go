@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -254,5 +255,44 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	for g := 0; g < 4; g++ {
 		<-done
+	}
+}
+
+// TestStatsMergeCoversEveryField walks kv.Stats with reflection and proves
+// Merge carries every counter — the regression guard for the bug class
+// where a new Stats field is silently dropped by aggregating wrappers
+// (hybrid, lazystore) because a hand-written merge never learned about it.
+func TestStatsMergeCoversEveryField(t *testing.T) {
+	var src Stats
+	sv := reflect.ValueOf(&src).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		sv.Field(i).SetUint(1)
+	}
+	var dst Stats
+	dst.Merge(src)
+	dv := reflect.ValueOf(dst)
+	for i := 0; i < dv.NumField(); i++ {
+		if dv.Field(i).Uint() != 1 {
+			t.Errorf("Stats.Merge drops field %s", dv.Type().Field(i).Name)
+		}
+	}
+	// MergePhysical must cover exactly the fields Merge covers minus the
+	// logical client-side counters.
+	logical := map[string]bool{
+		"Gets": true, "Puts": true, "Deletes": true, "Scans": true,
+		"LogicalBytesRead": true, "LogicalBytesWritten": true,
+	}
+	var phys Stats
+	phys.MergePhysical(src)
+	pv := reflect.ValueOf(phys)
+	for i := 0; i < pv.NumField(); i++ {
+		name := pv.Type().Field(i).Name
+		want := uint64(1)
+		if logical[name] {
+			want = 0
+		}
+		if pv.Field(i).Uint() != want {
+			t.Errorf("Stats.MergePhysical field %s = %d, want %d", name, pv.Field(i).Uint(), want)
+		}
 	}
 }

@@ -13,7 +13,10 @@ import (
 
 	"ethkv/internal/analysis"
 	"ethkv/internal/chain"
+	"ethkv/internal/flatstore"
+	"ethkv/internal/hashstore"
 	"ethkv/internal/kv"
+	"ethkv/internal/logstore"
 	"ethkv/internal/lsm"
 	"ethkv/internal/obs"
 	"ethkv/internal/rawdb"
@@ -46,9 +49,12 @@ type Config struct {
 	// Dir is the working directory for the store, freezer, and trace
 	// file. Empty = in-memory store, in-memory trace.
 	Dir string
-	// UseLSM backs the run with the real LSM store instead of the
-	// in-memory reference store (slower; used for I/O-cost experiments).
-	UseLSM bool
+	// Backend selects the store behind the run: "" or "mem" is the
+	// in-memory reference store, "lsm" the write-optimized LSM tree,
+	// "flat" the single-seek flat store, "hash" the hash-indexed segment
+	// store, "log" the compacting value log. Persistent backends are
+	// slower and used for I/O-cost experiments.
+	Backend string
 	// TraceBootstrap routes the genesis state build through the tracer,
 	// modelling the bulk state-download phase of snap synchronization
 	// (§II-A): the trace then opens with the write burst a snap-syncing
@@ -62,7 +68,8 @@ type Config struct {
 	// forces the plain sequential import loop. The emitted trace is
 	// byte-identical at every width.
 	ImportWorkers int
-	// BlockCacheBytes sets the LSM block-cache byte budget for UseLSM runs:
+	// BlockCacheBytes sets the LSM block-cache byte budget for lsm-backend
+	// runs:
 	// 0 keeps the lsm.Options default, negative disables the cache. The
 	// cache only changes where block bytes are fetched from, so the trace
 	// and every analysis output are identical at any setting.
@@ -91,7 +98,8 @@ type Result struct {
 	Path  string             // trace file path (when Dir set)
 	Store *analysis.SizeDist // post-run store census
 	Stats chain.Stats        // import counters
-	// KVStats reports the backing store's I/O counters (LSM runs).
+	// KVStats reports the backing store's I/O counters (persistent
+	// backends).
 	KVStats kv.Stats
 }
 
@@ -102,29 +110,20 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Blocks <= 0 {
 		return nil, fmt.Errorf("lab: block count must be positive")
 	}
-	// Backing store. An LSM run without a Dir keeps the trace in memory and
-	// puts only the store itself in a throwaway temp directory.
-	var inner kv.Store
-	if cfg.UseLSM {
-		lsmDir := cfg.Dir
-		if lsmDir == "" {
-			tmp, err := os.MkdirTemp("", "ethkv-lsm-*")
-			if err != nil {
-				return nil, err
-			}
-			defer os.RemoveAll(tmp)
-			lsmDir = tmp
-		}
-		db, err := lsm.Open(filepath.Join(lsmDir, "lsm"), lsm.Options{
-			DisableWAL:      true,
-			BlockCacheBytes: cfg.BlockCacheBytes,
-		})
+	// Backing store. A persistent run without a Dir keeps the trace in
+	// memory and puts only the store itself in a throwaway temp directory.
+	storeDir := cfg.Dir
+	if storeDir == "" && cfg.Backend != "" && cfg.Backend != "mem" && cfg.Backend != "log" {
+		tmp, err := os.MkdirTemp("", "ethkv-store-*")
 		if err != nil {
 			return nil, err
 		}
-		inner = db
-	} else {
-		inner = kv.NewMemStore()
+		defer os.RemoveAll(tmp)
+		storeDir = tmp
+	}
+	inner, err := openBackend(cfg.Backend, storeDir, cfg.BlockCacheBytes)
+	if err != nil {
+		return nil, err
 	}
 	defer inner.Close()
 
@@ -134,7 +133,6 @@ func Run(cfg Config) (*Result, error) {
 		slice     *trace.SliceSink
 		writer    *trace.Writer
 		tracePath string
-		err       error
 	)
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
@@ -258,6 +256,29 @@ func Run(cfg Config) (*Result, error) {
 		result.KVStats = sp.Stats()
 	}
 	return result, nil
+}
+
+// openBackend constructs the store named by backend under dir.
+// blockCacheBytes only applies to the LSM's block cache (0 = store
+// default, negative disables).
+func openBackend(backend, dir string, blockCacheBytes int64) (kv.Store, error) {
+	switch backend {
+	case "", "mem":
+		return kv.NewMemStore(), nil
+	case "lsm":
+		return lsm.Open(filepath.Join(dir, "lsm"), lsm.Options{
+			DisableWAL:      true,
+			BlockCacheBytes: blockCacheBytes,
+		})
+	case "flat":
+		return flatstore.Open(filepath.Join(dir, "flat"), flatstore.Options{})
+	case "hash":
+		return hashstore.Open(filepath.Join(dir, "hash"))
+	case "log":
+		return logstore.New(), nil
+	default:
+		return nil, fmt.Errorf("lab: unknown backend %q (want mem, lsm, flat, hash, or log)", backend)
+	}
 }
 
 // RunBoth executes the bare and cached configurations over the same

@@ -57,7 +57,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 // TestRunLSMWithoutDir checks that an LSM run with no Dir keeps the trace in
 // memory (Ops populated) while backing the store with a throwaway temp dir.
 func TestRunLSMWithoutDir(t *testing.T) {
-	res, err := Run(Config{Mode: Bare, Blocks: 3, Workload: testWorkload(), UseLSM: true})
+	res, err := Run(Config{Mode: Bare, Blocks: 3, Workload: testWorkload(), Backend: "lsm"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestRunToFile(t *testing.T) {
 
 func TestRunWithLSMBackend(t *testing.T) {
 	dir := t.TempDir()
-	res, err := Run(Config{Mode: Bare, Blocks: 5, Workload: testWorkload(), Dir: dir, UseLSM: true})
+	res, err := Run(Config{Mode: Bare, Blocks: 5, Workload: testWorkload(), Dir: dir, Backend: "lsm"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +381,7 @@ func TestLSMCacheSizeInvariance(t *testing.T) {
 		t.Helper()
 		res, err := Run(Config{
 			Mode: Cached, Blocks: 5, Workload: testWorkload(),
-			UseLSM: true, BlockCacheBytes: cacheBytes,
+			Backend: "lsm", BlockCacheBytes: cacheBytes,
 		})
 		if err != nil {
 			t.Fatalf("cache=%d: %v", cacheBytes, err)
@@ -412,5 +412,62 @@ func TestLSMCacheSizeInvariance(t *testing.T) {
 	}
 	if disabled.KVStats.BlockCacheHits != 0 || disabled.KVStats.BlockCacheMisses != 0 {
 		t.Fatal("disabled cache recorded traffic")
+	}
+}
+
+// TestRunWithFlatBackend runs the import pipeline over the single-seek
+// flat store and checks the store actually carried the workload.
+func TestRunWithFlatBackend(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(Config{Mode: Bare, Blocks: 5, Workload: testWorkload(), Dir: dir, Backend: "flat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KVStats.Puts == 0 {
+		t.Fatal("flat backend recorded no puts")
+	}
+	if res.KVStats.PhysicalBytesWrite == 0 {
+		t.Fatal("flat backend recorded no physical writes")
+	}
+	if res.KVStats.LiveDataBytes == 0 {
+		t.Fatal("flat backend reports no live data after import")
+	}
+}
+
+// TestBackendTraceAndCensusInvariance runs the same deterministic workload
+// over the reference store, the LSM, and the flat store: the emitted op
+// stream and the post-run store census must be identical. The backend may
+// only change I/O cost, never what the chain reads or what state remains.
+func TestBackendTraceAndCensusInvariance(t *testing.T) {
+	run := func(backend string) *Result {
+		t.Helper()
+		res, err := Run(Config{Mode: Cached, Blocks: 5, Workload: testWorkload(), Backend: backend})
+		if err != nil {
+			t.Fatalf("backend=%s: %v", backend, err)
+		}
+		return res
+	}
+	ref := run("mem")
+	for _, backend := range []string{"lsm", "flat"} {
+		other := run(backend)
+		if len(other.Ops) != len(ref.Ops) {
+			t.Fatalf("%s: op count diverged: %d vs %d", backend, len(other.Ops), len(ref.Ops))
+		}
+		for i := range ref.Ops {
+			if !reflect.DeepEqual(ref.Ops[i], other.Ops[i]) {
+				t.Fatalf("%s: op %d diverged: %+v vs %+v", backend, i, ref.Ops[i], other.Ops[i])
+			}
+		}
+		if !reflect.DeepEqual(ref.Store, other.Store) {
+			t.Fatalf("%s: store census diverged from reference", backend)
+		}
+	}
+}
+
+// TestRunRejectsUnknownBackend: a typo must fail loudly, not silently fall
+// back to the in-memory store.
+func TestRunRejectsUnknownBackend(t *testing.T) {
+	if _, err := Run(Config{Mode: Bare, Blocks: 1, Workload: testWorkload(), Backend: "rocks"}); err == nil {
+		t.Fatal("unknown backend accepted")
 	}
 }

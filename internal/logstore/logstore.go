@@ -55,7 +55,11 @@ type Store struct {
 	active *chunk
 	nextID uint64
 	closed bool
-	stats  kv.Stats
+	// statsMu guards stats on paths that hold only mu.RLock (Get, scans):
+	// concurrent readers must not race on the counters. Write paths hold
+	// mu exclusively, which already excludes every RLock holder.
+	statsMu sync.Mutex
+	stats   kv.Stats
 
 	retired uint64 // chunks dropped whole
 }
@@ -150,7 +154,9 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 	if s.closed {
 		return nil, kv.ErrClosed
 	}
+	s.statsMu.Lock()
 	s.stats.Gets++
+	s.statsMu.Unlock()
 	loc, ok := s.index[string(key)]
 	if !ok {
 		return nil, kv.ErrNotFound
@@ -159,8 +165,10 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.statsMu.Lock()
 	s.stats.LogicalBytesRead += uint64(len(v))
 	s.stats.PhysicalBytesRead += uint64(loc.length)
+	s.statsMu.Unlock()
 	return v, nil
 }
 
@@ -241,7 +249,9 @@ func (s *Store) RegisterMetrics(r *obs.Registry, labels ...string) {
 func (s *Store) NewIterator(prefix, start []byte) kv.Iterator {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.statsMu.Lock()
 	s.stats.Scans++
+	s.statsMu.Unlock()
 	var keys []string
 	var values [][]byte
 	var deferred error
@@ -376,6 +386,8 @@ func (b *batch) Replay(w kv.Writer) error {
 func (s *Store) Stats() kv.Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	return s.stats
 }
 

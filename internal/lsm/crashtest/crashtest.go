@@ -1,5 +1,6 @@
 // Package crashtest is a deterministic crash-recovery test driver for the
-// LSM store. Each run executes a seeded random workload against a store
+// repository's durable backends (the LSM store and the flat single-seek
+// store). Each run executes a seeded random workload against a store
 // whose filesystem is a fault-injecting in-memory VFS, crashes it at a
 // seeded point (hard-failing all subsequent I/O and discarding or tearing
 // every un-synced byte), reopens the store from the surviving bytes, and
@@ -21,6 +22,8 @@ import (
 	"time"
 
 	"ethkv/internal/faultfs"
+	"ethkv/internal/flatstore"
+	"ethkv/internal/kv"
 	"ethkv/internal/lsm"
 )
 
@@ -30,6 +33,10 @@ type Config struct {
 	Seed    int64
 	Workers int // concurrent writers, each on a disjoint keyspace
 	Units   int // workload units (single ops or batches) per worker
+	// Backend selects the store under test: "lsm" (default) or "flat".
+	// Both share the ack discipline the verifier assumes: batches
+	// group-commit synced, single ops are buffered un-acked.
+	Backend string
 	// TransientProb injects retryable write faults at this rate, proving
 	// recovery holds while the retry path is being exercised.
 	TransientProb float64
@@ -92,22 +99,7 @@ func Run(cfg Config, fail func(format string, args ...any)) Result {
 	// the end; both phases of the space matter.
 	plan.CrashAfterWrites = 1 + seedRng.Int63n(300)
 
-	opts := lsm.Options{
-		// Tiny thresholds so a small workload exercises rotation, flush,
-		// and compaction — the paths where durability bugs live.
-		MemtableBytes:       2 << 10,
-		MaxImmutableMemtables: 2,
-		L0CompactionTrigger: 2,
-		LevelBaseBytes:      8 << 10,
-		LevelMultiplier:     4,
-		MaxLevels:           4,
-		Seed:                cfg.Seed,
-		FS:                  faultfs.Inject(mem, plan),
-		RetryAttempts:       10,
-		RetryBackoff:        time.Microsecond,
-		BlockCacheBytes:     cfg.BlockCacheBytes,
-	}
-	db, err := lsm.Open("crashdb", opts)
+	db, err := openBackend(cfg, faultfs.Inject(mem, plan))
 	if err != nil {
 		// The crash point can land inside Open itself; with nothing
 		// acknowledged, any recoverable state is consistent.
@@ -142,15 +134,7 @@ func Run(cfg Config, fail func(format string, args ...any)) Result {
 	mem.Crash(plan.TornTail())
 
 	// Reboot on the surviving bytes — no fault injection this time.
-	re, err := lsm.Open("crashdb", lsm.Options{
-		MemtableBytes:       2 << 10,
-		L0CompactionTrigger: 2,
-		LevelBaseBytes:      8 << 10,
-		LevelMultiplier:     4,
-		MaxLevels:           4,
-		FS:                  mem,
-		BlockCacheBytes:     cfg.BlockCacheBytes,
-	})
+	re, err := openBackend(cfg, mem)
 	if err != nil {
 		fail("seed %d: reopen after crash failed: %v", cfg.Seed, err)
 		return Result{}
@@ -172,15 +156,47 @@ func Run(cfg Config, fail func(format string, args ...any)) Result {
 	}
 
 	res := Result{Crashed: plan.Crashed(), UnitsRun: total}
-	if db != nil {
-		res.IORetries = db.Stats().IORetries
+	if sp, ok := db.(kv.StatsProvider); ok && db != nil {
+		res.IORetries = sp.Stats().IORetries
 	}
 	return res
 }
 
+// openBackend opens cfg.Backend over fsys with thresholds tiny enough
+// that a small workload exercises the structural paths where durability
+// bugs live: rotation, flush, and compaction for the LSM; generation
+// compaction and the CURRENT swap for the flat store.
+func openBackend(cfg Config, fsys faultfs.FS) (kv.Store, error) {
+	switch cfg.Backend {
+	case "", "lsm":
+		return lsm.Open("crashdb", lsm.Options{
+			MemtableBytes:         2 << 10,
+			MaxImmutableMemtables: 2,
+			L0CompactionTrigger:   2,
+			LevelBaseBytes:        8 << 10,
+			LevelMultiplier:       4,
+			MaxLevels:             4,
+			Seed:                  cfg.Seed,
+			FS:                    fsys,
+			RetryAttempts:         10,
+			RetryBackoff:          time.Microsecond,
+			BlockCacheBytes:       cfg.BlockCacheBytes,
+		})
+	case "flat":
+		return flatstore.Open("crashdb", flatstore.Options{
+			FS:                    fsys,
+			RetryAttempts:         10,
+			RetryBackoff:          time.Microsecond,
+			CompactAfterDeadBytes: 2 << 10,
+		})
+	default:
+		return nil, fmt.Errorf("crashtest: unknown backend %q", cfg.Backend)
+	}
+}
+
 // runWorker drives one writer over its disjoint keyspace until its unit
 // budget is spent or the store fails (crash point, degraded mode).
-func runWorker(db *lsm.DB, cfg Config, w int) *workerLog {
+func runWorker(db kv.Store, cfg Config, w int) *workerLog {
 	l := &workerLog{worker: w}
 	rng := rand.New(rand.NewSource(cfg.Seed*1009 + int64(w)))
 	for i := 0; i < cfg.Units; i++ {
@@ -245,7 +261,7 @@ func workerOf(key string) int {
 
 // dumpStore materializes the recovered store through a full scan, checking
 // the iterator is strictly ascending and agrees with point reads.
-func dumpStore(db *lsm.DB, seed int64, fail func(string, ...any)) map[string]string {
+func dumpStore(db kv.Store, seed int64, fail func(string, ...any)) map[string]string {
 	out := make(map[string]string)
 	it := db.NewIterator(nil, nil)
 	defer it.Release()

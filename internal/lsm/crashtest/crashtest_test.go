@@ -138,3 +138,77 @@ func TestCrashRecoveryWideBatches(t *testing.T) {
 		})
 	}
 }
+
+// TestCrashRecoveryFlatSeeds sweeps the same workload-crash-reopen-verify
+// cycle over the flat single-seek backend. The flat store's ack discipline
+// matches the verifier's model — batches commit as one synced group
+// record, single ops are un-synced appends — and its tiny compaction
+// threshold here makes generation rewrites and CURRENT swaps routine
+// events inside the crash window. ETHKV_CRASHTEST_SEED replays one seed.
+func TestCrashRecoveryFlatSeeds(t *testing.T) {
+	if s := os.Getenv("ETHKV_CRASHTEST_SEED"); s != "" {
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad ETHKV_CRASHTEST_SEED=%q", s)
+		}
+		cfg := configFor(seed)
+		cfg.Backend = "flat"
+		res := Run(cfg, t.Fatalf)
+		t.Logf("flat seed %d: crashed=%v units=%d retries=%d",
+			seed, res.Crashed, res.UnitsRun, res.IORetries)
+		return
+	}
+	n := seedCount(t, 60)
+	var crashed, retries atomic.Int64
+	for seed := int64(1); seed <= int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := configFor(seed)
+			cfg.Backend = "flat"
+			res := Run(cfg, t.Fatalf)
+			if res.Crashed {
+				crashed.Add(1)
+			}
+			if res.IORetries > 0 {
+				retries.Add(1)
+			}
+		})
+	}
+	t.Cleanup(func() {
+		t.Logf("flat: %d seeds: %d crashed mid-workload, %d exercised retries",
+			n, crashed.Load(), retries.Load())
+	})
+}
+
+// TestCrashRecoveryFlatDeterministic replays single-writer flat-backend
+// seeds twice, requiring identical outcomes: compaction iterates its index
+// in sorted key order precisely so the injected write schedule stays
+// seed-reproducible.
+func TestCrashRecoveryFlatDeterministic(t *testing.T) {
+	for seed := int64(301); seed < 306; seed++ {
+		cfg := Config{
+			Seed: seed, Workers: 1, Units: 30,
+			TransientProb: 0.1, Backend: "flat",
+		}
+		a := capture(t, cfg)
+		b := capture(t, cfg)
+		if a != b {
+			t.Fatalf("flat seed %d diverged between runs:\n%s\n---\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestCrashRecoveryFlatWideBatches leans on large batches against the flat
+// backend so group records routinely straddle the torn-tail boundary: a
+// cut or damaged group must drop the whole batch, never a partial one.
+func TestCrashRecoveryFlatWideBatches(t *testing.T) {
+	n := seedCount(t, 20)
+	for seed := int64(701); seed < 701+int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			Run(Config{Seed: seed, Workers: 2, Units: 60, Backend: "flat"}, t.Fatalf)
+		})
+	}
+}
