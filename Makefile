@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke cache-smoke flat-smoke clean
+.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke cache-smoke flat-smoke serve-smoke clean
 
 all: build test
 
@@ -19,9 +19,9 @@ race:
 # The default pre-merge gate: static checks plus the full suite under the
 # race detector (the parallel analysis engine and the lock-free metrics in
 # internal/obs must stay race-clean — `race` covers ./... including
-# internal/obs and the kv.Instrument decorator) and a wide crash-recovery
-# sweep.
-check: build vet race crashtest
+# internal/obs and the kv.Instrument decorator), a wide crash-recovery
+# sweep, and the end-to-end network serving smoke.
+check: build vet race crashtest serve-smoke
 
 # Crash-recovery fault injection: hundreds of seeded workload/crash-point
 # replays through the injectable VFS, verified against an in-memory model.
@@ -35,17 +35,16 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
 
 # Machine-readable benchmark snapshot: runs the paper benchmarks once and
-# writes ns/op, B/op, allocs/op, and the per-op latency percentiles
-# (BenchmarkStoreOpLatency's *-p50-ns/*-p99-ns metrics) to BENCH_6.json.
-# (BENCH_1/BENCH_2/BENCH_4/BENCH_5 are earlier snapshots; bench-diff
-# compares across.)
+# writes ns/op, B/op, allocs/op, and the custom metrics (latency
+# percentiles, served-ops/s, ops/frame) to BENCH_7.json.
+# (BENCH_1..BENCH_6 are earlier snapshots; bench-diff compares across.)
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_6.json
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_7.json
 
 # Per-benchmark ns/op movement between the recorded snapshots, including
 # latency-percentile delta rows for benchmarks that report them.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_5.json BENCH_6.json
+	$(GO) run ./cmd/benchjson -diff BENCH_6.json BENCH_7.json
 
 # Short fuzz passes over the binary decoders.
 fuzz:
@@ -58,6 +57,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzSSTableScan -fuzztime=10s ./internal/lsm/
 	$(GO) test -run=NONE -fuzz=FuzzBlockRead -fuzztime=10s ./internal/lsm/
 	$(GO) test -run=NONE -fuzz=FuzzFlatEntryReplay -fuzztime=10s ./internal/flatstore/
+	$(GO) test -run=NONE -fuzz=FuzzServerRequestDecode -fuzztime=10s ./internal/kvnet/
 
 vet:
 	$(GO) vet ./...
@@ -119,6 +119,44 @@ flat-smoke:
 		-backend flat -census $(FLAT_SMOKE_DIR)/census-flat.txt
 	cmp $(FLAT_SMOKE_DIR)/census-lsm.txt $(FLAT_SMOKE_DIR)/census-flat.txt \
 		&& echo "flat-smoke: census byte-identical across backends"
+
+# Network serving smoke test: start a real kvserver, replay a generated
+# trace through the batching kvnet client (replaybench -serve), and assert
+# from the server's live Prometheus endpoint that op coalescing actually
+# happened (nonzero ethkv_server_coalesced_ops_total).
+SERVE_SMOKE_DIR ?= /tmp/ethkv-serve-smoke
+SERVE_SMOKE_ADDR ?= 127.0.0.1:9423
+SERVE_SMOKE_METRICS ?= 127.0.0.1:8323
+serve-smoke:
+	rm -rf $(SERVE_SMOKE_DIR) && mkdir -p $(SERVE_SMOKE_DIR)
+	$(GO) run ./cmd/tracegen -dir $(SERVE_SMOKE_DIR)/traces -blocks 20 -mode bare \
+		-accounts 2000 -contracts 200 -tx 40
+	$(GO) build -o $(SERVE_SMOKE_DIR)/kvserver ./cmd/kvserver
+	$(GO) build -o $(SERVE_SMOKE_DIR)/replaybench ./cmd/replaybench
+	$(SERVE_SMOKE_DIR)/kvserver -backend lsm -addr $(SERVE_SMOKE_ADDR) \
+		-metrics-addr $(SERVE_SMOKE_METRICS) -dir $(SERVE_SMOKE_DIR)/db \
+		> $(SERVE_SMOKE_DIR)/server.log 2>&1 & \
+	pid=$$!; \
+	up=0; for i in $$(seq 1 30); do \
+		curl -sf http://$(SERVE_SMOKE_METRICS)/metrics > /dev/null 2>&1 && { up=1; break; }; \
+		sleep 0.5; \
+	done; \
+	if [ $$up -ne 1 ]; then echo "serve-smoke: FAILED (server never came up)"; \
+		cat $(SERVE_SMOKE_DIR)/server.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	$(SERVE_SMOKE_DIR)/replaybench -trace $(SERVE_SMOKE_DIR)/traces/BareTrace/BareTrace.bin \
+		-serve $(SERVE_SMOKE_ADDR) -clients 16 -conns 2 \
+		> $(SERVE_SMOKE_DIR)/replay.log 2>&1; \
+	rc=$$?; \
+	curl -sf http://$(SERVE_SMOKE_METRICS)/metrics > $(SERVE_SMOKE_DIR)/metrics.txt 2>/dev/null; \
+	kill $$pid 2>/dev/null; \
+	if [ $$rc -ne 0 ]; then echo "serve-smoke: FAILED (replay)"; \
+		cat $(SERVE_SMOKE_DIR)/replay.log; exit 1; fi; \
+	awk '/^ethkv_server_coalesced_ops_total/ { if ($$2+0 > 0) found=1 } END { exit !found }' \
+		$(SERVE_SMOKE_DIR)/metrics.txt || { \
+		echo "serve-smoke: FAILED (server saw no coalesced ops)"; \
+		grep '^ethkv_server' $(SERVE_SMOKE_DIR)/metrics.txt; exit 1; }; \
+	grep -E 'overall:|transport:' $(SERVE_SMOKE_DIR)/replay.log; \
+	echo "serve-smoke: batched serving OK (server observed coalesced frames)"
 
 clean:
 	rm -rf artifacts traces

@@ -9,11 +9,13 @@
 package ethkv
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"ethkv/internal/analysis"
 	"ethkv/internal/cache"
@@ -22,6 +24,7 @@ import (
 	"ethkv/internal/hashstore"
 	"ethkv/internal/hybrid"
 	"ethkv/internal/kv"
+	"ethkv/internal/kvnet"
 	"ethkv/internal/lab"
 	"ethkv/internal/logstore"
 	"ethkv/internal/lsm"
@@ -863,6 +866,96 @@ func BenchmarkReplayBackends(b *testing.B) {
 				b.ReportMetric(st.WriteAmplification(), "write-amp")
 				b.ReportMetric(st.ReadAmplification(), "read-amp")
 				b.ReportMetric(float64(st.PhysicalReadOps), "phys-reads")
+			})
+		}
+	}
+}
+
+// BenchmarkServedThroughput measures the network serving layer end to end
+// (E14): N concurrent client goroutines issue point ops against an
+// in-process server over loopback. batched=true is the coalescing client
+// (frames carry up to 1024 ops, window-clocked batching, pipelined);
+// batched=false is the classic request/response baseline — one op per
+// frame, one frame in flight per connection — that a non-batching client
+// library would be. Both use the same two TCP connections. Reports served
+// op/s, achieved ops/frame, and the server-side put latency percentiles
+// from its own histograms.
+func BenchmarkServedThroughput(b *testing.B) {
+	const totalOps = 65536
+	for _, clients := range []int{1, 16, 256} {
+		for _, batched := range []bool{true, false} {
+			b.Run(fmt.Sprintf("clients=%d/batched=%v", clients, batched), func(b *testing.B) {
+				var opsPerSec, meanBatch float64
+				var snap obs.Snapshot
+				for i := 0; i < b.N; i++ {
+					registry := obs.NewRegistry()
+					srv := kvnet.NewServer(kv.NewMemStore(), kvnet.ServerOptions{
+						Registry: registry,
+						Logf:     func(string, ...any) {},
+					})
+					addr, err := srv.Listen("127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					copts := kvnet.ClientOptions{Conns: 2, Window: 4}
+					if !batched {
+						copts.BatchMaxOps = 1
+						copts.Window = 1
+					}
+					c, err := kvnet.Dial(addr, copts)
+					if err != nil {
+						b.Fatal(err)
+					}
+
+					perClient := totalOps / clients
+					start := time.Now()
+					var wg sync.WaitGroup
+					errCh := make(chan error, clients)
+					for w := 0; w < clients; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							var key [16]byte
+							val := make([]byte, 64)
+							for j := 0; j < perClient; j++ {
+								binary.LittleEndian.PutUint64(key[:8], uint64(w))
+								binary.LittleEndian.PutUint64(key[8:], uint64(j%512))
+								var err error
+								if j%2 == 0 {
+									err = c.Put(key[:], val)
+								} else {
+									_, err = c.Get(key[:])
+									if err == kv.ErrNotFound {
+										err = nil
+									}
+								}
+								if err != nil {
+									errCh <- err
+									return
+								}
+							}
+						}(w)
+					}
+					wg.Wait()
+					elapsed := time.Since(start)
+					select {
+					case err := <-errCh:
+						b.Fatal(err)
+					default:
+					}
+					done := float64(perClient * clients)
+					opsPerSec = done / elapsed.Seconds()
+					meanBatch = c.NetStats().MeanBatch()
+					snap = registry.Snapshot()
+					c.Close()
+					srv.Close()
+				}
+				b.ReportMetric(opsPerSec, "served-ops/s")
+				b.ReportMetric(meanBatch, "ops/frame")
+				if h, ok := snap.Histograms[obs.Name("ethkv_server_op_latency_ns", "op", "put")]; ok && h.Count > 0 {
+					b.ReportMetric(h.Quantile(0.50), "server-put-p50-ns")
+					b.ReportMetric(h.Quantile(0.99), "server-put-p99-ns")
+				}
 			})
 		}
 	}

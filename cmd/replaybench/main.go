@@ -7,11 +7,18 @@
 // histograms, store internals) and the net/http/pprof surface, and the final
 // report includes per-op latency percentiles.
 //
+// With -serve the tool becomes a load generator against a remote kvserver:
+// -clients concurrent workers replay disjoint stripes of the trace through
+// one batching kvnet client, and the report shows wall-clock op/s per client
+// and overall plus the achieved coalescing (mean ops per frame).
+//
 // Usage:
 //
 //	replaybench -trace traces/BareTrace/BareTrace.bin -backend lsm
 //	replaybench -trace traces/BareTrace/BareTrace.bin -backend hybrid \
 //	    -metrics-addr 127.0.0.1:8321 -metrics-hold 30s
+//	replaybench -trace traces/BareTrace/BareTrace.bin \
+//	    -serve 127.0.0.1:9420 -clients 64 -conns 4 -duration 30s
 package main
 
 import (
@@ -23,17 +30,15 @@ import (
 	"io"
 	"log"
 	"os"
-	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"ethkv/internal/analysis"
-	"ethkv/internal/flatstore"
-	"ethkv/internal/hashstore"
+	"ethkv/internal/backends"
 	"ethkv/internal/hybrid"
 	"ethkv/internal/kv"
-	"ethkv/internal/logstore"
-	"ethkv/internal/lsm"
+	"ethkv/internal/kvnet"
 	"ethkv/internal/obs"
 	"ethkv/internal/report"
 	"ethkv/internal/trace"
@@ -52,10 +57,27 @@ func main() {
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8321); empty disables")
 		metricsHold  = flag.Duration("metrics-hold", 0, "keep the metrics server up this long after the replay finishes (for scraping/profiling a finished run)")
 		blockCacheMB = flag.Int("block-cache-mb", 0, "LSM block cache budget in MiB (0 = store default, negative disables; lsm/lazy/hybrid backends)")
+		duration     = flag.Duration("duration", 0, "stop replaying after this long, even mid-trace (0 = replay everything)")
+
+		serveAddr = flag.String("serve", "", "replay against a remote kvserver at this address instead of a local backend")
+		clients   = flag.Int("clients", 16, "concurrent replay workers in -serve mode")
+		conns     = flag.Int("conns", 4, "TCP connections the kvnet client multiplexes over in -serve mode")
+		batchOps  = flag.Int("batch-ops", 0, "max point ops per coalesced frame in -serve mode (1 disables batching, 0 = client default)")
+		window    = flag.Int("window", 0, "max in-flight frames per connection in -serve mode (0 = client default)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
-		log.Fatal("usage: replaybench -trace <file> -backend <lsm|flat|hash|log|lazy|hybrid>")
+		log.Fatal("usage: replaybench -trace <file> [-backend <lsm|flat|hash|log|lazy|hybrid> | -serve <addr>]")
+	}
+	if *serveAddr != "" {
+		ops, err := loadOps(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runServe(*serveAddr, ops, *clients, *conns, *batchOps, *window, *duration); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	workDir := *dir
@@ -82,7 +104,7 @@ func main() {
 	if cacheBytes > 0 {
 		cacheBytes <<= 20
 	}
-	store, err := buildBackend(*backend, workDir, cacheBytes)
+	store, err := backends.Open(*backend, workDir, backends.Options{BlockCacheBytes: cacheBytes})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,7 +118,7 @@ func main() {
 	}
 	fmt.Printf("replaying %d ops against %s...\n", len(ops), *backend)
 	start := time.Now()
-	res, err := replayWithProgress(store, ops, registry, start)
+	res, err := replayWithProgress(store, ops, registry, start, *duration)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -138,14 +160,23 @@ func main() {
 
 // replayWithProgress replays ops in chunks, emitting one structured progress
 // line per chunk when metrics are on: position, throughput, and live get/put
-// latency percentiles from the registry. Without a registry it is a single
-// plain Replay call.
-func replayWithProgress(store kv.Store, ops []trace.Op, registry *obs.Registry, start time.Time) (*hybrid.ReplayResult, error) {
-	if registry == nil {
+// latency percentiles from the registry. A nonzero duration caps the replay
+// wall-clock; the cap is checked between chunks. Without a registry or a
+// cap it is a single plain Replay call.
+func replayWithProgress(store kv.Store, ops []trace.Op, registry *obs.Registry, start time.Time, duration time.Duration) (*hybrid.ReplayResult, error) {
+	if registry == nil && duration <= 0 {
 		return hybrid.Replay(store, ops)
+	}
+	var deadline time.Time
+	if duration > 0 {
+		deadline = start.Add(duration)
 	}
 	total := &hybrid.ReplayResult{}
 	for off := 0; off < len(ops); off += progressChunk {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			fmt.Printf("duration cap reached at op %d/%d\n", off, len(ops))
+			break
+		}
 		end := off + progressChunk
 		if end > len(ops) {
 			end = len(ops)
@@ -160,13 +191,110 @@ func replayWithProgress(store kv.Store, ops []trace.Op, registry *obs.Registry, 
 		total.Deletes += res.Deletes
 		total.Scans += res.Scans
 		total.Stats = res.Stats // stats are cumulative on the store
-		elapsed := time.Since(start)
-		snap := registry.Snapshot()
-		fmt.Printf("progress ops=%d/%d ops_per_sec=%.0f get{%s} put{%s}\n",
-			end, len(ops), float64(total.Ops)/elapsed.Seconds(),
-			quantilesFor(snap, "get"), quantilesFor(snap, "put"))
+		if registry != nil {
+			elapsed := time.Since(start)
+			snap := registry.Snapshot()
+			fmt.Printf("progress ops=%d/%d ops_per_sec=%.0f get{%s} put{%s}\n",
+				end, len(ops), float64(total.Ops)/elapsed.Seconds(),
+				quantilesFor(snap, "get"), quantilesFor(snap, "put"))
+		}
 	}
 	return total, nil
+}
+
+// runServe replays the trace against a remote kvserver: clients workers
+// replay disjoint stripes of the op stream through one batching kvnet
+// client, so concurrent workers' point ops coalesce into shared frames
+// exactly as a real multi-tenant front end's would.
+func runServe(addr string, ops []trace.Op, clients, conns, batchOps, window int, duration time.Duration) error {
+	if clients < 1 {
+		clients = 1
+	}
+	c, err := kvnet.Dial(addr, kvnet.ClientOptions{
+		Conns:       conns,
+		BatchMaxOps: batchOps,
+		Window:      window,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// Stripe the trace across workers: worker w replays ops w, w+N, w+2N...
+	// striping (rather than contiguous shards) keeps every worker inside
+	// the same temporal region of the workload at the same time.
+	shards := make([][]trace.Op, clients)
+	for i, op := range ops {
+		w := i % clients
+		shards[w] = append(shards[w], op)
+	}
+
+	fmt.Printf("serving replay: %d ops, %d clients, %d conns, batch-ops=%d, window=%d against %s\n",
+		len(ops), clients, conns, batchOps, window, addr)
+	start := time.Now()
+	var deadline time.Time
+	if duration > 0 {
+		deadline = start.Add(duration)
+	}
+
+	type workerResult struct {
+		ops     uint64
+		elapsed time.Duration
+		err     error
+	}
+	results := make([]workerResult, clients)
+	// serveChunk bounds how stale the deadline check can get.
+	const serveChunk = 4096
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wStart := time.Now()
+			shard := shards[w]
+			for off := 0; off < len(shard); off += serveChunk {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					break
+				}
+				end := off + serveChunk
+				if end > len(shard) {
+					end = len(shard)
+				}
+				res, err := hybrid.Replay(c, shard[off:end])
+				if res != nil {
+					results[w].ops += res.Ops
+				}
+				if err != nil {
+					results[w].err = err
+					break
+				}
+			}
+			results[w].elapsed = time.Since(wStart)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var totalOps uint64
+	for w, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("client %d: %w", w, r.err)
+		}
+		totalOps += r.ops
+		fmt.Printf("client %02d: %d ops in %.2fs (%.0f op/s)\n",
+			w, r.ops, r.elapsed.Seconds(), float64(r.ops)/r.elapsed.Seconds())
+	}
+	fmt.Printf("overall: %d ops in %.2fs (%.0f op/s)\n",
+		totalOps, elapsed.Seconds(), float64(totalOps)/elapsed.Seconds())
+	ns := c.NetStats()
+	fmt.Printf("transport: %d frames (%d op frames, mean batch %.1f ops), %.1f MiB sent, %.1f MiB received\n",
+		ns.FramesSent, ns.OpFrames, ns.MeanBatch(),
+		float64(ns.BytesSent)/(1<<20), float64(ns.BytesRecv)/(1<<20))
+	st := c.Stats()
+	fmt.Printf("server store: %.1f MiB written, %.1f MiB read (WA %.2f, RA %.2f)\n",
+		float64(st.PhysicalBytesWrite)/(1<<20), float64(st.PhysicalBytesRead)/(1<<20),
+		st.WriteAmplification(), st.ReadAmplification())
+	return nil
 }
 
 // quantilesFor summarizes one op's latency histogram from a snapshot,
@@ -233,47 +361,6 @@ func writeCensus(store kv.Store, path string) error {
 	}
 	fmt.Fprintf(f, "pairs: %d\nstate digest: %x\n", pairs, digest)
 	return f.Close()
-}
-
-// buildBackend constructs the requested store under dir. blockCacheBytes
-// sets the LSM block-cache budget (0 = store default, negative disables).
-func buildBackend(kind, dir string, blockCacheBytes int64) (kv.Store, error) {
-	lsmOpts := lsm.Options{
-		DisableWAL:          true,
-		MemtableBytes:       256 << 10,
-		L0CompactionTrigger: 4,
-		LevelBaseBytes:      1 << 20,
-		BlockCacheBytes:     blockCacheBytes,
-	}
-	switch kind {
-	case "lsm":
-		return lsm.Open(filepath.Join(dir, "lsm"), lsmOpts)
-	case "flat":
-		return flatstore.Open(filepath.Join(dir, "flat"), flatstore.Options{})
-	case "hash":
-		return hashstore.Open(filepath.Join(dir, "hash"))
-	case "log":
-		return logstore.New(), nil
-	case "lazy":
-		inner, err := lsm.Open(filepath.Join(dir, "lazy-lsm"), lsmOpts)
-		if err != nil {
-			return nil, err
-		}
-		return hybrid.NewLazyStore(inner), nil
-	case "hybrid":
-		ordered, err := lsm.Open(filepath.Join(dir, "ordered"), lsmOpts)
-		if err != nil {
-			return nil, err
-		}
-		hash, err := hashstore.Open(filepath.Join(dir, "hash"))
-		if err != nil {
-			ordered.Close()
-			return nil, err
-		}
-		return hybrid.New(ordered, logstore.New(), hash, nil), nil
-	default:
-		return nil, fmt.Errorf("unknown backend %q", kind)
-	}
 }
 
 // loadOps reads the whole trace into memory via the batched reader path

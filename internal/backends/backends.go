@@ -1,0 +1,67 @@
+// Package backends constructs the repo's storage backends by name. It is
+// the shared factory behind the replaybench load generator and the kvserver
+// network front end, so a backend added here becomes replayable and
+// servable at once.
+package backends
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"ethkv/internal/flatstore"
+	"ethkv/internal/hashstore"
+	"ethkv/internal/hybrid"
+	"ethkv/internal/kv"
+	"ethkv/internal/logstore"
+	"ethkv/internal/lsm"
+)
+
+// Options tunes backend construction.
+type Options struct {
+	// BlockCacheBytes sets the LSM block-cache budget (0 = store default,
+	// negative disables; lsm/lazy/hybrid backends).
+	BlockCacheBytes int64
+}
+
+// Kinds lists the recognised backend names, for usage strings.
+func Kinds() string { return "lsm, flat, hash, log, lazy, or hybrid" }
+
+// Open constructs the requested store under dir.
+func Open(kind, dir string, opts Options) (kv.Store, error) {
+	lsmOpts := lsm.Options{
+		DisableWAL:          true,
+		MemtableBytes:       256 << 10,
+		L0CompactionTrigger: 4,
+		LevelBaseBytes:      1 << 20,
+		BlockCacheBytes:     opts.BlockCacheBytes,
+	}
+	switch kind {
+	case "lsm":
+		return lsm.Open(filepath.Join(dir, "lsm"), lsmOpts)
+	case "flat":
+		return flatstore.Open(filepath.Join(dir, "flat"), flatstore.Options{})
+	case "hash":
+		return hashstore.Open(filepath.Join(dir, "hash"))
+	case "log":
+		return logstore.New(), nil
+	case "lazy":
+		inner, err := lsm.Open(filepath.Join(dir, "lazy-lsm"), lsmOpts)
+		if err != nil {
+			return nil, err
+		}
+		return hybrid.NewLazyStore(inner), nil
+	case "hybrid":
+		ordered, err := lsm.Open(filepath.Join(dir, "ordered"), lsmOpts)
+		if err != nil {
+			return nil, err
+		}
+		hash, err := hashstore.Open(filepath.Join(dir, "hash"))
+		if err != nil {
+			ordered.Close()
+			return nil, err
+		}
+		return hybrid.New(ordered, logstore.New(), hash, nil), nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want %s)", kind, Kinds())
+	}
+}

@@ -1,0 +1,849 @@
+package kvnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ethkv/internal/kv"
+)
+
+// ClientOptions tunes a Client.
+type ClientOptions struct {
+	// Conns is the number of TCP connections to multiplex over. Default 1.
+	Conns int
+	// BatchMaxOps caps how many point ops coalesce into one request
+	// frame. 1 disables coalescing (every op is its own frame — the
+	// "batching off" baseline). Default 1024.
+	BatchMaxOps int
+	// BatchMaxBytes caps the encoded payload of one coalesced frame, so
+	// a run of large values cannot push a frame past the server's limit.
+	// Default 1 MiB.
+	BatchMaxBytes int
+	// BatchLinger is the longest a sender waits to top up a non-full
+	// batch while at least one other frame is already in flight (the
+	// in-flight frame hides the wait). Closed-loop callers are clocked
+	// by the window itself — while it is saturated they pile into the
+	// queue and the next free slot ships them as one frame — so the
+	// default is 0 (no timer): a linger only helps open-loop workloads
+	// on pipes whose RTT dwarfs the timer. With nothing else in flight,
+	// ops ship immediately — a sequential caller never pays the linger.
+	BatchLinger time.Duration
+	// Window is the maximum number of in-flight frames per connection.
+	// Pipelining hides RTT; the coalescing sweet spot is small — each
+	// returning response releases the next, larger batch. Default 2.
+	Window int
+	// DialTimeout bounds connection establishment. Default 5s.
+	DialTimeout time.Duration
+	// MaxFrameBytes bounds response frames. Default DefaultMaxFrameBytes.
+	MaxFrameBytes int
+	// IterPageOps is how many entries one iterator page requests.
+	// Default 512.
+	IterPageOps int
+}
+
+func (o *ClientOptions) withDefaults() ClientOptions {
+	v := *o
+	if v.Conns <= 0 {
+		v.Conns = 1
+	}
+	if v.BatchMaxOps <= 0 {
+		v.BatchMaxOps = 1024
+	}
+	if v.BatchMaxBytes <= 0 {
+		v.BatchMaxBytes = 1 << 20
+	}
+	if v.Window <= 0 {
+		v.Window = 2
+	}
+	if v.DialTimeout <= 0 {
+		v.DialTimeout = 5 * time.Second
+	}
+	if v.MaxFrameBytes <= 0 {
+		v.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if v.IterPageOps <= 0 {
+		v.IterPageOps = 512
+	}
+	return v
+}
+
+// NetStats are client-side transport counters, for load generators that
+// want to report achieved coalescing.
+type NetStats struct {
+	FramesSent uint64 // request frames written (all opcodes)
+	OpFrames   uint64 // coalesced point-op frames among them
+	OpsSent    uint64 // point ops carried by those frames
+	BytesSent  uint64 // request body bytes
+	BytesRecv  uint64 // response body bytes
+}
+
+// MeanBatch returns point ops per coalesced frame (0 with no traffic).
+func (n NetStats) MeanBatch() float64 {
+	if n.OpFrames == 0 {
+		return 0
+	}
+	return float64(n.OpsSent) / float64(n.OpFrames)
+}
+
+// call is one pending operation: either a point op destined for a
+// coalesced frame (kind in kindGet..kindDelete) or a standalone request
+// carrying a pre-encoded payload (opcode != 0).
+type call struct {
+	kind     byte
+	key, val []byte
+
+	opcode  byte   // nonzero → standalone request
+	payload []byte // standalone opcode-specific payload
+
+	done chan struct{}
+	err  error
+	// point-op results
+	found bool
+	value []byte
+	// standalone result
+	resp []byte
+}
+
+func (cl *call) finish(err error) {
+	cl.err = err
+	close(cl.done)
+}
+
+// Client implements kv.Store over a kvnet connection pool. All methods are
+// safe for concurrent use; concurrent callers' point operations coalesce
+// into shared request frames.
+//
+// Failure model is fail-stop: the first connection-fatal error (protocol
+// violation, peer gone) latches the client; every pending and future
+// operation returns the latched error. A lab client prefers a loud,
+// deterministic failure over silent retries that could reorder writes.
+type Client struct {
+	opts ClientOptions
+
+	// opq is the shared op queue. Senders drain it; it is closed exactly
+	// once, by Close, under qmu.
+	opq   chan *call
+	qmu   sync.RWMutex
+	conns []*clientConn
+
+	closed atomic.Bool // user called Close
+	errMu  sync.Mutex
+	err    error // first fatal transport error, latched
+
+	frames   atomic.Uint64
+	opFrames atomic.Uint64
+	ops      atomic.Uint64
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+var _ kv.Store = (*Client)(nil)
+var _ kv.StatsProvider = (*Client)(nil)
+
+// Dial connects to a kvnet server at addr.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	o := opts.withDefaults()
+	c := &Client{
+		opts: o,
+		opq:  make(chan *call, 4*o.BatchMaxOps),
+	}
+	for i := 0; i < o.Conns; i++ {
+		nc, err := net.DialTimeout("tcp", addr, o.DialTimeout)
+		if err == nil {
+			if tc, ok := nc.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			if herr := writeHandshake(nc); herr != nil {
+				nc.Close()
+				err = herr
+			}
+		}
+		if err != nil {
+			c.closed.Store(true)
+			for _, cc := range c.conns {
+				cc.nc.Close()
+			}
+			return nil, err
+		}
+		c.conns = append(c.conns, &clientConn{
+			client:  c,
+			nc:      nc,
+			sem:     make(chan struct{}, o.Window),
+			down:    make(chan struct{}),
+			waiters: make(map[uint64]*inflight),
+		})
+	}
+	for _, cc := range c.conns {
+		c.wg.Add(2)
+		go func(cc *clientConn) { defer c.wg.Done(); cc.sendLoop() }(cc)
+		go func(cc *clientConn) { defer c.wg.Done(); cc.readLoop() }(cc)
+	}
+	return c, nil
+}
+
+// latchedErr returns the fatal transport error, or nil.
+func (c *Client) latchedErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// fail latches err as the client's fatal error and closes the sockets.
+// The first caller's error wins; later calls only re-close.
+func (c *Client) fail(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+	for _, cc := range c.conns {
+		cc.nc.Close()
+	}
+}
+
+// deathErr is what operations fail with once the client is unusable.
+func (c *Client) deathErr() error {
+	if err := c.latchedErr(); err != nil {
+		return err
+	}
+	return kv.ErrClosed
+}
+
+// dead reports whether the client can no longer make progress.
+func (c *Client) dead() bool {
+	return c.closed.Load() || c.latchedErr() != nil
+}
+
+// enqueue submits a call to the shared op queue. The read-lock excludes
+// the channel close in Close, so a racing send can never panic; a call
+// stranded in the queue after a fatal error is failed by a draining
+// sender.
+func (c *Client) enqueue(cl *call) error {
+	c.qmu.RLock()
+	defer c.qmu.RUnlock()
+	if c.closed.Load() {
+		return kv.ErrClosed
+	}
+	if err := c.latchedErr(); err != nil {
+		return err
+	}
+	c.opq <- cl
+	return nil
+}
+
+// do runs one point op to completion.
+func (c *Client) do(kind byte, key, val []byte) (*call, error) {
+	cl := &call{kind: kind, key: key, val: val, done: make(chan struct{})}
+	if err := c.enqueue(cl); err != nil {
+		return nil, err
+	}
+	<-cl.done
+	return cl, cl.err
+}
+
+// doRequest runs one standalone request to completion.
+func (c *Client) doRequest(opcode byte, payload []byte) ([]byte, error) {
+	cl := &call{opcode: opcode, payload: payload, done: make(chan struct{})}
+	if err := c.enqueue(cl); err != nil {
+		return nil, err
+	}
+	<-cl.done
+	return cl.resp, cl.err
+}
+
+// Get implements kv.Reader.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	cl, err := c.do(kindGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !cl.found {
+		return nil, kv.ErrNotFound
+	}
+	return cl.value, nil
+}
+
+// Has implements kv.Reader.
+func (c *Client) Has(key []byte) (bool, error) {
+	cl, err := c.do(kindHas, key, nil)
+	if err != nil {
+		return false, err
+	}
+	return cl.found, nil
+}
+
+// Put implements kv.Writer.
+func (c *Client) Put(key, value []byte) error {
+	_, err := c.do(kindPut, key, value)
+	return err
+}
+
+// Delete implements kv.Writer.
+func (c *Client) Delete(key []byte) error {
+	_, err := c.do(kindDelete, key, nil)
+	return err
+}
+
+// Stats implements kv.StatsProvider by fetching the server-side store's
+// counters. A dead client reports zeros.
+func (c *Client) Stats() kv.Stats {
+	resp, err := c.doRequest(opStats, nil)
+	if err != nil {
+		return kv.Stats{}
+	}
+	r := &payloadReader{b: resp}
+	blob := r.Bytes()
+	if r.Err() != nil {
+		return kv.Stats{}
+	}
+	var stats kv.Stats
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&stats); err != nil {
+		return kv.Stats{}
+	}
+	return stats
+}
+
+// Ping round-trips an empty frame — a liveness check.
+func (c *Client) Ping() error {
+	_, err := c.doRequest(opPing, nil)
+	return err
+}
+
+// NetStats returns the client's transport counters.
+func (c *Client) NetStats() NetStats {
+	return NetStats{
+		FramesSent: c.frames.Load(),
+		OpFrames:   c.opFrames.Load(),
+		OpsSent:    c.ops.Load(),
+		BytesSent:  c.bytesOut.Load(),
+		BytesRecv:  c.bytesIn.Load(),
+	}
+}
+
+// Close implements kv.Store. In-flight operations fail with kv.ErrClosed;
+// the remote store stays open (the server owns it).
+func (c *Client) Close() error {
+	c.qmu.Lock()
+	if c.closed.Swap(true) {
+		c.qmu.Unlock()
+		return nil
+	}
+	close(c.opq)
+	c.qmu.Unlock()
+	for _, cc := range c.conns {
+		cc.nc.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// NewBatch implements kv.Batcher. The batch commits as one atomic frame.
+func (c *Client) NewBatch() kv.Batch {
+	return &netBatch{client: c}
+}
+
+// NewIterator implements kv.Iterable via server-side iterator paging. An
+// open failure is reported through the iterator's Error, matching the
+// local backends' corrupt-open behaviour.
+func (c *Client) NewIterator(prefix, start []byte) kv.Iterator {
+	var payload []byte
+	payload = appendBytes(payload, prefix)
+	payload = appendBytes(payload, start)
+	resp, err := c.doRequest(opIterOpen, payload)
+	if err != nil {
+		return &netIterator{err: err, done: true}
+	}
+	r := &payloadReader{b: resp}
+	id := r.U64()
+	if r.Err() != nil {
+		return &netIterator{err: fmt.Errorf("%w: iter open response", ErrBadPayload), done: true}
+	}
+	return &netIterator{client: c, id: id}
+}
+
+// inflight is one request frame awaiting its response.
+type inflight struct {
+	calls      []*call // point ops, in frame order (nil for standalone)
+	standalone *call
+}
+
+func (fl *inflight) fail(err error) {
+	if fl.standalone != nil {
+		fl.standalone.finish(err)
+	}
+	for _, cl := range fl.calls {
+		cl.finish(err)
+	}
+}
+
+// clientConn is one TCP connection of the pool.
+type clientConn struct {
+	client *Client
+	nc     net.Conn
+	sem    chan struct{} // in-flight window slots
+
+	down     chan struct{} // closed when the connection is torn down
+	downOnce sync.Once
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiters map[uint64]*inflight
+}
+
+// shutdown marks the connection dead, waking any sender blocked on a
+// window slot. Idempotent.
+func (cc *clientConn) shutdown() {
+	cc.downOnce.Do(func() { close(cc.down) })
+}
+
+// sendLoop owns the socket's write side: it pulls calls off the shared
+// queue, coalesces point ops up to the batch caps, and writes frames
+// subject to the in-flight window. Coalescing is self-clocking: the window
+// slot is acquired BEFORE the queue is drained, so while the window is
+// saturated callers pile into the queue, and the freed slot ships the
+// whole accumulation as one frame. Concurrency alone drives batch size —
+// no timer sits on the hot path.
+func (cc *clientConn) sendLoop() {
+	c := cc.client
+	o := c.opts
+	bw := bufio.NewWriterSize(cc.nc, 256<<10)
+	var held *call // op pulled past a batch boundary, not yet shipped
+	for {
+		var first *call
+		if held != nil {
+			first, held = held, nil
+		} else {
+			var ok bool
+			first, ok = <-c.opq
+			if !ok {
+				return // Close drained the queue
+			}
+		}
+		if c.dead() {
+			first.finish(c.deathErr())
+			continue
+		}
+		// Acquire the window slot before forming the batch: this is
+		// where a saturated window blocks, letting the op queue fill.
+		select {
+		case cc.sem <- struct{}{}: // released by readLoop
+		case <-cc.down: // reader gone; nothing will ever free a slot
+			first.finish(c.deathErr())
+			continue
+		}
+		if first.opcode != 0 {
+			cc.ship(bw, nil, first)
+			continue
+		}
+		batch := []*call{first}
+		size := pointOpSize(first)
+		var qClosed bool
+		held, batch, size, qClosed = cc.drain(batch, size)
+		// Optional linger for open-loop workloads: top the batch up as
+		// long as another frame is in flight to hide the wait.
+		if !qClosed && held == nil && o.BatchLinger > 0 &&
+			len(batch) < o.BatchMaxOps && size < o.BatchMaxBytes && len(cc.sem) > 1 {
+			timer := time.NewTimer(o.BatchLinger)
+		lingering:
+			for len(batch) < o.BatchMaxOps && size < o.BatchMaxBytes {
+				select {
+				case cl, ok := <-c.opq:
+					if !ok {
+						break lingering
+					}
+					if cl.opcode != 0 {
+						held = cl
+						break lingering
+					}
+					batch = append(batch, cl)
+					size += pointOpSize(cl)
+				case <-timer.C:
+					break lingering
+				}
+			}
+			timer.Stop()
+		}
+		cc.ship(bw, batch, nil)
+	}
+}
+
+// drain tops batch up from the queue without blocking, stopping at the
+// batch caps, a standalone call (returned as held), or queue closure.
+func (cc *clientConn) drain(batch []*call, size int) (held *call, _ []*call, _ int, qClosed bool) {
+	c := cc.client
+	o := c.opts
+	for len(batch) < o.BatchMaxOps && size < o.BatchMaxBytes {
+		select {
+		case cl, ok := <-c.opq:
+			if !ok {
+				return nil, batch, size, true
+			}
+			if cl.opcode != 0 {
+				return cl, batch, size, false
+			}
+			batch = append(batch, cl)
+			size += pointOpSize(cl)
+		default:
+			return nil, batch, size, false
+		}
+	}
+	return nil, batch, size, false
+}
+
+// pointOpSize estimates an op's encoded size for the byte cap.
+func pointOpSize(cl *call) int {
+	return 12 + len(cl.key) + len(cl.val)
+}
+
+// ship encodes and writes one frame (either a coalesced point-op batch or
+// a standalone request). The caller has already acquired a window slot.
+func (cc *clientConn) ship(bw *bufio.Writer, batch []*call, standalone *call) {
+	c := cc.client
+	cc.mu.Lock()
+	cc.nextID++
+	id := cc.nextID
+	cc.waiters[id] = &inflight{calls: batch, standalone: standalone}
+	cc.mu.Unlock()
+
+	body := make([]byte, 0, 512)
+	body = binary.LittleEndian.AppendUint64(body, id)
+	if standalone != nil {
+		body = append(body, standalone.opcode)
+		body = append(body, standalone.payload...)
+	} else {
+		body = append(body, opOps)
+		body = appendUvarint(body, uint64(len(batch)))
+		for _, cl := range batch {
+			body = append(body, cl.kind)
+			body = appendBytes(body, cl.key)
+			if cl.kind == kindPut {
+				body = appendBytes(body, cl.val)
+			}
+		}
+		c.opFrames.Add(1)
+		c.ops.Add(uint64(len(batch)))
+	}
+	c.frames.Add(1)
+	c.bytesOut.Add(uint64(len(body)))
+
+	if err := writeFrame(bw, body); err != nil {
+		cc.fatal(fmt.Errorf("kvnet: write: %w", err))
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		cc.fatal(fmt.Errorf("kvnet: flush: %w", err))
+		return
+	}
+	// The reader may have exited between our waiter registration and now
+	// (its final abort ran too early to see this frame). Every reader exit
+	// path closes down before its final abort, so if down is still open
+	// here the reader is guaranteed to see this waiter; if it is closed,
+	// abort ourselves. abort swaps the waiter map, so a waiter is failed
+	// at most once even when both sides race into it.
+	select {
+	case <-cc.down:
+		cc.abort(c.deathErr())
+	default:
+	}
+}
+
+// abort fails every waiter on this connection with err.
+func (cc *clientConn) abort(err error) {
+	cc.mu.Lock()
+	waiters := cc.waiters
+	cc.waiters = make(map[uint64]*inflight)
+	cc.mu.Unlock()
+	for _, fl := range waiters {
+		fl.fail(err)
+	}
+}
+
+// fatal propagates a connection-fatal error: latch it client-wide, tear
+// the sockets down, and fail every waiter on this connection.
+func (cc *clientConn) fatal(err error) {
+	cc.client.fail(err)
+	cc.shutdown()
+	cc.abort(cc.client.deathErr())
+}
+
+// readLoop owns the socket's read side: it matches response frames to
+// waiters by reqID and decodes per-op results.
+func (cc *clientConn) readLoop() {
+	c := cc.client
+	defer cc.shutdown()
+	br := bufio.NewReaderSize(cc.nc, 256<<10)
+	for {
+		body, err := readFrame(br, c.opts.MaxFrameBytes)
+		if err != nil {
+			// A read error during user-initiated Close is teardown,
+			// not a protocol failure. Close down before the abort so a
+			// racing ship() can detect that this abort missed it.
+			if c.closed.Load() {
+				cc.shutdown()
+				cc.abort(kv.ErrClosed)
+			} else if err == io.EOF {
+				cc.fatal(errors.New("kvnet: server closed the connection"))
+			} else {
+				cc.fatal(fmt.Errorf("kvnet: read: %w", err))
+			}
+			return
+		}
+		c.bytesIn.Add(uint64(len(body)))
+
+		r := &payloadReader{b: body}
+		id := r.U64()
+		status := r.U8()
+		if r.Err() != nil {
+			cc.fatal(fmt.Errorf("%w: short response header", ErrBadPayload))
+			return
+		}
+		cc.mu.Lock()
+		fl, ok := cc.waiters[id]
+		delete(cc.waiters, id)
+		cc.mu.Unlock()
+		if !ok {
+			cc.fatal(fmt.Errorf("%w: response for unknown request %d", ErrBadPayload, id))
+			return
+		}
+		<-cc.sem // release window slot
+
+		if status == statusError {
+			msg := r.Bytes()
+			if r.Err() != nil {
+				cc.fatal(fmt.Errorf("%w: error response", ErrBadPayload))
+				return
+			}
+			fl.fail(errors.New("kvnet: server: " + string(msg)))
+			continue
+		}
+		if fl.standalone != nil {
+			fl.standalone.resp = body[r.off:]
+			fl.standalone.finish(nil)
+			continue
+		}
+		if err := decodeOpsResponse(r, fl.calls); err != nil {
+			// fl was already unregistered above, so fatal's abort
+			// cannot reach it — fail its calls explicitly.
+			fl.fail(err)
+			cc.fatal(err)
+			return
+		}
+	}
+}
+
+// decodeOpsResponse delivers per-op results to the calls of one coalesced
+// frame. A count mismatch — the wire-level version of a silently short
+// batch — is a protocol error, never a partial delivery. The whole frame
+// is decoded before any call is finished, so a mid-frame decode failure
+// leaves every call unfinished for the caller to fail exactly once.
+func decodeOpsResponse(r *payloadReader, calls []*call) error {
+	n := r.Uvarint()
+	if r.Err() != nil || n != uint64(len(calls)) {
+		return fmt.Errorf("%w: ops response carries %d results, want %d", ErrBadPayload, n, len(calls))
+	}
+	perOp := make([]error, len(calls))
+	for i, cl := range calls {
+		rc := r.U8()
+		switch rc {
+		case rcOK:
+			switch cl.kind {
+			case kindGet:
+				v := r.Bytes()
+				if r.Err() != nil {
+					return fmt.Errorf("%w: get result", ErrBadPayload)
+				}
+				cl.found = true
+				cl.value = append([]byte(nil), v...)
+			case kindHas:
+				cl.found = r.U8() == 1
+			}
+			if r.Err() != nil {
+				return fmt.Errorf("%w: op result", ErrBadPayload)
+			}
+		case rcNotFound:
+			cl.found = false
+		case rcError:
+			msg := r.Bytes()
+			if r.Err() != nil {
+				return fmt.Errorf("%w: op error result", ErrBadPayload)
+			}
+			perOp[i] = errors.New("kvnet: server: " + string(msg))
+		default:
+			return fmt.Errorf("%w: op result code %d", ErrBadPayload, rc)
+		}
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in ops response", ErrBadPayload, r.Remaining())
+	}
+	for i, cl := range calls {
+		cl.finish(perOp[i])
+	}
+	return nil
+}
+
+// netBatch implements kv.Batch; Write ships one atomic frame.
+type netBatch struct {
+	client *Client
+	ops    []batchEntry
+	size   int
+}
+
+type batchEntry struct {
+	kind byte
+	key  []byte
+	val  []byte
+}
+
+func (b *netBatch) Put(key, value []byte) error {
+	b.ops = append(b.ops, batchEntry{
+		kind: kindPut,
+		key:  append([]byte(nil), key...),
+		val:  append([]byte(nil), value...),
+	})
+	b.size += len(key) + len(value)
+	return nil
+}
+
+func (b *netBatch) Delete(key []byte) error {
+	b.ops = append(b.ops, batchEntry{kind: kindDelete, key: append([]byte(nil), key...)})
+	b.size += len(key)
+	return nil
+}
+
+func (b *netBatch) ValueSize() int { return b.size }
+
+func (b *netBatch) Write() error {
+	payload := make([]byte, 0, b.size+16*len(b.ops)+8)
+	payload = appendUvarint(payload, uint64(len(b.ops)))
+	for _, e := range b.ops {
+		payload = append(payload, e.kind)
+		payload = appendBytes(payload, e.key)
+		if e.kind == kindPut {
+			payload = appendBytes(payload, e.val)
+		}
+	}
+	_, err := b.client.doRequest(opAtomic, payload)
+	return err
+}
+
+func (b *netBatch) Reset() {
+	b.ops = b.ops[:0]
+	b.size = 0
+}
+
+func (b *netBatch) Replay(w kv.Writer) error {
+	for _, e := range b.ops {
+		var err error
+		if e.kind == kindDelete {
+			err = w.Delete(e.key)
+		} else {
+			err = w.Put(e.key, e.val)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// netIterator pages a server-side iterator. A server-side iterator error
+// latches here exactly like a local corrupt-scan error: Next() goes false
+// and Error() reports it — never a clean-looking short scan.
+type netIterator struct {
+	client *Client
+	id     uint64
+
+	page     [][2][]byte // decoded (key, value) pairs of the current page
+	pos      int
+	done     bool // server exhausted (and released) the iterator
+	err      error
+	key, val []byte
+	released bool
+}
+
+func (it *netIterator) Next() bool {
+	for it.pos >= len(it.page) {
+		if it.done || it.err != nil || it.released {
+			return false
+		}
+		it.fetch()
+	}
+	it.key = it.page[it.pos][0]
+	it.val = it.page[it.pos][1]
+	it.pos++
+	return true
+}
+
+// fetch pulls the next page into it.page (possibly empty on exhaustion).
+func (it *netIterator) fetch() {
+	var payload []byte
+	payload = binary.LittleEndian.AppendUint64(payload, it.id)
+	payload = appendUvarint(payload, uint64(it.client.opts.IterPageOps))
+	resp, err := it.client.doRequest(opIterNext, payload)
+	if err != nil {
+		it.err = err
+		it.done = true
+		return
+	}
+	r := &payloadReader{b: resp}
+	done := r.U8() == 1
+	hasErr := r.U8() == 1
+	var iterErr error
+	if hasErr {
+		msg := r.Bytes()
+		if r.Err() == nil {
+			iterErr = errors.New("kvnet: server iterator: " + string(msg))
+		}
+	}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		it.err = fmt.Errorf("%w: iter page", ErrBadPayload)
+		it.done = true
+		return
+	}
+	it.page = it.page[:0]
+	it.pos = 0
+	for i := uint64(0); i < n; i++ {
+		k := r.Bytes()
+		v := r.Bytes()
+		if r.Err() != nil {
+			it.err = fmt.Errorf("%w: iter entry", ErrBadPayload)
+			it.done = true
+			return
+		}
+		it.page = append(it.page, [2][]byte{k, v})
+	}
+	it.done = done
+	if iterErr != nil {
+		it.err = iterErr
+	}
+}
+
+func (it *netIterator) Key() []byte   { return it.key }
+func (it *netIterator) Value() []byte { return it.val }
+func (it *netIterator) Error() error  { return it.err }
+
+func (it *netIterator) Release() {
+	if it.released {
+		return
+	}
+	it.released = true
+	it.page = nil
+	if it.client == nil || it.done {
+		return // never opened, or already released server-side
+	}
+	var payload []byte
+	payload = binary.LittleEndian.AppendUint64(payload, it.id)
+	it.client.doRequest(opIterClose, payload)
+}

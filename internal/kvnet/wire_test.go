@@ -1,0 +1,344 @@
+package kvnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"ethkv/internal/kv"
+)
+
+// TestFrameRoundTrip pins the framing layer's happy path.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 10000)}
+	for _, b := range bodies {
+		if err := writeFrame(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range bodies {
+		got, err := readFrame(&buf, DefaultMaxFrameBytes)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := readFrame(&buf, DefaultMaxFrameBytes); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+// TestTruncatedFrameSurfaces cuts a valid frame at every possible byte
+// boundary and asserts the reader reports truncation — never a clean EOF
+// that a caller could mistake for end-of-stream, and never a short body.
+func TestTruncatedFrameSurfaces(t *testing.T) {
+	var full bytes.Buffer
+	if err := writeFrame(&full, []byte("the quick brown fox")); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		_, err := readFrame(bytes.NewReader(raw[:cut]), DefaultMaxFrameBytes)
+		if !errors.Is(err, ErrTruncatedFrame) {
+			t.Fatalf("cut at %d/%d bytes: err = %v, want ErrTruncatedFrame", cut, len(raw), err)
+		}
+	}
+}
+
+// TestBitFlippedFrameSurfaces flips every bit of a frame in turn; every
+// flip must yield a protocol error (CRC mismatch, length corruption, or
+// truncation) — silent acceptance of a damaged frame is the bug class this
+// test exists for.
+func TestBitFlippedFrameSurfaces(t *testing.T) {
+	body := []byte("payload that must not be silently altered")
+	var full bytes.Buffer
+	if err := writeFrame(&full, body); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for bit := 0; bit < len(raw)*8; bit++ {
+		damaged := append([]byte(nil), raw...)
+		damaged[bit/8] ^= 1 << (bit % 8)
+		got, err := readFrame(bytes.NewReader(damaged), DefaultMaxFrameBytes)
+		if err == nil {
+			// The only acceptable "success" would be a read that still
+			// returns the exact original body — impossible here because
+			// every flipped bit is inside the frame.
+			t.Fatalf("bit %d: corrupt frame accepted (body %q)", bit, got)
+		}
+		if !errors.Is(err, ErrCorruptFrame) && !errors.Is(err, ErrTruncatedFrame) &&
+			!errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("bit %d: unexpected error class %v", bit, err)
+		}
+	}
+}
+
+// TestOversizedFrameRejected checks a wild length prefix cannot trigger an
+// arbitrary allocation.
+func TestOversizedFrameRejected(t *testing.T) {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1<<31)
+	_, err := readFrame(bytes.NewReader(hdr[:]), DefaultMaxFrameBytes)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestHandshakeRejected checks the server drops connections that don't
+// speak the protocol.
+func TestHandshakeRejected(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		bytes []byte
+	}{
+		{"http", []byte("GET / HTTP/1.1\r\n\r\n")},
+		{"bad-version", append(append([]byte{}, handshakeMagic[:]...), 99)},
+		{"short", []byte("eth")},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := readHandshake(bytes.NewReader(tc.bytes))
+			if !errors.Is(err, ErrBadHandshake) {
+				t.Fatalf("err = %v, want ErrBadHandshake", err)
+			}
+		})
+	}
+}
+
+// TestServerDropsCorruptStream connects raw TCP, completes the handshake,
+// then streams a bit-flipped frame: the server must drop the connection
+// (observed as EOF on our side), not execute anything.
+func TestServerDropsCorruptStream(t *testing.T) {
+	store := kv.NewMemStore()
+	addr, _ := startServer(t, store, silentOpts())
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := writeHandshake(nc); err != nil {
+		t.Fatal(err)
+	}
+	// A valid opOps frame with one put, then flip a payload bit but keep
+	// the stale CRC.
+	body := makeOpsBody(1, kindPut, []byte("k"), []byte("v"))
+	var frame bytes.Buffer
+	if err := writeFrame(&frame, body); err != nil {
+		t.Fatal(err)
+	}
+	raw := frame.Bytes()
+	raw[frameHeaderLen+9] ^= 0x40 // inside the body, past reqID
+	if _, err := nc.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadAll(nc); err != nil {
+		t.Fatalf("waiting for server close: %v", err)
+	}
+	if store.Len() != 0 {
+		t.Fatal("server executed an op from a corrupt frame")
+	}
+}
+
+// makeOpsBody builds an opOps request body.
+func makeOpsBody(reqID uint64, kind byte, key, val []byte) []byte {
+	body := binary.LittleEndian.AppendUint64(nil, reqID)
+	body = append(body, opOps)
+	body = appendUvarint(body, 1)
+	body = append(body, kind)
+	body = appendBytes(body, key)
+	if kind == kindPut {
+		body = appendBytes(body, val)
+	}
+	return body
+}
+
+// fakeServer accepts one kvnet connection and hands the test raw control
+// of the stream, for injecting malformed responses into a real client.
+func fakeServer(t *testing.T, handle func(t *testing.T, nc net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		if err := readHandshake(nc); err != nil {
+			t.Errorf("fake server handshake: %v", err)
+			return
+		}
+		handle(t, nc)
+	}()
+	return ln.Addr().String()
+}
+
+// readOneFrame reads a request frame off the raw connection.
+func readOneFrame(t *testing.T, nc net.Conn) []byte {
+	t.Helper()
+	body, err := readFrame(nc, DefaultMaxFrameBytes)
+	if err != nil {
+		t.Errorf("fake server read: %v", err)
+		return nil
+	}
+	return body
+}
+
+// TestClientSurfacesBitFlippedResponse has a fake server answer a Get with
+// a CRC-corrupt frame: the client must fail the op with a protocol error
+// and latch, never deliver data from the damaged frame.
+func TestClientSurfacesBitFlippedResponse(t *testing.T) {
+	addr := fakeServer(t, func(t *testing.T, nc net.Conn) {
+		req := readOneFrame(t, nc)
+		if req == nil {
+			return
+		}
+		reqID := binary.LittleEndian.Uint64(req[:8])
+		// Well-formed ops response: 1 result, get found, value "v".
+		resp := binary.LittleEndian.AppendUint64(nil, reqID)
+		resp = append(resp, statusOK)
+		resp = appendUvarint(resp, 1)
+		resp = append(resp, rcOK)
+		resp = appendBytes(resp, []byte("v"))
+		var frame bytes.Buffer
+		writeFrame(&frame, resp)
+		raw := frame.Bytes()
+		raw[len(raw)-1] ^= 0x01 // flip a value bit, CRC now stale
+		nc.Write(raw)
+		// Hold the conn open so the failure comes from the CRC, not EOF.
+		time.Sleep(2 * time.Second)
+	})
+	c := dialT(t, addr, ClientOptions{})
+	defer c.Close()
+
+	_, err := c.Get([]byte("k"))
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("Get over corrupt response: %v, want ErrCorruptFrame", err)
+	}
+	// The client must have latched: subsequent ops fail fast.
+	if err := c.Put([]byte("k"), []byte("v")); err == nil {
+		t.Fatal("client accepted ops after a protocol error")
+	}
+}
+
+// TestClientSurfacesTruncatedResponse has the fake server die mid-frame:
+// the pending op must fail with a truncation error.
+func TestClientSurfacesTruncatedResponse(t *testing.T) {
+	addr := fakeServer(t, func(t *testing.T, nc net.Conn) {
+		req := readOneFrame(t, nc)
+		if req == nil {
+			return
+		}
+		reqID := binary.LittleEndian.Uint64(req[:8])
+		resp := binary.LittleEndian.AppendUint64(nil, reqID)
+		resp = append(resp, statusOK)
+		resp = appendUvarint(resp, 1)
+		resp = append(resp, rcOK)
+		resp = appendBytes(resp, bytes.Repeat([]byte("x"), 1024))
+		var frame bytes.Buffer
+		writeFrame(&frame, resp)
+		nc.Write(frame.Bytes()[:20]) // header + a sliver of body
+		// Close tears the stream mid-frame.
+	})
+	c := dialT(t, addr, ClientOptions{})
+	defer c.Close()
+
+	_, err := c.Get([]byte("k"))
+	if !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("Get over truncated response: %v, want ErrTruncatedFrame", err)
+	}
+}
+
+// TestClientRejectsShortBatchResponse has the fake server return a valid,
+// CRC-clean frame that answers only 2 of 3 coalesced ops. The client must
+// treat the count mismatch as a protocol error for the whole frame — the
+// wire-level version of the silent-scan-truncation bug PR 4 killed.
+func TestClientRejectsShortBatchResponse(t *testing.T) {
+	addr := fakeServer(t, func(t *testing.T, nc net.Conn) {
+		for {
+			req, err := readFrame(nc, DefaultMaxFrameBytes)
+			if err != nil {
+				return
+			}
+			r := &payloadReader{b: req}
+			reqID := r.U64()
+			opcode := r.U8()
+			if opcode != opOps {
+				continue
+			}
+			n := r.Uvarint()
+			// Answer one fewer result than requested, all "not found".
+			resp := binary.LittleEndian.AppendUint64(nil, reqID)
+			resp = append(resp, statusOK)
+			short := n
+			if short > 1 {
+				short--
+			}
+			resp = appendUvarint(resp, short)
+			for i := uint64(0); i < short; i++ {
+				resp = append(resp, rcNotFound)
+			}
+			writeFrame(nc, resp)
+		}
+	})
+	// Force all three gets into one frame: saturate the window with a
+	// first op, queue the rest, then release.
+	c := dialT(t, addr, ClientOptions{Conns: 1, Window: 1, BatchLinger: 100 * time.Millisecond})
+	defer c.Close()
+
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			_, err := c.Get([]byte(fmt.Sprintf("k%d", i)))
+			errs <- err
+		}(i)
+	}
+	protoErrs := 0
+	for i := 0; i < 3; i++ {
+		err := <-errs
+		if errors.Is(err, ErrBadPayload) {
+			protoErrs++
+		} else if err == nil || errors.Is(err, kv.ErrNotFound) {
+			// Singleton frames (the ops that didn't coalesce) are
+			// answered correctly by the fake server when n==1.
+			continue
+		} else if !errors.Is(err, ErrBadPayload) && err != nil {
+			// Latched-protocol-error failures for later ops are fine.
+			continue
+		}
+	}
+	if protoErrs == 0 {
+		t.Fatal("short batch response was not surfaced as a protocol error")
+	}
+}
+
+// FuzzServerRequestDecode throws arbitrary bodies at the server's request
+// handler: it must never panic, returning either a response or a protocol
+// error.
+func FuzzServerRequestDecode(f *testing.F) {
+	f.Add(makeOpsBody(1, kindPut, []byte("k"), []byte("v")))
+	f.Add(makeOpsBody(2, kindGet, []byte("k"), nil))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	srv := NewServer(kv.NewMemStore(), silentOpts())
+	f.Fuzz(func(t *testing.T, body []byte) {
+		st := &connState{owned: make(map[uint64]struct{})}
+		resp, err := srv.handle(st, body)
+		if err == nil && resp == nil {
+			t.Fatal("handle returned neither response nor error")
+		}
+		srv.releaseConnIters(st)
+	})
+}
