@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke cache-smoke flat-smoke serve-smoke clean
+.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke cache-smoke flat-smoke serve-smoke shard-smoke clean
 
 all: build test
 
@@ -21,7 +21,7 @@ race:
 # internal/obs must stay race-clean — `race` covers ./... including
 # internal/obs and the kv.Instrument decorator), a wide crash-recovery
 # sweep, and the end-to-end network serving smoke.
-check: build vet race crashtest serve-smoke
+check: build vet race crashtest serve-smoke shard-smoke
 
 # Crash-recovery fault injection: hundreds of seeded workload/crash-point
 # replays through the injectable VFS, verified against an in-memory model.
@@ -36,15 +36,15 @@ bench:
 
 # Machine-readable benchmark snapshot: runs the paper benchmarks once and
 # writes ns/op, B/op, allocs/op, and the custom metrics (latency
-# percentiles, served-ops/s, ops/frame) to BENCH_7.json.
-# (BENCH_1..BENCH_6 are earlier snapshots; bench-diff compares across.)
+# percentiles, served-ops/s, shard-scaling ops/s) to BENCH_8.json.
+# (BENCH_1..BENCH_7 are earlier snapshots; bench-diff compares across.)
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_7.json
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_8.json
 
 # Per-benchmark ns/op movement between the recorded snapshots, including
 # latency-percentile delta rows for benchmarks that report them.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_6.json BENCH_7.json
+	$(GO) run ./cmd/benchjson -diff BENCH_7.json BENCH_8.json
 
 # Short fuzz passes over the binary decoders.
 fuzz:
@@ -58,6 +58,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzBlockRead -fuzztime=10s ./internal/lsm/
 	$(GO) test -run=NONE -fuzz=FuzzFlatEntryReplay -fuzztime=10s ./internal/flatstore/
 	$(GO) test -run=NONE -fuzz=FuzzServerRequestDecode -fuzztime=10s ./internal/kvnet/
+	$(GO) test -run=NONE -fuzz=FuzzShardRouting -fuzztime=10s ./internal/shard/
 
 vet:
 	$(GO) vet ./...
@@ -119,6 +120,23 @@ flat-smoke:
 		-backend flat -census $(FLAT_SMOKE_DIR)/census-flat.txt
 	cmp $(FLAT_SMOKE_DIR)/census-lsm.txt $(FLAT_SMOKE_DIR)/census-flat.txt \
 		&& echo "flat-smoke: census byte-identical across backends"
+
+# Shard-equivalence smoke test: replay one golden trace through a 1-shard
+# and an 8-shard configuration of the same backend and require the two
+# post-state census files (Table I + order-independent content digest) to
+# be byte-identical. Sharding must change performance, never results.
+SHARD_SMOKE_DIR ?= /tmp/ethkv-shard-smoke
+shard-smoke:
+	rm -rf $(SHARD_SMOKE_DIR) && mkdir -p $(SHARD_SMOKE_DIR)
+	$(GO) run ./cmd/tracegen -dir $(SHARD_SMOKE_DIR)/traces -blocks 40 -mode bare \
+		-accounts 2000 -contracts 200 -tx 60
+	$(GO) build -o $(SHARD_SMOKE_DIR)/replaybench ./cmd/replaybench
+	$(SHARD_SMOKE_DIR)/replaybench -trace $(SHARD_SMOKE_DIR)/traces/BareTrace/BareTrace.bin \
+		-backend lsm -shards 1 -census $(SHARD_SMOKE_DIR)/census-1.txt
+	$(SHARD_SMOKE_DIR)/replaybench -trace $(SHARD_SMOKE_DIR)/traces/BareTrace/BareTrace.bin \
+		-backend lsm -shards 8 -census $(SHARD_SMOKE_DIR)/census-8.txt
+	cmp $(SHARD_SMOKE_DIR)/census-1.txt $(SHARD_SMOKE_DIR)/census-8.txt \
+		&& echo "shard-smoke: census byte-identical at 1 and 8 shards"
 
 # Network serving smoke test: start a real kvserver, replay a generated
 # trace through the batching kvnet client (replaybench -serve), and assert

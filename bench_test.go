@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ethkv/internal/analysis"
+	"ethkv/internal/backends"
 	"ethkv/internal/cache"
 	"ethkv/internal/chain"
 	"ethkv/internal/flatstore"
@@ -31,6 +32,7 @@ import (
 	"ethkv/internal/obs"
 	"ethkv/internal/rawdb"
 	"ethkv/internal/report"
+	"ethkv/internal/shard"
 	"ethkv/internal/trace"
 	"ethkv/internal/trie"
 )
@@ -955,6 +957,115 @@ func BenchmarkServedThroughput(b *testing.B) {
 				if h, ok := snap.Histograms[obs.Name("ethkv_server_op_latency_ns", "op", "put")]; ok && h.Count > 0 {
 					b.ReportMetric(h.Quantile(0.50), "server-put-p50-ns")
 					b.ReportMetric(h.Quantile(0.99), "server-put-p99-ns")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardScale measures horizontal scaling of the shard router
+// (E15): the same concurrent point-op mix — 16 goroutines alternating puts
+// and gets over hash-spread keys — runs against lsm children at 1, 2, 4,
+// 8, and 16 shards, first on the local store and then through an
+// in-process kvserver, the serving path composed unchanged over the
+// sharded store. Each shard owns an independent memtable, WAL, and flush
+// pipeline, so on a multi-core host the op/s curve should rise past
+// shards=1 as writer contention divides by the shard count. Reports
+// achieved op/s and, where the router is in play, the hottest shard's op
+// share (hash routing should keep it near 100/shards).
+func BenchmarkShardScale(b *testing.B) {
+	const totalOps = 32768
+	const workers = 16
+	type pointStore interface {
+		Put(key, value []byte) error
+		Get(key []byte) ([]byte, error)
+	}
+	drive := func(b *testing.B, s pointStore) float64 {
+		b.Helper()
+		perWorker := totalOps / workers
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var key [16]byte
+				val := make([]byte, 64)
+				for j := 0; j < perWorker; j++ {
+					binary.LittleEndian.PutUint64(key[:8], uint64(w))
+					binary.LittleEndian.PutUint64(key[8:], uint64(j))
+					var err error
+					if j%2 == 0 {
+						err = s.Put(key[:], val)
+					} else {
+						_, err = s.Get(key[:])
+						if err == kv.ErrNotFound {
+							err = nil
+						}
+					}
+					if err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errCh:
+			b.Fatal(err)
+		default:
+		}
+		return float64(totalOps) / elapsed.Seconds()
+	}
+	for _, mode := range []string{"local", "served"} {
+		for _, shards := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("mode=%s/shards=%d", mode, shards), func(b *testing.B) {
+				var opsPerSec, hotShare float64
+				for i := 0; i < b.N; i++ {
+					store, err := backends.Open("lsm", b.TempDir(), backends.Options{Shards: shards})
+					if err != nil {
+						b.Fatal(err)
+					}
+					switch mode {
+					case "local":
+						opsPerSec = drive(b, store)
+					case "served":
+						srv := kvnet.NewServer(store, kvnet.ServerOptions{Logf: func(string, ...any) {}})
+						addr, err := srv.Listen("127.0.0.1:0")
+						if err != nil {
+							b.Fatal(err)
+						}
+						c, err := kvnet.Dial(addr, kvnet.ClientOptions{Conns: 2, Window: 4})
+						if err != nil {
+							b.Fatal(err)
+						}
+						opsPerSec = drive(b, c)
+						c.Close()
+						srv.Close()
+					}
+					if r, ok := store.(*shard.Router); ok {
+						var total, max uint64
+						for _, st := range r.ShardStats() {
+							ops := st.Gets + st.Puts + st.Deletes
+							total += ops
+							if ops > max {
+								max = ops
+							}
+						}
+						if total > 0 {
+							hotShare = 100 * float64(max) / float64(total)
+						}
+					}
+					if err := store.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(opsPerSec, "ops/s")
+				if hotShare > 0 {
+					b.ReportMetric(hotShare, "hot-shard-pct")
 				}
 			})
 		}

@@ -36,6 +36,8 @@ func main() {
 
 		blockCacheMB = flag.Int("block-cache-mb", 0, "LSM block cache budget in MiB (0 = store default, negative disables; -backend lsm only)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address during the run; empty disables")
+		shards       = flag.Int("shards", 1, "partition the backing store across this many child stores (1 = unsharded)")
+		shardMode    = flag.String("shard-mode", "hash", "shard partition function: hash or class")
 	)
 	flag.Parse()
 
@@ -64,9 +66,11 @@ func main() {
 	}
 	bare, cached, err := lab.RunBothConfigs(
 		lab.Config{Mode: lab.Bare, Blocks: *blocks, Workload: workload, ImportWorkers: *workers,
-			Backend: *backend, BlockCacheBytes: cacheBytes, Metrics: registry},
+			Backend: *backend, BlockCacheBytes: cacheBytes, Metrics: registry,
+			Shards: *shards, ShardMode: *shardMode},
 		lab.Config{Mode: lab.Cached, Blocks: *blocks, Workload: workload, ImportWorkers: *workers,
-			Backend: *backend, BlockCacheBytes: cacheBytes, Metrics: registry})
+			Backend: *backend, BlockCacheBytes: cacheBytes, Metrics: registry,
+			Shards: *shards, ShardMode: *shardMode})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,6 +36,8 @@ func main() {
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address; empty disables")
 		workers      = flag.Int("workers", 0, "request-executing goroutines per connection (0 = default)")
 		blockCacheMB = flag.Int("block-cache-mb", 0, "LSM block cache budget in MiB (0 = store default, negative disables)")
+		shards       = flag.Int("shards", 1, "partition the keyspace across this many child stores (1 = unsharded)")
+		shardMode    = flag.String("shard-mode", "hash", "shard partition function: hash or class")
 	)
 	flag.Parse()
 
@@ -62,7 +64,11 @@ func main() {
 	if cacheBytes > 0 {
 		cacheBytes <<= 20
 	}
-	store, err := backends.Open(*backend, workDir, backends.Options{BlockCacheBytes: cacheBytes})
+	store, err := backends.Open(*backend, workDir, backends.Options{
+		BlockCacheBytes: cacheBytes,
+		Shards:          *shards,
+		ShardMode:       *shardMode,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +83,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("kvserver: serving %s backend on %s\n", *backend, bound)
+	if *shards > 1 {
+		fmt.Printf("kvserver: serving %s backend (%d %s-mode shards) on %s\n", *backend, *shards, *shardMode, bound)
+	} else {
+		fmt.Printf("kvserver: serving %s backend on %s\n", *backend, bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -50,14 +50,18 @@ const progressChunk = 200_000
 
 func main() {
 	var (
-		tracePath   = flag.String("trace", "", "trace file to replay")
-		backend     = flag.String("backend", "lsm", "storage backend: lsm, flat, hash, log, lazy, or hybrid")
-		dir         = flag.String("dir", "", "working directory (default: temp)")
-		censusPath  = flag.String("census", "", "after the replay, write a post-state census (Table I plus an order-independent content digest) to this file; byte-identical across backends iff the stores hold identical data")
+		tracePath    = flag.String("trace", "", "trace file to replay")
+		backend      = flag.String("backend", "lsm", "storage backend: lsm, flat, hash, log, lazy, or hybrid")
+		dir          = flag.String("dir", "", "working directory (default: temp)")
+		censusPath   = flag.String("census", "", "after the replay, write a post-state census (Table I plus an order-independent content digest) to this file; byte-identical across backends iff the stores hold identical data")
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8321); empty disables")
 		metricsHold  = flag.Duration("metrics-hold", 0, "keep the metrics server up this long after the replay finishes (for scraping/profiling a finished run)")
 		blockCacheMB = flag.Int("block-cache-mb", 0, "LSM block cache budget in MiB (0 = store default, negative disables; lsm/lazy/hybrid backends)")
 		duration     = flag.Duration("duration", 0, "stop replaying after this long, even mid-trace (0 = replay everything)")
+		shards       = flag.Int("shards", 1, "partition the keyspace across this many child stores (1 = unsharded)")
+		shardMode    = flag.String("shard-mode", "hash", "shard partition function: hash or class")
+		shardSweep   = flag.String("shard-sweep", "", "comma-separated shard counts (e.g. 1,2,4,8,16): replay the trace once per count with -sweep-workers concurrent workers and report the scaling curve")
+		sweepWorkers = flag.Int("sweep-workers", 8, "concurrent replay workers per sweep point in -shard-sweep mode")
 
 		serveAddr = flag.String("serve", "", "replay against a remote kvserver at this address instead of a local backend")
 		clients   = flag.Int("clients", 16, "concurrent replay workers in -serve mode")
@@ -90,6 +94,30 @@ func main() {
 		defer os.RemoveAll(workDir)
 	}
 
+	cacheBytesFor := func(mb int) int64 {
+		b := int64(mb)
+		if b > 0 {
+			b <<= 20
+		}
+		return b
+	}
+
+	if *shardSweep != "" {
+		ops, err := loadOps(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts, err := parseSweepCounts(*shardSweep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runShardSweep(ops, *backend, workDir, *shardMode, counts,
+			*sweepWorkers, cacheBytesFor(*blockCacheMB)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	var registry *obs.Registry
 	if *metricsAddr != "" {
 		registry = obs.NewRegistry()
@@ -100,11 +128,11 @@ func main() {
 		fmt.Printf("metrics: http://%s/metrics   pprof: http://%s/debug/pprof/\n", addr, addr)
 	}
 
-	cacheBytes := int64(*blockCacheMB)
-	if cacheBytes > 0 {
-		cacheBytes <<= 20
-	}
-	store, err := backends.Open(*backend, workDir, backends.Options{BlockCacheBytes: cacheBytes})
+	store, err := backends.Open(*backend, workDir, backends.Options{
+		BlockCacheBytes: cacheBytesFor(*blockCacheMB),
+		Shards:          *shards,
+		ShardMode:       *shardMode,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,20 +14,55 @@ import (
 	"ethkv/internal/kv"
 	"ethkv/internal/logstore"
 	"ethkv/internal/lsm"
+	"ethkv/internal/shard"
 )
 
 // Options tunes backend construction.
 type Options struct {
 	// BlockCacheBytes sets the LSM block-cache budget (0 = store default,
-	// negative disables; lsm/lazy/hybrid backends).
+	// negative disables; lsm/lazy/hybrid backends). With sharding, each
+	// shard gets the full budget.
 	BlockCacheBytes int64
+	// Shards partitions the keyspace across this many child stores of the
+	// requested kind behind a shard.Router (0 or 1 = unsharded). Each
+	// child lives under dir/shard-NN, so a sharded database reopens from
+	// the same dir and shard count.
+	Shards int
+	// ShardMode selects the partition function: "hash" (default) or
+	// "class" (key-class routing that keeps a class's range scans
+	// shard-local).
+	ShardMode string
 }
 
 // Kinds lists the recognised backend names, for usage strings.
 func Kinds() string { return "lsm, flat, hash, log, lazy, or hybrid" }
 
-// Open constructs the requested store under dir.
+// Open constructs the requested store under dir. With opts.Shards > 1 the
+// store is a shard.Router over that many children of the same kind.
 func Open(kind, dir string, opts Options) (kv.Store, error) {
+	if opts.Shards > 1 {
+		mode, err := shard.ParseMode(opts.ShardMode)
+		if err != nil {
+			return nil, err
+		}
+		children := make([]kv.Store, opts.Shards)
+		for i := range children {
+			child, err := openOne(kind, filepath.Join(dir, fmt.Sprintf("shard-%02d", i)), opts)
+			if err != nil {
+				for _, c := range children[:i] {
+					c.Close()
+				}
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			children[i] = child
+		}
+		return shard.New(children, shard.Options{Mode: mode})
+	}
+	return openOne(kind, dir, opts)
+}
+
+// openOne constructs a single (unsharded) store of the requested kind.
+func openOne(kind, dir string, opts Options) (kv.Store, error) {
 	lsmOpts := lsm.Options{
 		DisableWAL:          true,
 		MemtableBytes:       256 << 10,

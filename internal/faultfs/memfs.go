@@ -321,8 +321,8 @@ func (r *memReadFile) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
-func (r *memReadFile) Write(p []byte) (int, error)  { return 0, errReadOnlyHandle }
-func (r *memReadFile) Sync() error                  { return nil }
-func (r *memReadFile) Truncate(size int64) error    { return errReadOnlyHandle }
-func (r *memReadFile) Close() error                 { return nil }
-func (r *memReadFile) Size() (int64, error)         { return int64(len(r.data)), nil }
+func (r *memReadFile) Write(p []byte) (int, error) { return 0, errReadOnlyHandle }
+func (r *memReadFile) Sync() error                 { return nil }
+func (r *memReadFile) Truncate(size int64) error   { return errReadOnlyHandle }
+func (r *memReadFile) Close() error                { return nil }
+func (r *memReadFile) Size() (int64, error)        { return int64(len(r.data)), nil }

@@ -48,6 +48,19 @@ type ClientOptions struct {
 	// IterPageOps is how many entries one iterator page requests.
 	// Default 512.
 	IterPageOps int
+	// RedialAttempts is how many consecutive reconnect attempts a pool
+	// connection makes after an I/O failure before the client latches
+	// fail-stop. 0 (the default) keeps the strict fail-stop model: the
+	// first connection error is fatal. Ops in flight when a connection
+	// dies always fail with the outage — a redial never re-ships an op
+	// the server may have executed, so every op completes exactly once —
+	// but ops issued afterwards proceed on the fresh session. The budget
+	// is per outage: a successful reconnect resets it, so a long-lived
+	// client survives any number of distinct server restarts.
+	RedialAttempts int
+	// RedialBackoff is the wait before each reconnect attempt.
+	// Default 100ms.
+	RedialBackoff time.Duration
 }
 
 func (o *ClientOptions) withDefaults() ClientOptions {
@@ -72,6 +85,9 @@ func (o *ClientOptions) withDefaults() ClientOptions {
 	}
 	if v.IterPageOps <= 0 {
 		v.IterPageOps = 512
+	}
+	if v.RedialBackoff <= 0 {
+		v.RedialBackoff = 100 * time.Millisecond
 	}
 	return v
 }
@@ -126,6 +142,10 @@ func (cl *call) finish(err error) {
 // violation, peer gone) latches the client; every pending and future
 // operation returns the latched error. A lab client prefers a loud,
 // deterministic failure over silent retries that could reorder writes.
+// RedialAttempts > 0 relaxes only the peer-gone half: an I/O outage is
+// retried by reconnecting, while ops in flight at the moment of the
+// outage still fail (exactly-once completion) and protocol violations
+// still latch immediately.
 type Client struct {
 	opts ClientOptions
 
@@ -172,22 +192,17 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 		if err != nil {
 			c.closed.Store(true)
 			for _, cc := range c.conns {
-				cc.nc.Close()
+				cc.closeSession()
 			}
 			return nil, err
 		}
-		c.conns = append(c.conns, &clientConn{
-			client:  c,
-			nc:      nc,
-			sem:     make(chan struct{}, o.Window),
-			down:    make(chan struct{}),
-			waiters: make(map[uint64]*inflight),
-		})
+		cc := &clientConn{client: c, addr: addr}
+		cc.sess = newSession(nc, o.Window)
+		c.conns = append(c.conns, cc)
 	}
 	for _, cc := range c.conns {
-		c.wg.Add(2)
-		go func(cc *clientConn) { defer c.wg.Done(); cc.sendLoop() }(cc)
-		go func(cc *clientConn) { defer c.wg.Done(); cc.readLoop() }(cc)
+		c.wg.Add(1)
+		go func(cc *clientConn) { defer c.wg.Done(); cc.run(cc.sess) }(cc)
 	}
 	return c, nil
 }
@@ -208,7 +223,7 @@ func (c *Client) fail(err error) {
 	}
 	c.errMu.Unlock()
 	for _, cc := range c.conns {
-		cc.nc.Close()
+		cc.closeSession()
 	}
 }
 
@@ -342,7 +357,7 @@ func (c *Client) Close() error {
 	close(c.opq)
 	c.qmu.Unlock()
 	for _, cc := range c.conns {
-		cc.nc.Close()
+		cc.closeSession()
 	}
 	c.wg.Wait()
 	return nil
@@ -387,24 +402,183 @@ func (fl *inflight) fail(err error) {
 	}
 }
 
-// clientConn is one TCP connection of the pool.
+// clientConn is one pool slot: a supervisor owning a sequence of TCP
+// sessions. Under the default fail-stop model the first session is the
+// slot's whole life; with RedialAttempts > 0 the supervisor replaces a
+// session that died on an I/O error with a freshly dialed one.
 type clientConn struct {
 	client *Client
-	nc     net.Conn
-	sem    chan struct{} // in-flight window slots
+	addr   string
 
-	down     chan struct{} // closed when the connection is torn down
+	mu   sync.Mutex
+	sess *session // current session, so Close/fail can cut the socket
+}
+
+// session is one TCP connection's lifetime: the socket, its in-flight
+// window, and the waiters keyed by request ID.
+type session struct {
+	nc  net.Conn
+	sem chan struct{} // in-flight window slots
+
+	down     chan struct{} // closed when the session is torn down
 	downOnce sync.Once
 
 	mu      sync.Mutex
 	nextID  uint64
 	waiters map[uint64]*inflight
+	ioErr   error // first I/O error, for the supervisor
 }
 
-// shutdown marks the connection dead, waking any sender blocked on a
-// window slot. Idempotent.
-func (cc *clientConn) shutdown() {
-	cc.downOnce.Do(func() { close(cc.down) })
+func newSession(nc net.Conn, window int) *session {
+	return &session{
+		nc:      nc,
+		sem:     make(chan struct{}, window),
+		down:    make(chan struct{}),
+		waiters: make(map[uint64]*inflight),
+	}
+}
+
+// shutdown marks the session dead, waking any sender blocked on a window
+// slot. Idempotent.
+func (s *session) shutdown() {
+	s.downOnce.Do(func() { close(s.down) })
+}
+
+// fail records the session's first I/O error, tears it down, and fails
+// every waiter with err. In-flight ops die with the outage rather than
+// being re-shipped: the server may have executed them, and completing an
+// op twice is worse than failing it once.
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	if s.ioErr == nil {
+		s.ioErr = err
+	}
+	s.mu.Unlock()
+	s.shutdown()
+	s.abort(err)
+}
+
+// err returns the session's first I/O error, or nil.
+func (s *session) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ioErr
+}
+
+// abort fails every waiter on this session with err.
+func (s *session) abort(err error) {
+	s.mu.Lock()
+	waiters := s.waiters
+	s.waiters = make(map[uint64]*inflight)
+	s.mu.Unlock()
+	for _, fl := range waiters {
+		fl.fail(err)
+	}
+}
+
+// closeSession cuts the current session's socket (Close/fail teardown).
+func (cc *clientConn) closeSession() {
+	cc.mu.Lock()
+	if cc.sess != nil {
+		cc.sess.nc.Close()
+	}
+	cc.mu.Unlock()
+}
+
+// errQueueClosed signals a clean sendLoop exit: Close closed the op queue.
+var errQueueClosed = errors.New("kvnet: op queue closed")
+
+// run supervises one pool slot: sessions run until the client closes, a
+// protocol error latches it, or an I/O outage outlives the redial budget.
+// An op pulled from the queue but never shipped carries over to the next
+// session — the server never saw it, so re-shipping it preserves
+// exactly-once completion; ops that reached the wire are never retried.
+func (cc *clientConn) run(sess *session) {
+	c := cc.client
+	var held *call
+	for {
+		var err error
+		held, err = cc.runSession(sess, held)
+		if errors.Is(err, errQueueClosed) {
+			return
+		}
+		next := cc.redial()
+		if next == nil {
+			// Budget exhausted (or zero: strict fail-stop). Latch the
+			// outage client-wide and fail everything still queued; the
+			// drain also keeps enqueuers from blocking until Close.
+			if !c.closed.Load() {
+				c.fail(err)
+			}
+			if held != nil {
+				held.finish(c.deathErr())
+				held = nil
+			}
+			for cl := range c.opq {
+				cl.finish(c.deathErr())
+			}
+			return
+		}
+		sess = next
+	}
+}
+
+// runSession drives one session to its end: the reader runs beside the
+// sender, and whichever dies first tears the session down. Returns the op
+// pulled past the session's death (never shipped) and why the session
+// ended — errQueueClosed for a clean client Close.
+func (cc *clientConn) runSession(sess *session, held *call) (*call, error) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cc.readLoop(sess)
+	}()
+	held, err := cc.sendLoop(sess, held)
+	// Unblock the reader and finish the teardown before the supervisor
+	// decides what comes next.
+	sess.nc.Close()
+	<-done
+	if err == nil {
+		err = sess.err()
+	}
+	if err == nil {
+		err = errors.New("kvnet: connection down")
+	}
+	return held, err
+}
+
+// redial tries to replace a dead session, sleeping RedialBackoff before
+// each attempt. Returns nil once the budget is spent, the client closed,
+// or a fatal error latched. The budget is per outage — each call starts
+// fresh — so a successful reconnect buys the full budget again.
+func (cc *clientConn) redial() *session {
+	c := cc.client
+	o := c.opts
+	for attempt := 0; attempt < o.RedialAttempts && !c.dead(); attempt++ {
+		time.Sleep(o.RedialBackoff)
+		nc, err := net.DialTimeout("tcp", cc.addr, o.DialTimeout)
+		if err != nil {
+			continue
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		if err := writeHandshake(nc); err != nil {
+			nc.Close()
+			continue
+		}
+		sess := newSession(nc, o.Window)
+		cc.mu.Lock()
+		if c.dead() {
+			cc.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		cc.sess = sess
+		cc.mu.Unlock()
+		return sess
+	}
+	return nil
 }
 
 // sendLoop owns the socket's write side: it pulls calls off the shared
@@ -414,12 +588,17 @@ func (cc *clientConn) shutdown() {
 // saturated callers pile into the queue, and the freed slot ships the
 // whole accumulation as one frame. Concurrency alone drives batch size —
 // no timer sits on the hot path.
-func (cc *clientConn) sendLoop() {
+func (cc *clientConn) sendLoop(sess *session, held *call) (*call, error) {
 	c := cc.client
 	o := c.opts
-	bw := bufio.NewWriterSize(cc.nc, 256<<10)
-	var held *call // op pulled past a batch boundary, not yet shipped
+	bw := bufio.NewWriterSize(sess.nc, 256<<10)
 	for {
+		// Session dead: hand the un-shipped op back to the supervisor.
+		select {
+		case <-sess.down:
+			return held, nil
+		default:
+		}
 		var first *call
 		if held != nil {
 			first, held = held, nil
@@ -427,7 +606,7 @@ func (cc *clientConn) sendLoop() {
 			var ok bool
 			first, ok = <-c.opq
 			if !ok {
-				return // Close drained the queue
+				return nil, errQueueClosed // Close drained the queue
 			}
 		}
 		if c.dead() {
@@ -437,13 +616,21 @@ func (cc *clientConn) sendLoop() {
 		// Acquire the window slot before forming the batch: this is
 		// where a saturated window blocks, letting the op queue fill.
 		select {
-		case cc.sem <- struct{}{}: // released by readLoop
-		case <-cc.down: // reader gone; nothing will ever free a slot
-			first.finish(c.deathErr())
-			continue
+		case sess.sem <- struct{}{}: // released by readLoop
+			// A select with both cases ready picks randomly, so re-check
+			// down with priority: an op pulled long after this session
+			// died must carry to the next session, not ship into a dead
+			// socket just to fail.
+			select {
+			case <-sess.down:
+				return first, nil
+			default:
+			}
+		case <-sess.down: // reader gone; nothing will ever free a slot
+			return first, nil // never shipped; the next session may carry it
 		}
 		if first.opcode != 0 {
-			cc.ship(bw, nil, first)
+			cc.ship(bw, sess, nil, first)
 			continue
 		}
 		batch := []*call{first}
@@ -453,7 +640,7 @@ func (cc *clientConn) sendLoop() {
 		// Optional linger for open-loop workloads: top the batch up as
 		// long as another frame is in flight to hide the wait.
 		if !qClosed && held == nil && o.BatchLinger > 0 &&
-			len(batch) < o.BatchMaxOps && size < o.BatchMaxBytes && len(cc.sem) > 1 {
+			len(batch) < o.BatchMaxOps && size < o.BatchMaxBytes && len(sess.sem) > 1 {
 			timer := time.NewTimer(o.BatchLinger)
 		lingering:
 			for len(batch) < o.BatchMaxOps && size < o.BatchMaxBytes {
@@ -474,7 +661,7 @@ func (cc *clientConn) sendLoop() {
 			}
 			timer.Stop()
 		}
-		cc.ship(bw, batch, nil)
+		cc.ship(bw, sess, batch, nil)
 	}
 }
 
@@ -508,13 +695,13 @@ func pointOpSize(cl *call) int {
 
 // ship encodes and writes one frame (either a coalesced point-op batch or
 // a standalone request). The caller has already acquired a window slot.
-func (cc *clientConn) ship(bw *bufio.Writer, batch []*call, standalone *call) {
+func (cc *clientConn) ship(bw *bufio.Writer, sess *session, batch []*call, standalone *call) {
 	c := cc.client
-	cc.mu.Lock()
-	cc.nextID++
-	id := cc.nextID
-	cc.waiters[id] = &inflight{calls: batch, standalone: standalone}
-	cc.mu.Unlock()
+	sess.mu.Lock()
+	sess.nextID++
+	id := sess.nextID
+	sess.waiters[id] = &inflight{calls: batch, standalone: standalone}
+	sess.mu.Unlock()
 
 	body := make([]byte, 0, 512)
 	body = binary.LittleEndian.AppendUint64(body, id)
@@ -538,11 +725,11 @@ func (cc *clientConn) ship(bw *bufio.Writer, batch []*call, standalone *call) {
 	c.bytesOut.Add(uint64(len(body)))
 
 	if err := writeFrame(bw, body); err != nil {
-		cc.fatal(fmt.Errorf("kvnet: write: %w", err))
+		sess.fail(fmt.Errorf("kvnet: write: %w", err))
 		return
 	}
 	if err := bw.Flush(); err != nil {
-		cc.fatal(fmt.Errorf("kvnet: flush: %w", err))
+		sess.fail(fmt.Errorf("kvnet: flush: %w", err))
 		return
 	}
 	// The reader may have exited between our waiter registration and now
@@ -552,50 +739,44 @@ func (cc *clientConn) ship(bw *bufio.Writer, batch []*call, standalone *call) {
 	// abort ourselves. abort swaps the waiter map, so a waiter is failed
 	// at most once even when both sides race into it.
 	select {
-	case <-cc.down:
-		cc.abort(c.deathErr())
+	case <-sess.down:
+		err := sess.err()
+		if err == nil {
+			err = c.deathErr()
+		}
+		sess.abort(err)
 	default:
 	}
 }
 
-// abort fails every waiter on this connection with err.
-func (cc *clientConn) abort(err error) {
-	cc.mu.Lock()
-	waiters := cc.waiters
-	cc.waiters = make(map[uint64]*inflight)
-	cc.mu.Unlock()
-	for _, fl := range waiters {
-		fl.fail(err)
-	}
-}
-
-// fatal propagates a connection-fatal error: latch it client-wide, tear
-// the sockets down, and fail every waiter on this connection.
-func (cc *clientConn) fatal(err error) {
+// fatal propagates a connection-fatal error — a protocol violation no
+// reconnect can repair: latch it client-wide and kill the session.
+func (cc *clientConn) fatal(sess *session, err error) {
 	cc.client.fail(err)
-	cc.shutdown()
-	cc.abort(cc.client.deathErr())
+	sess.fail(err)
 }
 
 // readLoop owns the socket's read side: it matches response frames to
 // waiters by reqID and decodes per-op results.
-func (cc *clientConn) readLoop() {
+func (cc *clientConn) readLoop(sess *session) {
 	c := cc.client
-	defer cc.shutdown()
-	br := bufio.NewReaderSize(cc.nc, 256<<10)
+	defer sess.shutdown()
+	br := bufio.NewReaderSize(sess.nc, 256<<10)
 	for {
 		body, err := readFrame(br, c.opts.MaxFrameBytes)
 		if err != nil {
 			// A read error during user-initiated Close is teardown,
 			// not a protocol failure. Close down before the abort so a
 			// racing ship() can detect that this abort missed it.
+			// A peer-gone error kills only the session — the supervisor
+			// decides whether it latches the client or redials.
 			if c.closed.Load() {
-				cc.shutdown()
-				cc.abort(kv.ErrClosed)
+				sess.shutdown()
+				sess.abort(kv.ErrClosed)
 			} else if err == io.EOF {
-				cc.fatal(errors.New("kvnet: server closed the connection"))
+				sess.fail(errors.New("kvnet: server closed the connection"))
 			} else {
-				cc.fatal(fmt.Errorf("kvnet: read: %w", err))
+				sess.fail(fmt.Errorf("kvnet: read: %w", err))
 			}
 			return
 		}
@@ -605,23 +786,23 @@ func (cc *clientConn) readLoop() {
 		id := r.U64()
 		status := r.U8()
 		if r.Err() != nil {
-			cc.fatal(fmt.Errorf("%w: short response header", ErrBadPayload))
+			cc.fatal(sess, fmt.Errorf("%w: short response header", ErrBadPayload))
 			return
 		}
-		cc.mu.Lock()
-		fl, ok := cc.waiters[id]
-		delete(cc.waiters, id)
-		cc.mu.Unlock()
+		sess.mu.Lock()
+		fl, ok := sess.waiters[id]
+		delete(sess.waiters, id)
+		sess.mu.Unlock()
 		if !ok {
-			cc.fatal(fmt.Errorf("%w: response for unknown request %d", ErrBadPayload, id))
+			cc.fatal(sess, fmt.Errorf("%w: response for unknown request %d", ErrBadPayload, id))
 			return
 		}
-		<-cc.sem // release window slot
+		<-sess.sem // release window slot
 
 		if status == statusError {
 			msg := r.Bytes()
 			if r.Err() != nil {
-				cc.fatal(fmt.Errorf("%w: error response", ErrBadPayload))
+				cc.fatal(sess, fmt.Errorf("%w: error response", ErrBadPayload))
 				return
 			}
 			fl.fail(errors.New("kvnet: server: " + string(msg)))
@@ -636,7 +817,7 @@ func (cc *clientConn) readLoop() {
 			// fl was already unregistered above, so fatal's abort
 			// cannot reach it — fail its calls explicitly.
 			fl.fail(err)
-			cc.fatal(err)
+			cc.fatal(sess, err)
 			return
 		}
 	}

@@ -1,0 +1,154 @@
+package kvnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ethkv/internal/kv"
+)
+
+// TestClientFailStopExactlyOnce is the regression test for op completion
+// during connection death under the default fail-stop model: when the
+// server dies mid-traffic, every outstanding op must complete exactly once
+// — returning an error, never hanging (a lost completion would park its
+// caller forever) and never finishing twice (a double finish panics on the
+// second close of the op's done channel, which -race and this test would
+// surface). Afterwards the client must be latched: every future op fails
+// immediately with the fatal error.
+func TestClientFailStopExactlyOnce(t *testing.T) {
+	store := kv.NewMemStore()
+	addr, srv := startServer(t, store, silentOpts())
+	c := dialT(t, addr, ClientOptions{Conns: 2, Window: 4})
+	defer c.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	var sawError atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				key := []byte(fmt.Sprintf("w%d-%06d", w, i))
+				if err := c.Put(key, []byte("v")); err != nil {
+					sawError.Add(1)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond) // let concurrent traffic build
+	srv.Close()                       // cut every connection mid-window
+	wg.Wait()                         // hangs here if any op never completes
+
+	if sawError.Load() != workers {
+		t.Fatalf("%d/%d workers observed the failure", sawError.Load(), workers)
+	}
+	// The latch: ops after the death fail fast, they do not block.
+	start := time.Now()
+	if err := c.Put([]byte("after"), []byte("v")); err == nil {
+		t.Fatal("client accepted an op after fail-stop latch")
+	}
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping succeeded on a latched client")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("latched client took %v to fail ops", d)
+	}
+}
+
+// TestClientRedialSurvivesRestart exercises bounded redial-on-reconnect:
+// with RedialAttempts set, a server restart is an outage the client rides
+// out, not a fatal error. Ops in flight during the outage fail (they are
+// never re-shipped — the dead server may have executed them), but ops
+// issued afterwards complete on the fresh session and see all state the
+// store held before the restart.
+func TestClientRedialSurvivesRestart(t *testing.T) {
+	store := kv.NewMemStore()
+	addr, srv := startServer(t, store, silentOpts())
+	c := dialT(t, addr, ClientOptions{
+		Conns:          2,
+		RedialAttempts: 200,
+		RedialBackoff:  2 * time.Millisecond,
+	})
+	defer c.Close()
+
+	if err := c.Put([]byte("before"), []byte("1")); err != nil {
+		t.Fatalf("put before restart: %v", err)
+	}
+	srv.Close()
+
+	// Restart: a new server for the same store on the same address.
+	srv2 := NewServer(store, silentOpts())
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+
+	// An op racing the outage may fail exactly once; retried, it must
+	// complete on the redialed session. If the client wrongly latched,
+	// every retry fails and the deadline trips.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, err := c.Get([]byte("before"))
+		if err == nil {
+			if string(v) != "1" {
+				t.Fatalf("state lost across restart: got %q", v)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("get never succeeded after server restart: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.Put([]byte("after"), []byte("2")); err != nil {
+		t.Fatalf("put after restart: %v", err)
+	}
+	if v, err := c.Get([]byte("after")); err != nil || string(v) != "2" {
+		t.Fatalf("get after restart = %q, %v", v, err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("client latched despite successful redial: %v", err)
+	}
+}
+
+// TestClientRedialBudgetExhausted checks the bound: when the server never
+// comes back, the redial budget runs out and the client latches fail-stop
+// exactly as if redial were disabled — future ops fail immediately rather
+// than blocking behind endless reconnect attempts.
+func TestClientRedialBudgetExhausted(t *testing.T) {
+	store := kv.NewMemStore()
+	addr, srv := startServer(t, store, silentOpts())
+	c := dialT(t, addr, ClientOptions{
+		RedialAttempts: 3,
+		RedialBackoff:  time.Millisecond,
+	})
+	defer c.Close()
+
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	srv.Close() // and never restart
+
+	deadline := time.Now().Add(10 * time.Second)
+	var err error
+	for err == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("ops kept succeeding after server death")
+		}
+		err = c.Put([]byte("k"), []byte("v"))
+	}
+	// Give the budget time to drain, then require a fast-failing latch.
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping succeeded after redial budget exhaustion")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("latched client took %v to fail ops", d)
+	}
+}

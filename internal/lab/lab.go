@@ -20,6 +20,7 @@ import (
 	"ethkv/internal/lsm"
 	"ethkv/internal/obs"
 	"ethkv/internal/rawdb"
+	"ethkv/internal/shard"
 	"ethkv/internal/trace"
 )
 
@@ -79,6 +80,14 @@ type Config struct {
 	// the registry. Series carry a trace=<mode> label so the bare and
 	// cached runs of RunBothConfigs share one registry without colliding.
 	Metrics *obs.Registry
+	// Shards partitions the backing store across this many child stores of
+	// the same backend kind behind a shard.Router (0 or 1 = unsharded).
+	// Sharding changes where pairs live, never what the trace or census
+	// contains.
+	Shards int
+	// ShardMode selects the shard partition function: "hash" (default) or
+	// "class" (key-class routing; a class's range scans stay shard-local).
+	ShardMode string
 }
 
 // DefaultConfig returns a laptop-scale run mirroring the artifact's
@@ -121,7 +130,7 @@ func Run(cfg Config) (*Result, error) {
 		defer os.RemoveAll(tmp)
 		storeDir = tmp
 	}
-	inner, err := openBackend(cfg.Backend, storeDir, cfg.BlockCacheBytes)
+	inner, err := openBackend(cfg.Backend, storeDir, cfg.BlockCacheBytes, cfg.Shards, cfg.ShardMode)
 	if err != nil {
 		return nil, err
 	}
@@ -260,8 +269,33 @@ func Run(cfg Config) (*Result, error) {
 
 // openBackend constructs the store named by backend under dir.
 // blockCacheBytes only applies to the LSM's block cache (0 = store
-// default, negative disables).
-func openBackend(backend, dir string, blockCacheBytes int64) (kv.Store, error) {
+// default, negative disables). shards > 1 partitions the keyspace across
+// that many children of the same kind (each under dir/shard-NN) behind a
+// shard.Router.
+func openBackend(backend, dir string, blockCacheBytes int64, shards int, shardMode string) (kv.Store, error) {
+	if shards > 1 {
+		mode, err := shard.ParseMode(shardMode)
+		if err != nil {
+			return nil, fmt.Errorf("lab: %w", err)
+		}
+		children := make([]kv.Store, shards)
+		for i := range children {
+			child, err := openOneBackend(backend, filepath.Join(dir, fmt.Sprintf("shard-%02d", i)), blockCacheBytes)
+			if err != nil {
+				for _, c := range children[:i] {
+					c.Close()
+				}
+				return nil, fmt.Errorf("lab: shard %d: %w", i, err)
+			}
+			children[i] = child
+		}
+		return shard.New(children, shard.Options{Mode: mode})
+	}
+	return openOneBackend(backend, dir, blockCacheBytes)
+}
+
+// openOneBackend constructs a single (unsharded) store.
+func openOneBackend(backend, dir string, blockCacheBytes int64) (kv.Store, error) {
 	switch backend {
 	case "", "mem":
 		return kv.NewMemStore(), nil

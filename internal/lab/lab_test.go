@@ -2,9 +2,9 @@ package lab
 
 import (
 	"math/rand"
-	"reflect"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 

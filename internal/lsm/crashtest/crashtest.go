@@ -12,6 +12,13 @@
 // acknowledged write is ever lost and no acknowledged delete ever
 // resurrects) and units — single ops or whole batches — apply
 // all-or-nothing (so a torn group never leaks a partial batch).
+//
+// With Config.Shards > 1 the same cycle runs against a shard.Router over N
+// children, each on its own fault-injected filesystem with its own seeded
+// plan: one seeded victim shard crashes mid-workload, power loss tears
+// every shard independently, and — because cross-shard batches commit
+// per-shard groups — the verifier checks prefix consistency per
+// (writer, shard) across the reopened router.
 package crashtest
 
 import (
@@ -25,6 +32,7 @@ import (
 	"ethkv/internal/flatstore"
 	"ethkv/internal/kv"
 	"ethkv/internal/lsm"
+	"ethkv/internal/shard"
 )
 
 // Config parameterizes one crash-recovery run. Everything random derives
@@ -48,6 +56,14 @@ type Config struct {
 	// store default, negative disables. Recovery must verify identically
 	// at any cache size.
 	BlockCacheBytes int64
+	// Shards > 1 runs the workload against a shard.Router over that many
+	// children of the Backend kind, each on its own fault-injected
+	// filesystem with its own seeded plan. One seeded victim shard carries
+	// the mid-workload crash point; power loss then tears every shard's
+	// un-synced tail independently. Cross-shard batches commit per-shard
+	// groups, so the verifier checks prefix consistency per (writer, shard)
+	// rather than per writer.
+	Shards int
 }
 
 // op is one modelled mutation.
@@ -89,6 +105,9 @@ func Run(cfg Config, fail func(format string, args ...any)) Result {
 	}
 	if cfg.Units <= 0 {
 		cfg.Units = 40
+	}
+	if cfg.Shards > 1 {
+		return runSharded(cfg, fail)
 	}
 	mem := faultfs.NewMemFS()
 	plan := faultfs.NewPlan(cfg.Seed)
@@ -158,6 +177,132 @@ func Run(cfg Config, fail func(format string, args ...any)) Result {
 	res := Result{Crashed: plan.Crashed(), UnitsRun: total}
 	if sp, ok := db.(kv.StatsProvider); ok && db != nil {
 		res.IORetries = sp.Stats().IORetries
+	}
+	return res
+}
+
+// runSharded executes one seeded crash-recovery cycle against a
+// shard.Router. Each shard's filesystem carries its own seeded fault plan;
+// a seeded victim shard trips the mid-workload crash, and power loss tears
+// every shard's un-synced tail independently. Because a cross-shard batch
+// commits per-shard groups (atomic within a shard, not across shards),
+// recovery is verified per (writer, shard): each shard's slice of a
+// writer's keyspace must match a prefix of that writer's shard-local unit
+// sequence.
+func runSharded(cfg Config, fail func(format string, args ...any)) Result {
+	n := cfg.Shards
+	mems := make([]*faultfs.MemFS, n)
+	plans := make([]*faultfs.Plan, n)
+	for i := range mems {
+		mems[i] = faultfs.NewMemFS()
+		plans[i] = faultfs.NewPlan(cfg.Seed*7919 + int64(i))
+		plans[i].TransientProb = cfg.TransientProb
+		plans[i].SetReadTransientProb(cfg.ReadTransientProb)
+	}
+	tripAll := func() {
+		for _, p := range plans {
+			p.TripCrash()
+		}
+	}
+	seedRng := rand.New(rand.NewSource(cfg.Seed))
+	victim := seedRng.Intn(n)
+	plans[victim].CrashAfterWrites = 1 + seedRng.Int63n(300)
+
+	var db *shard.Router
+	children := make([]kv.Store, n)
+	for i := range children {
+		child, err := openBackend(cfg, faultfs.Inject(mems[i], plans[i]))
+		if err != nil {
+			// The victim's crash point can land inside its Open; with
+			// nothing acknowledged anywhere, any recoverable state is
+			// consistent. Kill the run before closing the shards that did
+			// open, so their closes cannot sync state the dead process
+			// never acknowledged.
+			if !plans[i].Crashed() && !faultfs.IsTransient(err) {
+				fail("seed %d: shard %d open failed without a crash: %v", cfg.Seed, i, err)
+				return Result{}
+			}
+			tripAll()
+			for _, c := range children[:i] {
+				c.Close()
+			}
+			children = nil
+			break
+		}
+		children[i] = child
+	}
+	if children != nil {
+		r, err := shard.New(children, shard.Options{})
+		if err != nil {
+			fail("seed %d: shard router: %v", cfg.Seed, err)
+			return Result{}
+		}
+		db = r
+	}
+
+	logs := make([]*workerLog, cfg.Workers)
+	if db != nil {
+		done := make(chan *workerLog, cfg.Workers)
+		for w := 0; w < cfg.Workers; w++ {
+			go func(w int) {
+				done <- runWorker(db, cfg, w)
+			}(w)
+		}
+		for range logs {
+			l := <-done
+			logs[l.worker] = l
+		}
+		tripAll() // end-of-run power loss hits every shard at once
+		db.Close()
+	} else {
+		for w := range logs {
+			logs[w] = &workerLog{worker: w}
+		}
+	}
+
+	// Power loss: every shard's un-synced bytes tear away independently,
+	// per its own seeded schedule.
+	for i := range mems {
+		mems[i].Crash(plans[i].TornTail())
+	}
+
+	// Reboot every shard on its surviving bytes — no fault injection.
+	reChildren := make([]kv.Store, n)
+	for i := range reChildren {
+		c, err := openBackend(cfg, mems[i])
+		if err != nil {
+			fail("seed %d: shard %d reopen after crash failed: %v", cfg.Seed, i, err)
+			for _, rc := range reChildren[:i] {
+				rc.Close()
+			}
+			return Result{}
+		}
+		reChildren[i] = c
+	}
+	re, err := shard.New(reChildren, shard.Options{})
+	if err != nil {
+		fail("seed %d: shard router reopen: %v", cfg.Seed, err)
+		return Result{}
+	}
+	defer re.Close()
+
+	recovered := dumpStore(re, cfg.Seed, fail)
+	var total int
+	for w, l := range logs {
+		for s := 0; s < n; s++ {
+			verifyWorkerShard(cfg.Seed, w, s, l, re, recovered, fail)
+		}
+		total += len(l.units)
+	}
+	for key := range recovered {
+		if workerOf(key) < 0 || workerOf(key) >= cfg.Workers {
+			fail("seed %d: recovered alien key %q", cfg.Seed, key)
+		}
+	}
+
+	res := Result{Crashed: plans[victim].Crashed(), UnitsRun: total}
+	if db != nil {
+		res.IORetries = db.Stats().IORetries
 	}
 	return res
 }
@@ -296,6 +441,54 @@ func verifyWorker(seed int64, w int, l *workerLog, recovered map[string]string, 
 			got[k] = v
 		}
 	}
+	if model, ok := checkPrefix(l.units, l.floor, got); !ok {
+		fail("seed %d worker %d: recovered state matches no prefix in [%d, %d]\n%s",
+			seed, w, l.floor, len(l.units), diffState(model, got))
+	}
+}
+
+// verifyWorkerShard checks prefix consistency for one (writer, shard)
+// pair. A cross-shard batch commits per-shard groups, so atomicity — and
+// with it prefix consistency — holds per shard: the recovered slice of
+// worker w's keyspace living on shard s must equal the model after some
+// prefix of the writer's shard-s sub-units. An acked batch syncs only the
+// shards it actually wrote, so the durability floor on shard s advances
+// only past acked units that touched s.
+func verifyWorkerShard(seed int64, w, s int, l *workerLog, r *shard.Router, recovered map[string]string, fail func(string, ...any)) {
+	prefix := fmt.Sprintf("w%02d-", w)
+	got := make(map[string]string)
+	for k, v := range recovered {
+		if strings.HasPrefix(k, prefix) && r.ShardOf([]byte(k)) == s {
+			got[k] = v
+		}
+	}
+	var units []unit
+	floor := 0
+	for _, u := range l.units {
+		var ops []op
+		for _, o := range u.ops {
+			if r.ShardOf([]byte(o.key)) == s {
+				ops = append(ops, o)
+			}
+		}
+		if len(ops) == 0 {
+			continue
+		}
+		units = append(units, unit{ops: ops, acked: u.acked})
+		if u.acked {
+			floor = len(units)
+		}
+	}
+	if model, ok := checkPrefix(units, floor, got); !ok {
+		fail("seed %d worker %d shard %d: recovered state matches no shard-local prefix in [%d, %d]\n%s",
+			seed, w, s, floor, len(units), diffState(model, got))
+	}
+}
+
+// checkPrefix searches for a prefix P in [floor, len(units)] whose model
+// equals got. On failure it returns the full model (every unit applied),
+// the most useful diff anchor.
+func checkPrefix(units []unit, floor int, got map[string]string) (map[string]string, bool) {
 	model := make(map[string]string)
 	apply := func(u unit) {
 		for _, o := range u.ops {
@@ -306,20 +499,18 @@ func verifyWorker(seed int64, w int, l *workerLog, recovered map[string]string, 
 			}
 		}
 	}
-	for i := 0; i < l.floor; i++ {
-		apply(l.units[i])
+	for i := 0; i < floor; i++ {
+		apply(units[i])
 	}
-	for p := l.floor; ; p++ {
+	for p := floor; ; p++ {
 		if mapsEqual(model, got) {
-			return
+			return model, true
 		}
-		if p >= len(l.units) {
-			break
+		if p >= len(units) {
+			return model, false
 		}
-		apply(l.units[p])
+		apply(units[p])
 	}
-	fail("seed %d worker %d: recovered state matches no prefix in [%d, %d]\n%s",
-		seed, w, l.floor, len(l.units), diffState(model, got))
 }
 
 // mapsEqual reports deep equality of two string maps.

@@ -125,14 +125,14 @@ type flushTask struct {
 
 // DB is the LSM store. It implements kv.Store and kv.StatsProvider.
 type DB struct {
-	mu   sync.RWMutex
-	cond *sync.Cond // signalled by the background worker; L is &mu
-	opts Options
-	dir  string
-	fs   faultfs.FS // all durable I/O goes through this seam
-	wal  *wal   // active log, paired with mem
-	walSeq uint64 // generation of the active log
-	mem  *memtable
+	mu     sync.RWMutex
+	cond   *sync.Cond // signalled by the background worker; L is &mu
+	opts   Options
+	dir    string
+	fs     faultfs.FS // all durable I/O goes through this seam
+	wal    *wal       // active log, paired with mem
+	walSeq uint64     // generation of the active log
+	mem    *memtable
 	memSeq int64 // memtable generation, perturbs the skiplist seed
 	// imm holds frozen memtables awaiting flush, oldest first. The read
 	// path consults them newest-first between mem and L0.
@@ -146,7 +146,7 @@ type DB struct {
 	open   map[uint64]*tableReader
 	// cache is the DB-wide sharded block cache all demand-paged table
 	// reads go through; nil when Options.BlockCacheBytes is negative.
-	cache *blockCache
+	cache  *blockCache
 	next   atomic.Uint64 // next file number
 	closed bool
 
