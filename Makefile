@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke cache-smoke flat-smoke serve-smoke shard-smoke clean
+.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke cache-smoke flat-smoke serve-smoke shard-smoke policy-smoke clean
 
 all: build test
 
@@ -21,7 +21,7 @@ race:
 # internal/obs must stay race-clean — `race` covers ./... including
 # internal/obs and the kv.Instrument decorator), a wide crash-recovery
 # sweep, and the end-to-end network serving smoke.
-check: build vet race crashtest serve-smoke shard-smoke
+check: build vet race crashtest serve-smoke shard-smoke policy-smoke
 
 # Crash-recovery fault injection: hundreds of seeded workload/crash-point
 # replays through the injectable VFS, verified against an in-memory model.
@@ -36,15 +36,16 @@ bench:
 
 # Machine-readable benchmark snapshot: runs the paper benchmarks once and
 # writes ns/op, B/op, allocs/op, and the custom metrics (latency
-# percentiles, served-ops/s, shard-scaling ops/s) to BENCH_8.json.
-# (BENCH_1..BENCH_7 are earlier snapshots; bench-diff compares across.)
+# percentiles, served-ops/s, shard-scaling ops/s, policy-replay ops/s) to
+# BENCH_9.json. (BENCH_1..BENCH_8 are earlier snapshots; bench-diff
+# compares across.)
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_8.json
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_9.json
 
 # Per-benchmark ns/op movement between the recorded snapshots, including
 # latency-percentile delta rows for benchmarks that report them.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_7.json BENCH_8.json
+	$(GO) run ./cmd/benchjson -diff BENCH_8.json BENCH_9.json
 
 # Short fuzz passes over the binary decoders.
 fuzz:
@@ -120,6 +121,25 @@ flat-smoke:
 		-backend flat -census $(FLAT_SMOKE_DIR)/census-flat.txt
 	cmp $(FLAT_SMOKE_DIR)/census-lsm.txt $(FLAT_SMOKE_DIR)/census-flat.txt \
 		&& echo "flat-smoke: census byte-identical across backends"
+
+# Policy-equivalence smoke test: collect a golden trace, replay it through
+# a plain LSM and through the census-derived per-class policy store
+# (-policy auto), and require the two post-state census files (Table I +
+# order-independent content digest) to be byte-identical. The derived
+# policy file itself lands in the smoke dir for inspection.
+POLICY_SMOKE_DIR ?= /tmp/ethkv-policy-smoke
+policy-smoke:
+	rm -rf $(POLICY_SMOKE_DIR) && mkdir -p $(POLICY_SMOKE_DIR)
+	$(GO) run ./cmd/tracegen -dir $(POLICY_SMOKE_DIR)/traces -blocks 40 -mode bare \
+		-accounts 2000 -contracts 200 -tx 60
+	$(GO) build -o $(POLICY_SMOKE_DIR)/replaybench ./cmd/replaybench
+	$(POLICY_SMOKE_DIR)/replaybench -trace $(POLICY_SMOKE_DIR)/traces/BareTrace/BareTrace.bin \
+		-backend lsm -census $(POLICY_SMOKE_DIR)/census-lsm.txt
+	$(POLICY_SMOKE_DIR)/replaybench -trace $(POLICY_SMOKE_DIR)/traces/BareTrace/BareTrace.bin \
+		-policy auto -policy-out $(POLICY_SMOKE_DIR)/policy.json \
+		-census $(POLICY_SMOKE_DIR)/census-policy.txt
+	cmp $(POLICY_SMOKE_DIR)/census-lsm.txt $(POLICY_SMOKE_DIR)/census-policy.txt \
+		&& echo "policy-smoke: census byte-identical under derived policy"
 
 # Shard-equivalence smoke test: replay one golden trace through a 1-shard
 # and an 8-shard configuration of the same backend and require the two

@@ -30,6 +30,7 @@ import (
 	"ethkv/internal/logstore"
 	"ethkv/internal/lsm"
 	"ethkv/internal/obs"
+	"ethkv/internal/policy"
 	"ethkv/internal/rawdb"
 	"ethkv/internal/report"
 	"ethkv/internal/shard"
@@ -1069,5 +1070,59 @@ func BenchmarkShardScale(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkPolicyReplay measures the census-driven policy store against
+// uniform single-backend baselines on the same mixed workload (E16): the
+// bare trace replays once through a plain LSM, once through the single-seek
+// flat store, and once through the hybrid store configured by the policy
+// derived from the trace's own census — the exact derivation that
+// `replaybench -policy auto` runs. The baselines are the two backends that
+// can serve the whole workload uniformly: hash and log are excluded
+// because hashstore scans are unordered (the workload's BlockHeader
+// iterations need key order, Finding 4) and logstore is not persistent —
+// the policy store may still use them for the classes where they are
+// safe, which is precisely its advantage. All stores go through the same
+// internal/backends factory, so the only variable is the routing. Reports
+// achieved replay op/s plus physical write/read amplification; BENCH diffs
+// then show whether per-class routing beats the best uniform choice.
+func BenchmarkPolicyReplay(b *testing.B) {
+	bare, _ := sharedRuns(b)
+	ops := bare.Ops
+	derived := policy.Derive(policy.CollectCensus(ops))
+	printOnce("policy", func() {
+		fmt.Printf("== derived storage policy (BareTrace census)\n%s\n", derived.Encode())
+	})
+	for _, backend := range []string{"lsm", "flat", "policy"} {
+		b.Run("backend="+backend, func(b *testing.B) {
+			var st kv.Stats
+			var opsPerSec float64
+			for i := 0; i < b.N; i++ {
+				kind := backend
+				var pol *policy.Policy
+				if backend == "policy" {
+					kind, pol = "hybrid", derived
+				}
+				store, err := backends.Open(kind, b.TempDir(), backends.Options{Policy: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				res, err := hybrid.Replay(store, ops)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opsPerSec = float64(len(ops)) / time.Since(start).Seconds()
+				st = res.Stats
+				if err := store.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(opsPerSec, "ops/s")
+			b.ReportMetric(st.WriteAmplification(), "write-amp")
+			b.ReportMetric(st.ReadAmplification(), "read-amp")
+		})
 	}
 }

@@ -15,9 +15,11 @@ import (
 	"time"
 
 	"ethkv/internal/analysis"
+	"ethkv/internal/backends"
 	"ethkv/internal/chain"
 	"ethkv/internal/lab"
 	"ethkv/internal/obs"
+	"ethkv/internal/policy"
 	"ethkv/internal/rawdb"
 	"ethkv/internal/report"
 	"ethkv/internal/trace"
@@ -32,7 +34,8 @@ func main() {
 		seed      = flag.Int64("seed", 42, "workload RNG seed")
 		outDir    = flag.String("out", "", "also write the artifact-layout output tree to this directory")
 		workers   = flag.Int("import-workers", 0, "import pipeline fan-out (0 = ETHKV_IMPORT_WORKERS or GOMAXPROCS, 1 = sequential)")
-		backend   = flag.String("backend", "mem", "storage backend for both runs: mem, lsm, flat, hash, or log")
+		backend   = flag.String("backend", "mem", "storage backend for both runs: "+backends.Kinds())
+		policyArg = flag.String("policy", "", "per-class storage policy JSON for the hybrid backend (implies -backend hybrid)")
 
 		blockCacheMB = flag.Int("block-cache-mb", 0, "LSM block cache budget in MiB (0 = store default, negative disables; -backend lsm only)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address during the run; empty disables")
@@ -51,6 +54,17 @@ func main() {
 		fmt.Printf("metrics: http://%s/metrics   pprof: http://%s/debug/pprof/\n", addr, addr)
 	}
 
+	var pol *policy.Policy
+	if *policyArg != "" {
+		var err error
+		if pol, err = policy.Load(*policyArg); err != nil {
+			log.Fatal(err)
+		}
+		*backend = "hybrid"
+		fmt.Printf("policy: %d classes over %d routes from %s\n",
+			len(pol.Classes), len(pol.Routes), *policyArg)
+	}
+
 	workload := chain.DefaultWorkload()
 	workload.Accounts = *accounts
 	workload.Contracts = *contracts
@@ -67,10 +81,10 @@ func main() {
 	bare, cached, err := lab.RunBothConfigs(
 		lab.Config{Mode: lab.Bare, Blocks: *blocks, Workload: workload, ImportWorkers: *workers,
 			Backend: *backend, BlockCacheBytes: cacheBytes, Metrics: registry,
-			Shards: *shards, ShardMode: *shardMode},
+			Shards: *shards, ShardMode: *shardMode, Policy: pol},
 		lab.Config{Mode: lab.Cached, Blocks: *blocks, Workload: workload, ImportWorkers: *workers,
 			Backend: *backend, BlockCacheBytes: cacheBytes, Metrics: registry,
-			Shards: *shards, ShardMode: *shardMode})
+			Shards: *shards, ShardMode: *shardMode, Policy: pol})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -26,6 +26,7 @@ import (
 	"ethkv/internal/kv"
 	"ethkv/internal/kvnet"
 	"ethkv/internal/obs"
+	"ethkv/internal/policy"
 )
 
 func main() {
@@ -38,8 +39,20 @@ func main() {
 		blockCacheMB = flag.Int("block-cache-mb", 0, "LSM block cache budget in MiB (0 = store default, negative disables)")
 		shards       = flag.Int("shards", 1, "partition the keyspace across this many child stores (1 = unsharded)")
 		shardMode    = flag.String("shard-mode", "hash", "shard partition function: hash or class")
+		policyPath   = flag.String("policy", "", "per-class storage policy JSON for the hybrid backend (implies -backend hybrid)")
 	)
 	flag.Parse()
+
+	var pol *policy.Policy
+	if *policyPath != "" {
+		var err error
+		if pol, err = policy.Load(*policyPath); err != nil {
+			log.Fatal(err)
+		}
+		*backend = "hybrid"
+		fmt.Printf("policy: %d classes over %d routes from %s\n",
+			len(pol.Classes), len(pol.Routes), *policyPath)
+	}
 
 	workDir := *dir
 	if workDir == "" {
@@ -68,6 +81,7 @@ func main() {
 		BlockCacheBytes: cacheBytes,
 		Shards:          *shards,
 		ShardMode:       *shardMode,
+		Policy:          pol,
 	})
 	if err != nil {
 		log.Fatal(err)

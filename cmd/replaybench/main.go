@@ -30,6 +30,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"ethkv/internal/kv"
 	"ethkv/internal/kvnet"
 	"ethkv/internal/obs"
+	"ethkv/internal/policy"
 	"ethkv/internal/report"
 	"ethkv/internal/trace"
 )
@@ -51,7 +53,9 @@ const progressChunk = 200_000
 func main() {
 	var (
 		tracePath    = flag.String("trace", "", "trace file to replay")
-		backend      = flag.String("backend", "lsm", "storage backend: lsm, flat, hash, log, lazy, or hybrid")
+		backend      = flag.String("backend", "lsm", "storage backend: "+backends.Kinds())
+		policyPath   = flag.String("policy", "", "per-class storage policy for the hybrid backend: a policy JSON file, or \"auto\" to derive one from the trace's census (implies -backend hybrid)")
+		policyOut    = flag.String("policy-out", "", "where -policy auto writes the derived policy (default: policy-derived.json next to the trace)")
 		dir          = flag.String("dir", "", "working directory (default: temp)")
 		censusPath   = flag.String("census", "", "after the replay, write a post-state census (Table I plus an order-independent content digest) to this file; byte-identical across backends iff the stores hold identical data")
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8321); empty disables")
@@ -71,7 +75,10 @@ func main() {
 	)
 	flag.Parse()
 	if *tracePath == "" {
-		log.Fatal("usage: replaybench -trace <file> [-backend <lsm|flat|hash|log|lazy|hybrid> | -serve <addr>]")
+		log.Fatal("usage: replaybench -trace <file> [-backend <" + backends.Kinds() + "> | -policy <file|auto> | -serve <addr>]")
+	}
+	if *policyPath != "" && (*serveAddr != "" || *shardSweep != "") {
+		log.Fatal("-policy is a local single-store mode; it cannot combine with -serve or -shard-sweep")
 	}
 	if *serveAddr != "" {
 		ops, err := loadOps(*tracePath)
@@ -128,22 +135,45 @@ func main() {
 		fmt.Printf("metrics: http://%s/metrics   pprof: http://%s/debug/pprof/\n", addr, addr)
 	}
 
-	store, err := backends.Open(*backend, workDir, backends.Options{
+	// Ops load before the store opens: -policy auto derives the policy
+	// from the trace census, which must exist before construction.
+	ops, err := loadOps(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pol *policy.Policy
+	if *policyPath != "" {
+		*backend = "hybrid"
+		if *policyPath == "auto" {
+			pol = policy.Derive(policy.CollectCensus(ops))
+			out := *policyOut
+			if out == "" {
+				out = filepath.Join(filepath.Dir(*tracePath), "policy-derived.json")
+			}
+			if err := pol.Save(out); err != nil {
+				log.Fatalf("policy: %v", err)
+			}
+			fmt.Printf("derived policy (%d classes over %d routes) written to %s\n",
+				len(pol.Classes), len(pol.Routes), out)
+		} else {
+			if pol, err = policy.Load(*policyPath); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	raw, err := backends.Open(*backend, workDir, backends.Options{
 		BlockCacheBytes: cacheBytesFor(*blockCacheMB),
 		Shards:          *shards,
 		ShardMode:       *shardMode,
+		Policy:          pol,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Instrument is a no-op when registry is nil.
-	store = kv.Instrument(store, registry, "store", *backend)
+	store := kv.Instrument(raw, registry, "store", *backend)
 	defer store.Close()
-
-	ops, err := loadOps(*tracePath)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("replaying %d ops against %s...\n", len(ops), *backend)
 	start := time.Now()
 	res, err := replayWithProgress(store, ops, registry, start, *duration)
@@ -164,6 +194,15 @@ func main() {
 		st.TombstonesLive, st.CompactionCount)
 	fmt.Printf("io retries: %d   degraded: %d\n",
 		st.IORetries, st.Degraded)
+	if hs, ok := raw.(*hybrid.Store); ok {
+		per := hs.BackendStats()
+		for _, name := range hs.Backends() {
+			rs := per[name]
+			fmt.Printf("route %-12s gets=%d puts=%d deletes=%d  %.1f MiB written, %.1f MiB read\n",
+				name, rs.Gets, rs.Puts, rs.Deletes,
+				float64(rs.PhysicalBytesWrite)/(1<<20), float64(rs.PhysicalBytesRead)/(1<<20))
+		}
+	}
 	if st.BlockCacheHits+st.BlockCacheMisses > 0 {
 		fmt.Printf("block cache: %d hits, %d misses (%.1f%% hit rate), %d evictions, %.1f KiB pinned\n",
 			st.BlockCacheHits, st.BlockCacheMisses, 100*st.BlockCacheHitRate(),

@@ -1,12 +1,16 @@
 // Package backends constructs the repo's storage backends by name. It is
-// the shared factory behind the replaybench load generator and the kvserver
-// network front end, so a backend added here becomes replayable and
-// servable at once.
+// the shared factory behind the replaybench load generator, the ethkvlab
+// pipeline, and the kvserver network front end, so a backend added here
+// becomes replayable and servable at once. The hybrid kind is
+// policy-driven: Options.Policy (or a built-in default mirroring
+// hybrid.DefaultRouting) names the routes, picks each route's backend kind
+// and tuning, and assigns classes to routes.
 package backends
 
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 
 	"ethkv/internal/flatstore"
 	"ethkv/internal/hashstore"
@@ -14,6 +18,8 @@ import (
 	"ethkv/internal/kv"
 	"ethkv/internal/logstore"
 	"ethkv/internal/lsm"
+	"ethkv/internal/policy"
+	"ethkv/internal/rawdb"
 	"ethkv/internal/shard"
 )
 
@@ -32,10 +38,14 @@ type Options struct {
 	// "class" (key-class routing that keeps a class's range scans
 	// shard-local).
 	ShardMode string
+	// Policy configures the hybrid kind's routes (nil = built-in default:
+	// ordered LSM + durable flat log + hash store, hybrid.DefaultRouting).
+	// Ignored by other kinds.
+	Policy *policy.Policy
 }
 
 // Kinds lists the recognised backend names, for usage strings.
-func Kinds() string { return "lsm, flat, hash, log, lazy, or hybrid" }
+func Kinds() string { return "lsm, flat, hash, log, mem, lazy, or hybrid" }
 
 // Open constructs the requested store under dir. With opts.Shards > 1 the
 // store is a shard.Router over that many children of the same kind.
@@ -79,6 +89,8 @@ func openOne(kind, dir string, opts Options) (kv.Store, error) {
 		return hashstore.Open(filepath.Join(dir, "hash"))
 	case "log":
 		return logstore.New(), nil
+	case "mem":
+		return kv.NewMemStore(), nil
 	case "lazy":
 		inner, err := lsm.Open(filepath.Join(dir, "lazy-lsm"), lsmOpts)
 		if err != nil {
@@ -86,17 +98,136 @@ func openOne(kind, dir string, opts Options) (kv.Store, error) {
 		}
 		return hybrid.NewLazyStore(inner), nil
 	case "hybrid":
-		ordered, err := lsm.Open(filepath.Join(dir, "ordered"), lsmOpts)
-		if err != nil {
-			return nil, err
+		p := opts.Policy
+		if p == nil {
+			p = DefaultHybridPolicy()
 		}
-		hash, err := hashstore.Open(filepath.Join(dir, "hash"))
-		if err != nil {
-			ordered.Close()
-			return nil, err
-		}
-		return hybrid.New(ordered, logstore.New(), hash, nil), nil
+		return openPolicyStore(dir, opts, p)
 	default:
 		return nil, fmt.Errorf("unknown backend %q (want %s)", kind, Kinds())
+	}
+}
+
+// DefaultHybridPolicy mirrors hybrid.DefaultRouting as a policy: ordered
+// LSM default, a durable flat store on the log route (append-only value
+// log — Finding 5's shape, but persistent across reopen), and the hash
+// store for point-read world state.
+func DefaultHybridPolicy() *policy.Policy {
+	p := &policy.Policy{
+		Default: "ordered",
+		Routes: map[string]policy.Spec{
+			"ordered": {Kind: "lsm"},
+			"log":     {Kind: "flat"},
+			"hash":    {Kind: "hash"},
+		},
+		Classes: make(map[string]string),
+	}
+	for c, r := range hybrid.DefaultRouting() {
+		p.Classes[c.String()] = r.String()
+	}
+	return p
+}
+
+// openPolicyStore instantiates a policy as a hybrid.Store: one physical
+// backend per route, each under dir/<route>. Route names are sorted so the
+// backend (and therefore batch commit) order is deterministic across runs
+// and reopens.
+func openPolicyStore(dir string, opts Options, p *policy.Policy) (kv.Store, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(p.Routes))
+	for name := range p.Routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	idx := make(map[string]int, len(names))
+	bks := make([]hybrid.Backend, 0, len(names))
+	closeAll := func() {
+		for _, b := range bks {
+			b.Store.Close()
+		}
+	}
+	for _, name := range names {
+		st, err := openRoute(p.Routes[name], filepath.Join(dir, name), opts)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("route %s: %w", name, err)
+		}
+		idx[name] = len(bks)
+		bks = append(bks, hybrid.Backend{Name: name, Store: st})
+	}
+
+	routing := make(map[rawdb.Class]int, len(p.Classes))
+	for c, route := range p.Routing() {
+		routing[c] = idx[route]
+	}
+	s, err := hybrid.NewRouted(bks, routing, idx[p.Default])
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return s, nil
+}
+
+// openRoute opens one route's physical backend at dir, applying the
+// spec's option knobs. Unknown knobs are errors so a typo in a policy file
+// cannot silently fall back to defaults.
+func openRoute(spec policy.Spec, dir string, opts Options) (kv.Store, error) {
+	switch spec.Kind {
+	case "lsm":
+		o := lsm.Options{
+			DisableWAL:          true,
+			MemtableBytes:       256 << 10,
+			L0CompactionTrigger: 4,
+			LevelBaseBytes:      1 << 20,
+			BlockCacheBytes:     opts.BlockCacheBytes,
+		}
+		for k, v := range spec.Options {
+			switch k {
+			case "memtable_kb":
+				o.MemtableBytes = int(v) << 10
+			case "l0_compaction_trigger":
+				o.L0CompactionTrigger = int(v)
+			case "level_base_kb":
+				o.LevelBaseBytes = v << 10
+			case "block_cache_mb":
+				o.BlockCacheBytes = v << 20
+			case "compaction_table_kb":
+				o.CompactionTableBytes = int(v) << 10
+			default:
+				return nil, fmt.Errorf("unknown lsm option %q", k)
+			}
+		}
+		return lsm.Open(dir, o)
+	case "flat":
+		o := flatstore.Options{}
+		for k, v := range spec.Options {
+			switch k {
+			case "compact_after_dead_kb":
+				o.CompactAfterDeadBytes = v << 10
+			default:
+				return nil, fmt.Errorf("unknown flat option %q", k)
+			}
+		}
+		return flatstore.Open(dir, o)
+	case "hash":
+		if len(spec.Options) != 0 {
+			return nil, fmt.Errorf("hash backend takes no options")
+		}
+		return hashstore.Open(dir)
+	case "log":
+		if len(spec.Options) != 0 {
+			return nil, fmt.Errorf("log backend takes no options")
+		}
+		return logstore.New(), nil
+	case "mem":
+		if len(spec.Options) != 0 {
+			return nil, fmt.Errorf("mem backend takes no options")
+		}
+		return kv.NewMemStore(), nil
+	default:
+		return nil, fmt.Errorf("unknown backend kind %q", spec.Kind)
 	}
 }

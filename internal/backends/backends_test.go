@@ -1,0 +1,179 @@
+package backends
+
+import (
+	"testing"
+
+	"ethkv/internal/kv"
+	"ethkv/internal/kv/kvtest"
+	"ethkv/internal/policy"
+	"ethkv/internal/rawdb"
+)
+
+// TestHybridConformance runs the contract suite against the factory's
+// hybrid kind — including ReopenPersistence, the check that would have
+// caught the in-memory log route (log-routed classes vanishing on
+// reopen).
+func TestHybridConformance(t *testing.T) {
+	var lastDir string
+	kvtest.Run(t, func(t *testing.T) kv.Store {
+		lastDir = t.TempDir()
+		s, err := Open("hybrid", lastDir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}, kvtest.Options{
+		// Conformance scan prefixes either stay on the ordered default
+		// route or merge in ordered/empty children, so order holds.
+		OrderedScans: true,
+		Reopen: func(t *testing.T, s kv.Store) kv.Store {
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Open("hybrid", lastDir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return re
+		},
+	})
+}
+
+// testPolicy is a derived-shaped policy with every route on an ordered,
+// durable kind, exercising policy instantiation end to end.
+func testPolicy() *policy.Policy {
+	return &policy.Policy{
+		Default: "ordered",
+		Routes: map[string]policy.Spec{
+			"ordered": {Kind: "lsm"},
+			"lsm-compact": {Kind: "lsm", Options: map[string]int64{
+				"memtable_kb": 64, "l0_compaction_trigger": 2, "level_base_kb": 256,
+			}},
+			"flat": {Kind: "flat"},
+		},
+		Classes: map[string]string{
+			"TxLookup":      "lsm-compact",
+			"BlockBody":     "flat",
+			"BlockReceipts": "flat",
+			"Code":          "flat",
+		},
+	}
+}
+
+func TestPolicyHybridConformance(t *testing.T) {
+	var lastDir string
+	open := func(t *testing.T, dir string) kv.Store {
+		s, err := Open("hybrid", dir, Options{Policy: testPolicy()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	kvtest.Run(t, func(t *testing.T) kv.Store {
+		lastDir = t.TempDir()
+		s := open(t, lastDir)
+		t.Cleanup(func() { s.Close() })
+		return s
+	}, kvtest.Options{
+		OrderedScans: true, // every route kind here scans in order
+		Reopen: func(t *testing.T, s kv.Store) kv.Store {
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			return open(t, lastDir)
+		},
+	})
+}
+
+// TestHybridClassKeysSurviveReopen is the targeted regression for the
+// durability bug: log-routed classes (TxLookup, BlockBody, BlockReceipts)
+// must survive a close/reopen cycle of the factory's hybrid kind, exactly
+// like ordered- and hash-routed classes.
+func TestHybridClassKeysSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open("hybrid", dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h rawdb.Hash
+	h[0] = 7
+	keys := map[string][]byte{
+		"TxLookup (log route)":      rawdb.TxLookupKey(h),
+		"BlockBody (log route)":     rawdb.BlockBodyKey(1, h),
+		"BlockReceipts (log route)": rawdb.BlockReceiptsKey(1, h),
+		"Code (hash route)":         rawdb.CodeKey(h),
+		"TrieNodeAccount (hash)":    rawdb.AccountTrieNodeKey([]byte{1, 2}),
+		"SnapshotAccount (ordered)": rawdb.SnapshotAccountKey(h),
+		"LastHeader (singleton)":    rawdb.LastHeaderKey(),
+	}
+	for name, key := range keys {
+		if err := s.Put(key, []byte(name)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open("hybrid", dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for name, key := range keys {
+		v, err := re.Get(key)
+		if err != nil {
+			t.Errorf("%s vanished on reopen: %v", name, err)
+			continue
+		}
+		if string(v) != name {
+			t.Errorf("%s corrupted on reopen: %q", name, v)
+		}
+	}
+}
+
+func TestPolicyUnknownOptionRejected(t *testing.T) {
+	p := &policy.Policy{
+		Default: "o",
+		Routes: map[string]policy.Spec{
+			"o": {Kind: "lsm", Options: map[string]int64{"memtable_gb": 1}},
+		},
+		Classes: map[string]string{},
+	}
+	if _, err := Open("hybrid", t.TempDir(), Options{Policy: p}); err == nil {
+		t.Fatal("unknown lsm option accepted")
+	}
+}
+
+// TestShardedPolicyHybrid checks the hybrid kind composes with -shards:
+// each shard is its own policy-instantiated hybrid.
+func TestShardedPolicyHybrid(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open("hybrid", dir, Options{Policy: testPolicy(), Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h rawdb.Hash
+	for i := 0; i < 50; i++ {
+		h[0], h[1] = byte(i), 0xEE
+		if err := s.Put(rawdb.TxLookupKey(h), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open("hybrid", dir, Options{Policy: testPolicy(), Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i < 50; i++ {
+		h[0], h[1] = byte(i), 0xEE
+		v, err := re.Get(rawdb.TxLookupKey(h))
+		if err != nil || len(v) != 1 || v[0] != byte(i) {
+			t.Fatalf("key %d after sharded reopen: %q, %v", i, v, err)
+		}
+	}
+}

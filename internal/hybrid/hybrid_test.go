@@ -49,16 +49,17 @@ func TestRoutingDispatch(t *testing.T) {
 		}
 	}
 	// Verify physical placement: ordered backend holds only the ordered key.
-	if ok, _ := s.ordered.Has(orderedKey); !ok {
+	ordered := s.backends[RouteOrdered].Store
+	if ok, _ := ordered.Has(orderedKey); !ok {
 		t.Fatal("ordered key not in ordered backend")
 	}
-	if ok, _ := s.ordered.Has(logKey); ok {
+	if ok, _ := ordered.Has(logKey); ok {
 		t.Fatal("log key leaked into ordered backend")
 	}
-	if ok, _ := s.log.Has(logKey); !ok {
+	if ok, _ := s.backends[RouteLog].Store.Has(logKey); !ok {
 		t.Fatal("log key not in log backend")
 	}
-	if ok, _ := s.hash.Has(hashKey); !ok {
+	if ok, _ := s.backends[RouteHash].Store.Has(hashKey); !ok {
 		t.Fatal("hash key not in hash backend")
 	}
 }
@@ -74,7 +75,7 @@ func TestDeleteRouting(t *testing.T) {
 		t.Fatalf("deleted key: %v", err)
 	}
 	// The log backend never writes tombstones.
-	if st := s.BackendStats()[RouteLog]; st.TombstonesLive != 0 {
+	if st := s.BackendStats()["log"]; st.TombstonesLive != 0 {
 		t.Fatal("log backend produced tombstones")
 	}
 }
@@ -137,7 +138,7 @@ func TestStatsMerge(t *testing.T) {
 		t.Fatalf("merged stats: %+v", st)
 	}
 	per := s.BackendStats()
-	if per[RouteHash].Puts != 1 || per[RouteLog].Puts != 1 {
+	if per["hash"].Puts != 1 || per["log"].Puts != 1 {
 		t.Fatalf("per-backend stats: %+v", per)
 	}
 }

@@ -12,15 +12,12 @@ import (
 	"sync"
 
 	"ethkv/internal/analysis"
+	"ethkv/internal/backends"
 	"ethkv/internal/chain"
-	"ethkv/internal/flatstore"
-	"ethkv/internal/hashstore"
 	"ethkv/internal/kv"
-	"ethkv/internal/logstore"
-	"ethkv/internal/lsm"
 	"ethkv/internal/obs"
+	"ethkv/internal/policy"
 	"ethkv/internal/rawdb"
-	"ethkv/internal/shard"
 	"ethkv/internal/trace"
 )
 
@@ -53,9 +50,13 @@ type Config struct {
 	// Backend selects the store behind the run: "" or "mem" is the
 	// in-memory reference store, "lsm" the write-optimized LSM tree,
 	// "flat" the single-seek flat store, "hash" the hash-indexed segment
-	// store, "log" the compacting value log. Persistent backends are
-	// slower and used for I/O-cost experiments.
+	// store, "log" the compacting value log, "hybrid" the policy-driven
+	// class-routed store (see Policy). Persistent backends are slower and
+	// used for I/O-cost experiments.
 	Backend string
+	// Policy configures the hybrid backend's routes (nil = the factory's
+	// built-in default). Ignored by other backends.
+	Policy *policy.Policy
 	// TraceBootstrap routes the genesis state build through the tracer,
 	// modelling the bulk state-download phase of snap synchronization
 	// (§II-A): the trace then opens with the write burst a snap-syncing
@@ -130,7 +131,7 @@ func Run(cfg Config) (*Result, error) {
 		defer os.RemoveAll(tmp)
 		storeDir = tmp
 	}
-	inner, err := openBackend(cfg.Backend, storeDir, cfg.BlockCacheBytes, cfg.Shards, cfg.ShardMode)
+	inner, err := openBackend(cfg, storeDir)
 	if err != nil {
 		return nil, err
 	}
@@ -267,52 +268,25 @@ func Run(cfg Config) (*Result, error) {
 	return result, nil
 }
 
-// openBackend constructs the store named by backend under dir.
-// blockCacheBytes only applies to the LSM's block cache (0 = store
-// default, negative disables). shards > 1 partitions the keyspace across
-// that many children of the same kind (each under dir/shard-NN) behind a
-// shard.Router.
-func openBackend(backend, dir string, blockCacheBytes int64, shards int, shardMode string) (kv.Store, error) {
-	if shards > 1 {
-		mode, err := shard.ParseMode(shardMode)
-		if err != nil {
-			return nil, fmt.Errorf("lab: %w", err)
-		}
-		children := make([]kv.Store, shards)
-		for i := range children {
-			child, err := openOneBackend(backend, filepath.Join(dir, fmt.Sprintf("shard-%02d", i)), blockCacheBytes)
-			if err != nil {
-				for _, c := range children[:i] {
-					c.Close()
-				}
-				return nil, fmt.Errorf("lab: shard %d: %w", i, err)
-			}
-			children[i] = child
-		}
-		return shard.New(children, shard.Options{Mode: mode})
+// openBackend constructs the store named by backend under dir through the
+// shared internal/backends factory ("" = the in-memory reference store),
+// so every factory kind — including the policy-driven hybrid — is
+// runnable from the lab pipeline.
+func openBackend(cfg Config, dir string) (kv.Store, error) {
+	kind := cfg.Backend
+	if kind == "" {
+		kind = "mem"
 	}
-	return openOneBackend(backend, dir, blockCacheBytes)
-}
-
-// openOneBackend constructs a single (unsharded) store.
-func openOneBackend(backend, dir string, blockCacheBytes int64) (kv.Store, error) {
-	switch backend {
-	case "", "mem":
-		return kv.NewMemStore(), nil
-	case "lsm":
-		return lsm.Open(filepath.Join(dir, "lsm"), lsm.Options{
-			DisableWAL:      true,
-			BlockCacheBytes: blockCacheBytes,
-		})
-	case "flat":
-		return flatstore.Open(filepath.Join(dir, "flat"), flatstore.Options{})
-	case "hash":
-		return hashstore.Open(filepath.Join(dir, "hash"))
-	case "log":
-		return logstore.New(), nil
-	default:
-		return nil, fmt.Errorf("lab: unknown backend %q (want mem, lsm, flat, hash, or log)", backend)
+	s, err := backends.Open(kind, dir, backends.Options{
+		BlockCacheBytes: cfg.BlockCacheBytes,
+		Shards:          cfg.Shards,
+		ShardMode:       cfg.ShardMode,
+		Policy:          cfg.Policy,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lab: %w", err)
 	}
+	return s, nil
 }
 
 // RunBoth executes the bare and cached configurations over the same

@@ -1,0 +1,424 @@
+// Package policy closes the loop from workload census to storage layout
+// (ROADMAP item 5): it models a per-class storage policy — which backend
+// kind serves each of the paper's key classes, with what per-backend
+// options — and derives one automatically from a traced workload using the
+// same per-class measures the paper's tables report (read ratio, delete
+// ratio, scan share, value size).
+//
+// A policy names a set of routes (backend kind + options), assigns classes
+// to routes, and picks a default route for unrouted and unknown-class
+// keys. internal/backends instantiates it as a hybrid.Store with one
+// physical backend per route.
+//
+// The serialized form is JSON plus '//' comment lines (stripped on load);
+// Derive records its per-class rationale so the emitted file documents why
+// each class landed where it did.
+package policy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"ethkv/internal/rawdb"
+	"ethkv/internal/trace"
+)
+
+// Kinds a route may use; the same names internal/backends accepts for
+// single-backend stores.
+var validKinds = map[string]bool{
+	"lsm": true, "flat": true, "hash": true, "log": true, "mem": true,
+}
+
+// Spec configures one route's physical backend.
+type Spec struct {
+	// Kind is the backend kind: lsm, flat, hash, log, or mem.
+	Kind string `json:"kind"`
+	// Options are integer tuning knobs applied by internal/backends.
+	// lsm: memtable_kb, l0_compaction_trigger, level_base_kb,
+	// block_cache_mb, compaction_table_kb. flat: compact_after_dead_kb.
+	Options map[string]int64 `json:"options,omitempty"`
+}
+
+// Policy is a per-class storage policy.
+type Policy struct {
+	// Default names the route for unrouted classes and unknown keys.
+	Default string `json:"default"`
+	// Routes maps route name -> backend spec.
+	Routes map[string]Spec `json:"routes"`
+	// Classes maps class name (rawdb.Class.String) -> route name. Classes
+	// absent from the map use Default.
+	Classes map[string]string `json:"classes"`
+	// Rationale maps class name -> why Derive chose its route. Not part of
+	// the JSON schema; Encode emits it as comment lines.
+	Rationale map[string]string `json:"-"`
+}
+
+// Validate checks internal consistency: the default route exists, every
+// class name parses, every class's route exists, kinds are known, and
+// route names are safe to use as directory names.
+func (p *Policy) Validate() error {
+	if p.Default == "" {
+		return fmt.Errorf("policy: no default route")
+	}
+	if len(p.Routes) == 0 {
+		return fmt.Errorf("policy: no routes")
+	}
+	if _, ok := p.Routes[p.Default]; !ok {
+		return fmt.Errorf("policy: default route %q not defined", p.Default)
+	}
+	for name, spec := range p.Routes {
+		if !routeNameOK(name) {
+			return fmt.Errorf("policy: route name %q (must be [A-Za-z0-9._-]+)", name)
+		}
+		if !validKinds[spec.Kind] {
+			return fmt.Errorf("policy: route %q has unknown kind %q", name, spec.Kind)
+		}
+	}
+	for class, route := range p.Classes {
+		if _, ok := rawdb.ParseClass(class); !ok {
+			return fmt.Errorf("policy: unknown class %q", class)
+		}
+		if _, ok := p.Routes[route]; !ok {
+			return fmt.Errorf("policy: class %s routed to undefined route %q", class, route)
+		}
+	}
+	return nil
+}
+
+func routeNameOK(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Routing converts Classes to a rawdb.Class-keyed map. Call Validate
+// first; unparseable class names are skipped here.
+func (p *Policy) Routing() map[rawdb.Class]string {
+	out := make(map[rawdb.Class]string, len(p.Classes))
+	for class, route := range p.Classes {
+		if c, ok := rawdb.ParseClass(class); ok {
+			out[c] = route
+		}
+	}
+	return out
+}
+
+// Encode renders the policy as commented JSON: valid JSON once the '//'
+// lines are stripped, with one comment line per class carrying Derive's
+// rationale. Classes appear in Table I order, routes alphabetically.
+func (p *Policy) Encode() []byte {
+	var b bytes.Buffer
+	b.WriteString("// ethkv storage policy: class -> route -> backend kind + options.\n")
+	b.WriteString("// Lines starting with // are comments and are stripped on load.\n")
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "  \"default\": %q,\n", p.Default)
+
+	b.WriteString("  \"routes\": {\n")
+	routeNames := make([]string, 0, len(p.Routes))
+	for name := range p.Routes {
+		routeNames = append(routeNames, name)
+	}
+	sort.Strings(routeNames)
+	for i, name := range routeNames {
+		spec, _ := json.Marshal(p.Routes[name]) // sorts option keys
+		comma := ","
+		if i == len(routeNames)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&b, "    %q: %s%s\n", name, spec, comma)
+	}
+	b.WriteString("  },\n")
+
+	b.WriteString("  \"classes\": {\n")
+	ordered := make([]string, 0, len(p.Classes))
+	for _, c := range rawdb.AllClasses() {
+		if _, ok := p.Classes[c.String()]; ok {
+			ordered = append(ordered, c.String())
+		}
+	}
+	// Defensive: include any names not covered by Table I order.
+	if len(ordered) < len(p.Classes) {
+		covered := make(map[string]bool, len(ordered))
+		for _, n := range ordered {
+			covered[n] = true
+		}
+		var rest []string
+		for n := range p.Classes {
+			if !covered[n] {
+				rest = append(rest, n)
+			}
+		}
+		sort.Strings(rest)
+		ordered = append(ordered, rest...)
+	}
+	for i, name := range ordered {
+		if why := p.Rationale[name]; why != "" {
+			fmt.Fprintf(&b, "    // %s: %s\n", name, why)
+		}
+		comma := ","
+		if i == len(ordered)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&b, "    %q: %q%s\n", name, p.Classes[name], comma)
+	}
+	b.WriteString("  }\n}\n")
+	return b.Bytes()
+}
+
+// Save writes the encoded policy to path.
+func (p *Policy) Save(path string) error {
+	return os.WriteFile(path, p.Encode(), 0o644)
+}
+
+// Parse decodes a policy from commented JSON and validates it.
+func Parse(data []byte) (*Policy, error) {
+	var clean bytes.Buffer
+	for _, line := range strings.Split(string(data), "\n") {
+		if t := strings.TrimSpace(line); strings.HasPrefix(t, "//") {
+			continue
+		}
+		clean.WriteString(line)
+		clean.WriteByte('\n')
+	}
+	dec := json.NewDecoder(&clean)
+	dec.DisallowUnknownFields()
+	p := &Policy{}
+	if err := dec.Decode(p); err != nil {
+		return nil, fmt.Errorf("policy: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Load reads and parses a policy file.
+func Load(path string) (*Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// ClassCensus aggregates one class's traced operations.
+type ClassCensus struct {
+	Reads, Writes, Updates, Deletes, Scans uint64
+	ValueBytes                             uint64 // over reads+writes+updates
+	ValueOps                               uint64 // ops contributing to ValueBytes
+}
+
+// Total returns the class's store-level op count.
+func (c *ClassCensus) Total() uint64 {
+	return c.Reads + c.Writes + c.Updates + c.Deletes + c.Scans
+}
+
+// AvgValue returns the mean value size in bytes (0 with no sized ops).
+func (c *ClassCensus) AvgValue() uint64 {
+	if c.ValueOps == 0 {
+		return 0
+	}
+	return c.ValueBytes / c.ValueOps
+}
+
+// Census is the per-class workload summary Derive consumes.
+type Census map[rawdb.Class]*ClassCensus
+
+// CollectCensus folds a traced op stream into a census. Cache-served reads
+// (Hit) are skipped: the policy tunes the store, and hits never reach it.
+func CollectCensus(ops []trace.Op) Census {
+	census := make(Census)
+	for i := range ops {
+		op := &ops[i]
+		if op.Type == trace.OpRead && op.Hit {
+			continue
+		}
+		cc := census[op.Class]
+		if cc == nil {
+			cc = &ClassCensus{}
+			census[op.Class] = cc
+		}
+		switch op.Type {
+		case trace.OpRead:
+			cc.Reads++
+			cc.ValueBytes += uint64(op.ValueSize)
+			cc.ValueOps++
+		case trace.OpWrite:
+			cc.Writes++
+			cc.ValueBytes += uint64(op.ValueSize)
+			cc.ValueOps++
+		case trace.OpUpdate:
+			cc.Updates++
+			cc.ValueBytes += uint64(op.ValueSize)
+			cc.ValueOps++
+		case trace.OpDelete:
+			cc.Deletes++
+		case trace.OpScan:
+			cc.Scans++
+		}
+	}
+	return census
+}
+
+// Derivation thresholds (documented in DESIGN.md §16). Rules apply in
+// order; the first match wins.
+const (
+	// DeleteHeavyRatio: deletes/total at or above this mark a class
+	// tombstone-heavy (TxLookup-style lifecycle churn).
+	DeleteHeavyRatio = 0.10
+	// ReadHotRatio: reads/total at or above this mark a class
+	// point-read-hot.
+	ReadHotRatio = 0.40
+	// WriteOnceRatio: (writes+updates)/total at or above this mark a class
+	// write-once/write-mostly.
+	WriteOnceRatio = 0.95
+	// SmallValueBytes splits read-hot classes between the block-cache LSM
+	// (small values, cache-friendly) and the single-seek flat store.
+	SmallValueBytes = 512
+	// UpdateChurnRatio: updates/total at or above this mark a read-hot
+	// class rewrite-heavy. Every rewrite invalidates the LSM block holding
+	// the old version and feeds compaction, so churny classes read better
+	// from the flat store, where a rewrite is one append and reads stay
+	// single-seek.
+	UpdateChurnRatio = 0.25
+)
+
+// Route names Derive emits.
+const (
+	routeOrdered    = "ordered"     // plain LSM: scans and leftovers
+	routeLSMCompact = "lsm-compact" // compaction-aggressive LSM
+	routeLSMCache   = "lsm-cache"   // big-block-cache LSM
+	routeFlat       = "flat"        // single-seek flat store
+	routeHash       = "hash"        // hash store: in-place rewrites/deletes, unordered
+)
+
+// Derive builds a policy from a census using the paper's per-class
+// measures. Rules, first match wins:
+//
+//  1. Any scans -> ordered LSM (scans need key order, Finding 4). Every
+//     later rule therefore only sees scan-free classes, which is what
+//     makes the unordered hash store a legal target below.
+//  2. Delete ratio >= DeleteHeavyRatio -> tombstone-heavy lifecycle class
+//     (Finding 5). Bulky values (> SmallValueBytes) go to the
+//     compaction-aggressive LSM, where eager compaction actually reclaims
+//     space; small values carry negligible dead bytes and go to the hash
+//     store, whose in-place deletes purge without tombstones or
+//     compaction debt.
+//  3. Read ratio >= ReadHotRatio -> point-read-hot (Finding 3). Small
+//     values (<= SmallValueBytes) that are rarely rewritten (update share
+//     < UpdateChurnRatio) go to the block-cache LSM — their blocks stay
+//     valid, so the cache keeps serving them. Rewrite-churny classes
+//     (update share >= UpdateChurnRatio) go to the hash store: updates
+//     land in place, reads stay single-seek, and hash order costs nothing
+//     on a class that never scans. Remaining read-hot classes (large,
+//     stable values) go to the single-seek flat store.
+//  4. Write share >= WriteOnceRatio -> flat store (write-once append).
+//  5. Otherwise the class stays on the default ordered route.
+func Derive(census Census) *Policy {
+	p := &Policy{
+		Default: routeOrdered,
+		Routes: map[string]Spec{
+			routeOrdered: {Kind: "lsm"},
+		},
+		Classes:   make(map[string]string),
+		Rationale: make(map[string]string),
+	}
+	use := func(name string) string {
+		if _, ok := p.Routes[name]; !ok {
+			p.Routes[name] = routeSpec(name)
+		}
+		return name
+	}
+	for _, c := range rawdb.AllClasses() {
+		cc := census[c]
+		if cc == nil || cc.Total() == 0 {
+			continue
+		}
+		total := float64(cc.Total())
+		readRatio := float64(cc.Reads) / total
+		delRatio := float64(cc.Deletes) / total
+		writeRatio := float64(cc.Writes+cc.Updates) / total
+		updRatio := float64(cc.Updates) / total
+		avg := cc.AvgValue()
+
+		var route, why string
+		switch {
+		case cc.Scans > 0:
+			route = routeOrdered
+			why = fmt.Sprintf("%d scans — needs key order; ordered LSM", cc.Scans)
+		case delRatio >= DeleteHeavyRatio && avg > SmallValueBytes:
+			route = use(routeLSMCompact)
+			why = fmt.Sprintf("delete ratio %.1f%% ≥ %.0f%%, avg value %dB > %dB — bulky tombstone-heavy; compaction-aggressive LSM",
+				100*delRatio, 100*DeleteHeavyRatio, avg, SmallValueBytes)
+		case delRatio >= DeleteHeavyRatio:
+			route = use(routeHash)
+			why = fmt.Sprintf("delete ratio %.1f%% ≥ %.0f%%, avg value %dB ≤ %dB, no scans — hash store deletes in place, no tombstone debt",
+				100*delRatio, 100*DeleteHeavyRatio, avg, SmallValueBytes)
+		case readRatio >= ReadHotRatio && avg <= SmallValueBytes && updRatio < UpdateChurnRatio:
+			route = use(routeLSMCache)
+			why = fmt.Sprintf("read ratio %.1f%% ≥ %.0f%%, avg value %dB ≤ %dB, update share %.1f%% < %.0f%% — hot stable small reads; block-cache LSM",
+				100*readRatio, 100*ReadHotRatio, avg, SmallValueBytes, 100*updRatio, 100*UpdateChurnRatio)
+		case readRatio >= ReadHotRatio && updRatio >= UpdateChurnRatio:
+			route = use(routeHash)
+			why = fmt.Sprintf("read ratio %.1f%% ≥ %.0f%% with update share %.1f%% ≥ %.0f%%, no scans — rewrite churn; hash store updates in place",
+				100*readRatio, 100*ReadHotRatio, 100*updRatio, 100*UpdateChurnRatio)
+		case readRatio >= ReadHotRatio:
+			route = use(routeFlat)
+			why = fmt.Sprintf("read ratio %.1f%% ≥ %.0f%%, avg value %dB > %dB — single-seek flat store",
+				100*readRatio, 100*ReadHotRatio, avg, SmallValueBytes)
+		case writeRatio >= WriteOnceRatio:
+			route = use(routeFlat)
+			why = fmt.Sprintf("write share %.1f%% ≥ %.0f%% — write-once; append-only flat store",
+				100*writeRatio, 100*WriteOnceRatio)
+		default:
+			route = routeOrdered
+			why = fmt.Sprintf("mixed (read %.1f%%, write %.1f%%, delete %.1f%%) — default ordered LSM",
+				100*readRatio, 100*writeRatio, 100*delRatio)
+		}
+		p.Classes[c.String()] = route
+		p.Rationale[c.String()] = why
+	}
+	return p
+}
+
+// routeSpec returns the backend configuration for each derived route.
+func routeSpec(name string) Spec {
+	switch name {
+	case routeLSMCompact:
+		// Purge tombstones fast: compact as soon as two L0 tables exist,
+		// with a small level base so tombstones sink (and annihilate)
+		// quickly. The memtable stays at the factory default — shrinking it
+		// only multiplies flushes without purging anything sooner.
+		return Spec{Kind: "lsm", Options: map[string]int64{
+			"l0_compaction_trigger": 2,
+			"level_base_kb":         512,
+		}}
+	case routeLSMCache:
+		return Spec{Kind: "lsm", Options: map[string]int64{
+			"block_cache_mb": 64,
+		}}
+	case routeFlat:
+		return Spec{Kind: "flat"}
+	case routeHash:
+		return Spec{Kind: "hash"}
+	default:
+		return Spec{Kind: "lsm"}
+	}
+}

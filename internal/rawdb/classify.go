@@ -3,49 +3,17 @@ package rawdb
 import "bytes"
 
 // Classify assigns a database key to its storage class. The decision mirrors
-// the schema's prefix layout; exact-match singleton keys are checked before
-// the single-byte prefixes so that, e.g., "LastBlock" never parses as an
-// 'L'-prefixed StateID key.
+// the schema's prefix layout. Classification runs on every dispatched op
+// (hybrid routing, class sharding, tracing), so the whole decision is one
+// switch on the first byte: exact-match singleton keys only need comparing
+// inside their own first-byte case — "LastBlock" can only collide with the
+// 'L'-prefixed StateID space, never with 'h' headers — which leaves the hot
+// prefix bytes ('A', 'O', 'a', 'o', 'h', ...) at a length check and no byte
+// comparisons at all.
 func Classify(key []byte) Class {
 	if len(key) == 0 {
 		return ClassUnknown
 	}
-	// Singleton and multi-byte prefixes first.
-	switch {
-	case bytes.Equal(key, snapshotJournalKey):
-		return ClassSnapshotJournal
-	case bytes.Equal(key, lastStateIDKey):
-		return ClassLastStateID
-	case bytes.Equal(key, uncleanShutdownKey):
-		return ClassUncleanShutdown
-	case bytes.Equal(key, snapshotGeneratorKey):
-		return ClassSnapshotGenerator
-	case bytes.Equal(key, trieJournalKey):
-		return ClassTrieJournal
-	case bytes.Equal(key, databaseVersionKey):
-		return ClassDatabaseVersion
-	case bytes.Equal(key, lastBlockKey):
-		return ClassLastBlock
-	case bytes.Equal(key, snapshotRootKey):
-		return ClassSnapshotRoot
-	case bytes.Equal(key, skeletonSyncStatusKey):
-		return ClassSkeletonSyncStatus
-	case bytes.Equal(key, lastHeaderKey):
-		return ClassLastHeader
-	case bytes.Equal(key, snapshotRecoveryKey):
-		return ClassSnapshotRecovery
-	case bytes.Equal(key, transactionIndexTailKey):
-		return ClassTransactionIndexTail
-	case bytes.Equal(key, lastFastKey):
-		return ClassLastFast
-	case bytes.HasPrefix(key, genesisPrefix):
-		return ClassEthereumGenesis
-	case bytes.HasPrefix(key, configPrefix):
-		return ClassEthereumConfig
-	case bytes.HasPrefix(key, bloomBitsIndexPrefix):
-		return ClassBloomBitsIndex
-	}
-	// Single-byte prefixes with length sanity checks.
 	switch key[0] {
 	case 'h':
 		// h+num+hash (41), h+num+'n' (10), or the h+num scan prefix (9).
@@ -76,10 +44,6 @@ func Classify(key []byte) Class {
 		if len(key) == 33 {
 			return ClassCode
 		}
-	case 'S':
-		if len(key) == 9 {
-			return ClassSkeletonHeader
-		}
 	case 'A':
 		// A + path; paths are at most 64 nibbles + terminator.
 		if len(key) >= 1 && len(key) <= 66 {
@@ -99,9 +63,63 @@ func Classify(key []byte) Class {
 		if len(key) == 65 || len(key) == 33 {
 			return ClassSnapshotStorage
 		}
+	case 'S':
+		// Singletons before the skeleton-header prefix space.
+		switch {
+		case bytes.Equal(key, snapshotJournalKey):
+			return ClassSnapshotJournal
+		case bytes.Equal(key, snapshotGeneratorKey):
+			return ClassSnapshotGenerator
+		case bytes.Equal(key, snapshotRootKey):
+			return ClassSnapshotRoot
+		case bytes.Equal(key, skeletonSyncStatusKey):
+			return ClassSkeletonSyncStatus
+		case bytes.Equal(key, snapshotRecoveryKey):
+			return ClassSnapshotRecovery
+		}
+		if len(key) == 9 {
+			return ClassSkeletonHeader
+		}
 	case 'L':
+		// Singletons before the state-id prefix space.
+		switch {
+		case bytes.Equal(key, lastStateIDKey):
+			return ClassLastStateID
+		case bytes.Equal(key, lastBlockKey):
+			return ClassLastBlock
+		case bytes.Equal(key, lastHeaderKey):
+			return ClassLastHeader
+		case bytes.Equal(key, lastFastKey):
+			return ClassLastFast
+		}
 		if len(key) == 33 {
 			return ClassStateID
+		}
+	case 'T':
+		switch {
+		case bytes.Equal(key, trieJournalKey):
+			return ClassTrieJournal
+		case bytes.Equal(key, transactionIndexTailKey):
+			return ClassTransactionIndexTail
+		}
+	case 'D':
+		if bytes.Equal(key, databaseVersionKey) {
+			return ClassDatabaseVersion
+		}
+	case 'u':
+		if bytes.Equal(key, uncleanShutdownKey) {
+			return ClassUncleanShutdown
+		}
+	case 'e':
+		switch {
+		case bytes.HasPrefix(key, genesisPrefix):
+			return ClassEthereumGenesis
+		case bytes.HasPrefix(key, configPrefix):
+			return ClassEthereumConfig
+		}
+	case 'i':
+		if bytes.HasPrefix(key, bloomBitsIndexPrefix) {
+			return ClassBloomBitsIndex
 		}
 	}
 	return ClassUnknown

@@ -342,6 +342,14 @@ func newMergedIterator(iters []kv.Iterator) *mergedIterator {
 	return &mergedIterator{iters: iters, heads: make([]mergeHead, len(iters))}
 }
 
+// MergeIterators k-way-merges arbitrary child iterators under the
+// mergedIterator contract above (latched errors, equal keys consumed
+// together). It exists so other routing layers — notably the hybrid
+// class-routed store — can reuse the machinery instead of re-deriving it.
+func MergeIterators(iters []kv.Iterator) kv.Iterator {
+	return newMergedIterator(iters)
+}
+
 // fill advances child i to its next entry if its head is empty.
 func (m *mergedIterator) fill(i int) {
 	h := &m.heads[i]
