@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke cache-smoke flat-smoke serve-smoke shard-smoke policy-smoke clean
+.PHONY: all build test race bench bench-json bench-diff check crashtest fuzz vet fmt repro artifacts obs-smoke cache-smoke flat-smoke serve-smoke shard-smoke policy-smoke compact-smoke clean
 
 all: build test
 
@@ -21,7 +21,7 @@ race:
 # internal/obs must stay race-clean — `race` covers ./... including
 # internal/obs and the kv.Instrument decorator), a wide crash-recovery
 # sweep, and the end-to-end network serving smoke.
-check: build vet race crashtest serve-smoke shard-smoke policy-smoke
+check: build vet race crashtest serve-smoke shard-smoke policy-smoke compact-smoke
 
 # Crash-recovery fault injection: hundreds of seeded workload/crash-point
 # replays through the injectable VFS, verified against an in-memory model.
@@ -36,16 +36,16 @@ bench:
 
 # Machine-readable benchmark snapshot: runs the paper benchmarks once and
 # writes ns/op, B/op, allocs/op, and the custom metrics (latency
-# percentiles, served-ops/s, shard-scaling ops/s, policy-replay ops/s) to
-# BENCH_9.json. (BENCH_1..BENCH_8 are earlier snapshots; bench-diff
-# compares across.)
+# percentiles, served-ops/s, shard-scaling ops/s, policy-replay ops/s,
+# compaction-parallelism put op/s) to BENCH_10.json. (BENCH_1..BENCH_9 are
+# earlier snapshots; bench-diff compares across.)
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_9.json
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . | $(GO) run ./cmd/benchjson -out BENCH_10.json
 
 # Per-benchmark ns/op movement between the recorded snapshots, including
 # latency-percentile delta rows for benchmarks that report them.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_8.json BENCH_9.json
+	$(GO) run ./cmd/benchjson -diff BENCH_9.json BENCH_10.json
 
 # Short fuzz passes over the binary decoders.
 fuzz:
@@ -157,6 +157,24 @@ shard-smoke:
 		-backend lsm -shards 8 -census $(SHARD_SMOKE_DIR)/census-8.txt
 	cmp $(SHARD_SMOKE_DIR)/census-1.txt $(SHARD_SMOKE_DIR)/census-8.txt \
 		&& echo "shard-smoke: census byte-identical at 1 and 8 shards"
+
+# Compaction-scheduler equivalence smoke test: replay one golden trace
+# through the LSM backend with the serial scheduler and with 8 concurrent
+# compaction workers, and require the two post-state census files (Table I
+# + order-independent content digest) to be byte-identical. Worker width is
+# a pure scheduling knob — it must never change what the store contains.
+COMPACT_SMOKE_DIR ?= /tmp/ethkv-compact-smoke
+compact-smoke:
+	rm -rf $(COMPACT_SMOKE_DIR) && mkdir -p $(COMPACT_SMOKE_DIR)
+	$(GO) run ./cmd/tracegen -dir $(COMPACT_SMOKE_DIR)/traces -blocks 40 -mode bare \
+		-accounts 2000 -contracts 200 -tx 60
+	$(GO) build -o $(COMPACT_SMOKE_DIR)/replaybench ./cmd/replaybench
+	$(COMPACT_SMOKE_DIR)/replaybench -trace $(COMPACT_SMOKE_DIR)/traces/BareTrace/BareTrace.bin \
+		-backend lsm -compaction-workers 1 -census $(COMPACT_SMOKE_DIR)/census-w1.txt
+	$(COMPACT_SMOKE_DIR)/replaybench -trace $(COMPACT_SMOKE_DIR)/traces/BareTrace/BareTrace.bin \
+		-backend lsm -compaction-workers 8 -census $(COMPACT_SMOKE_DIR)/census-w8.txt
+	cmp $(COMPACT_SMOKE_DIR)/census-w1.txt $(COMPACT_SMOKE_DIR)/census-w8.txt \
+		&& echo "compact-smoke: census byte-identical at 1 and 8 compaction workers"
 
 # Network serving smoke test: start a real kvserver, replay a generated
 # trace through the batching kvnet client (replaybench -serve), and assert

@@ -41,6 +41,8 @@ func main() {
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address during the run; empty disables")
 		shards       = flag.Int("shards", 1, "partition the backing store across this many child stores (1 = unsharded)")
 		shardMode    = flag.String("shard-mode", "hash", "shard partition function: hash or class")
+
+		compactionWorkers = flag.Int("compaction-workers", 0, "process-wide background compaction worker budget shared by every LSM instance (0 = store default, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -81,10 +83,12 @@ func main() {
 	bare, cached, err := lab.RunBothConfigs(
 		lab.Config{Mode: lab.Bare, Blocks: *blocks, Workload: workload, ImportWorkers: *workers,
 			Backend: *backend, BlockCacheBytes: cacheBytes, Metrics: registry,
-			Shards: *shards, ShardMode: *shardMode, Policy: pol},
+			Shards: *shards, ShardMode: *shardMode, Policy: pol,
+			CompactionWorkers: *compactionWorkers},
 		lab.Config{Mode: lab.Cached, Blocks: *blocks, Workload: workload, ImportWorkers: *workers,
 			Backend: *backend, BlockCacheBytes: cacheBytes, Metrics: registry,
-			Shards: *shards, ShardMode: *shardMode, Policy: pol})
+			Shards: *shards, ShardMode: *shardMode, Policy: pol,
+			CompactionWorkers: *compactionWorkers})
 	if err != nil {
 		log.Fatal(err)
 	}

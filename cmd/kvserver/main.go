@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ethkv/internal/backends"
 	"ethkv/internal/kv"
@@ -40,6 +41,9 @@ func main() {
 		shards       = flag.Int("shards", 1, "partition the keyspace across this many child stores (1 = unsharded)")
 		shardMode    = flag.String("shard-mode", "hash", "shard partition function: hash or class")
 		policyPath   = flag.String("policy", "", "per-class storage policy JSON for the hybrid backend (implies -backend hybrid)")
+
+		compactionWorkers = flag.Int("compaction-workers", 0, "process-wide background compaction worker budget shared by every LSM instance (0 = store default, 1 = serial)")
+		drainTimeout      = flag.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight compactions to drain on shutdown before closing anyway")
 	)
 	flag.Parse()
 
@@ -78,10 +82,11 @@ func main() {
 		cacheBytes <<= 20
 	}
 	store, err := backends.Open(*backend, workDir, backends.Options{
-		BlockCacheBytes: cacheBytes,
-		Shards:          *shards,
-		ShardMode:       *shardMode,
-		Policy:          pol,
+		BlockCacheBytes:   cacheBytes,
+		Shards:            *shards,
+		ShardMode:         *shardMode,
+		Policy:            pol,
+		CompactionWorkers: *compactionWorkers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -108,4 +113,22 @@ func main() {
 	<-sig
 	fmt.Println("kvserver: shutting down")
 	srv.Close()
+
+	// Drain before Close: stop scheduling new compactions and give the
+	// in-flight merges a bounded window to finish, so shutdown doesn't race
+	// a long compaction. A drain that exceeds -drain-timeout is abandoned
+	// (Close still settles safely; the next open resumes the debt).
+	start := time.Now()
+	drained := make(chan error, 1)
+	go func() { drained <- kv.Drain(store) }()
+	select {
+	case err := <-drained:
+		if err != nil {
+			fmt.Printf("kvserver: drain failed after %.2fs: %v\n", time.Since(start).Seconds(), err)
+		} else {
+			fmt.Printf("kvserver: drained in-flight compactions in %.2fs\n", time.Since(start).Seconds())
+		}
+	case <-time.After(*drainTimeout):
+		fmt.Printf("kvserver: drain timed out after %s; closing with compactions still in flight\n", *drainTimeout)
+	}
 }

@@ -52,20 +52,21 @@ const progressChunk = 200_000
 
 func main() {
 	var (
-		tracePath    = flag.String("trace", "", "trace file to replay")
-		backend      = flag.String("backend", "lsm", "storage backend: "+backends.Kinds())
-		policyPath   = flag.String("policy", "", "per-class storage policy for the hybrid backend: a policy JSON file, or \"auto\" to derive one from the trace's census (implies -backend hybrid)")
-		policyOut    = flag.String("policy-out", "", "where -policy auto writes the derived policy (default: policy-derived.json next to the trace)")
-		dir          = flag.String("dir", "", "working directory (default: temp)")
-		censusPath   = flag.String("census", "", "after the replay, write a post-state census (Table I plus an order-independent content digest) to this file; byte-identical across backends iff the stores hold identical data")
-		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8321); empty disables")
-		metricsHold  = flag.Duration("metrics-hold", 0, "keep the metrics server up this long after the replay finishes (for scraping/profiling a finished run)")
-		blockCacheMB = flag.Int("block-cache-mb", 0, "LSM block cache budget in MiB (0 = store default, negative disables; lsm/lazy/hybrid backends)")
-		duration     = flag.Duration("duration", 0, "stop replaying after this long, even mid-trace (0 = replay everything)")
-		shards       = flag.Int("shards", 1, "partition the keyspace across this many child stores (1 = unsharded)")
-		shardMode    = flag.String("shard-mode", "hash", "shard partition function: hash or class")
-		shardSweep   = flag.String("shard-sweep", "", "comma-separated shard counts (e.g. 1,2,4,8,16): replay the trace once per count with -sweep-workers concurrent workers and report the scaling curve")
-		sweepWorkers = flag.Int("sweep-workers", 8, "concurrent replay workers per sweep point in -shard-sweep mode")
+		tracePath         = flag.String("trace", "", "trace file to replay")
+		backend           = flag.String("backend", "lsm", "storage backend: "+backends.Kinds())
+		policyPath        = flag.String("policy", "", "per-class storage policy for the hybrid backend: a policy JSON file, or \"auto\" to derive one from the trace's census (implies -backend hybrid)")
+		policyOut         = flag.String("policy-out", "", "where -policy auto writes the derived policy (default: policy-derived.json next to the trace)")
+		dir               = flag.String("dir", "", "working directory (default: temp)")
+		censusPath        = flag.String("census", "", "after the replay, write a post-state census (Table I plus an order-independent content digest) to this file; byte-identical across backends iff the stores hold identical data")
+		metricsAddr       = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:8321); empty disables")
+		metricsHold       = flag.Duration("metrics-hold", 0, "keep the metrics server up this long after the replay finishes (for scraping/profiling a finished run)")
+		blockCacheMB      = flag.Int("block-cache-mb", 0, "LSM block cache budget in MiB (0 = store default, negative disables; lsm/lazy/hybrid backends)")
+		duration          = flag.Duration("duration", 0, "stop replaying after this long, even mid-trace (0 = replay everything)")
+		shards            = flag.Int("shards", 1, "partition the keyspace across this many child stores (1 = unsharded)")
+		shardMode         = flag.String("shard-mode", "hash", "shard partition function: hash or class")
+		compactionWorkers = flag.Int("compaction-workers", 0, "process-wide background compaction worker budget shared by every LSM instance (0 = store default, 1 = serial)")
+		shardSweep        = flag.String("shard-sweep", "", "comma-separated shard counts (e.g. 1,2,4,8,16): replay the trace once per count with -sweep-workers concurrent workers and report the scaling curve")
+		sweepWorkers      = flag.Int("sweep-workers", 8, "concurrent replay workers per sweep point in -shard-sweep mode")
 
 		serveAddr = flag.String("serve", "", "replay against a remote kvserver at this address instead of a local backend")
 		clients   = flag.Int("clients", 16, "concurrent replay workers in -serve mode")
@@ -119,7 +120,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := runShardSweep(ops, *backend, workDir, *shardMode, counts,
-			*sweepWorkers, cacheBytesFor(*blockCacheMB)); err != nil {
+			*sweepWorkers, cacheBytesFor(*blockCacheMB), *compactionWorkers); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -163,10 +164,11 @@ func main() {
 	}
 
 	raw, err := backends.Open(*backend, workDir, backends.Options{
-		BlockCacheBytes: cacheBytesFor(*blockCacheMB),
-		Shards:          *shards,
-		ShardMode:       *shardMode,
-		Policy:          pol,
+		BlockCacheBytes:   cacheBytesFor(*blockCacheMB),
+		Shards:            *shards,
+		ShardMode:         *shardMode,
+		Policy:            pol,
+		CompactionWorkers: *compactionWorkers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -192,6 +194,17 @@ func main() {
 		st.WriteAmplification(), st.ReadAmplification())
 	fmt.Printf("tombstones live: %d   compactions: %d\n",
 		st.TombstonesLive, st.CompactionCount)
+	// Stall share and debt peak make compaction-scheduler regressions
+	// visible in the plain summary, without a Prometheus scrape.
+	stallShare := 0.0
+	if ns := elapsed.Nanoseconds(); ns > 0 {
+		stallShare = 100 * float64(st.WriteStallNanos) / float64(ns)
+	}
+	fmt.Printf("write stalls: %d (%.1f%% of wall time stalled)   compaction debt peak: %.1f MiB\n",
+		st.WriteStalls, stallShare, float64(st.CompactionDebtPeak)/(1<<20))
+	fmt.Printf("compaction concurrency: max %d in flight, %d sub-compactions, %.2fs with >=2 overlapped\n",
+		st.MaxConcurrentCompactions, st.SubCompactions,
+		time.Duration(st.CompactionParallelNanos).Seconds())
 	fmt.Printf("io retries: %d   degraded: %d\n",
 		st.IORetries, st.Degraded)
 	if hs, ok := raw.(*hybrid.Store); ok {

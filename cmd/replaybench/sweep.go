@@ -52,7 +52,7 @@ func cpuTime() time.Duration {
 // -serve mode, so every worker stays in the same temporal region of the
 // workload). Each point reports throughput, CPU per op, and the per-shard
 // share of point ops so skew is visible next to the scaling it costs.
-func runShardSweep(ops []trace.Op, backend, workDir, mode string, counts []int, workers int, cacheBytes int64) error {
+func runShardSweep(ops []trace.Op, backend, workDir, mode string, counts []int, workers int, cacheBytes int64, compactionWorkers int) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -75,9 +75,10 @@ func runShardSweep(ops []trace.Op, backend, workDir, mode string, counts []int, 
 	for _, n := range counts {
 		dir := filepath.Join(workDir, fmt.Sprintf("sweep-%02d", n))
 		store, err := backends.Open(backend, dir, backends.Options{
-			BlockCacheBytes: cacheBytes,
-			Shards:          n,
-			ShardMode:       mode,
+			BlockCacheBytes:   cacheBytes,
+			Shards:            n,
+			ShardMode:         mode,
+			CompactionWorkers: compactionWorkers,
 		})
 		if err != nil {
 			return fmt.Errorf("shards=%d: %w", n, err)

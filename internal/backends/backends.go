@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"ethkv/internal/compaction"
 	"ethkv/internal/flatstore"
 	"ethkv/internal/hashstore"
 	"ethkv/internal/hybrid"
@@ -42,14 +43,27 @@ type Options struct {
 	// ordered LSM + durable flat log + hash store, hybrid.DefaultRouting).
 	// Ignored by other kinds.
 	Policy *policy.Policy
+	// CompactionWorkers is the process-wide background concurrency budget
+	// for LSM-backed kinds (0 = default). One compaction.Pool of this size
+	// is shared by every LSM instance the Open call creates — all shards
+	// and all policy routes — so `-shards 8` contends for these workers
+	// instead of spawning 8 uncoordinated sets; the pool prefers the
+	// instance with the highest compaction debt. It is also each
+	// instance's own concurrency cap (a policy route can lower its cap
+	// with the compaction_workers option).
+	CompactionWorkers int
 }
 
 // Kinds lists the recognised backend names, for usage strings.
 func Kinds() string { return "lsm, flat, hash, log, mem, lazy, or hybrid" }
 
 // Open constructs the requested store under dir. With opts.Shards > 1 the
-// store is a shard.Router over that many children of the same kind.
+// store is a shard.Router over that many children of the same kind. Every
+// LSM instance the call creates — across shards and policy routes — shares
+// one compaction.Pool sized at opts.CompactionWorkers, so background
+// concurrency is budgeted process-wide rather than per instance.
 func Open(kind, dir string, opts Options) (kv.Store, error) {
+	pool := compaction.NewPool(opts.CompactionWorkers)
 	if opts.Shards > 1 {
 		mode, err := shard.ParseMode(opts.ShardMode)
 		if err != nil {
@@ -57,7 +71,7 @@ func Open(kind, dir string, opts Options) (kv.Store, error) {
 		}
 		children := make([]kv.Store, opts.Shards)
 		for i := range children {
-			child, err := openOne(kind, filepath.Join(dir, fmt.Sprintf("shard-%02d", i)), opts)
+			child, err := openOne(kind, filepath.Join(dir, fmt.Sprintf("shard-%02d", i)), opts, pool)
 			if err != nil {
 				for _, c := range children[:i] {
 					c.Close()
@@ -68,17 +82,19 @@ func Open(kind, dir string, opts Options) (kv.Store, error) {
 		}
 		return shard.New(children, shard.Options{Mode: mode})
 	}
-	return openOne(kind, dir, opts)
+	return openOne(kind, dir, opts, pool)
 }
 
 // openOne constructs a single (unsharded) store of the requested kind.
-func openOne(kind, dir string, opts Options) (kv.Store, error) {
+func openOne(kind, dir string, opts Options, pool *compaction.Pool) (kv.Store, error) {
 	lsmOpts := lsm.Options{
 		DisableWAL:          true,
 		MemtableBytes:       256 << 10,
 		L0CompactionTrigger: 4,
 		LevelBaseBytes:      1 << 20,
 		BlockCacheBytes:     opts.BlockCacheBytes,
+		CompactionWorkers:   opts.CompactionWorkers,
+		Pool:                pool,
 	}
 	switch kind {
 	case "lsm":
@@ -102,7 +118,7 @@ func openOne(kind, dir string, opts Options) (kv.Store, error) {
 		if p == nil {
 			p = DefaultHybridPolicy()
 		}
-		return openPolicyStore(dir, opts, p)
+		return openPolicyStore(dir, opts, p, pool)
 	default:
 		return nil, fmt.Errorf("unknown backend %q (want %s)", kind, Kinds())
 	}
@@ -132,7 +148,7 @@ func DefaultHybridPolicy() *policy.Policy {
 // backend per route, each under dir/<route>. Route names are sorted so the
 // backend (and therefore batch commit) order is deterministic across runs
 // and reopens.
-func openPolicyStore(dir string, opts Options, p *policy.Policy) (kv.Store, error) {
+func openPolicyStore(dir string, opts Options, p *policy.Policy, pool *compaction.Pool) (kv.Store, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -150,7 +166,7 @@ func openPolicyStore(dir string, opts Options, p *policy.Policy) (kv.Store, erro
 		}
 	}
 	for _, name := range names {
-		st, err := openRoute(p.Routes[name], filepath.Join(dir, name), opts)
+		st, err := openRoute(p.Routes[name], filepath.Join(dir, name), opts, pool)
 		if err != nil {
 			closeAll()
 			return nil, fmt.Errorf("route %s: %w", name, err)
@@ -174,7 +190,7 @@ func openPolicyStore(dir string, opts Options, p *policy.Policy) (kv.Store, erro
 // openRoute opens one route's physical backend at dir, applying the
 // spec's option knobs. Unknown knobs are errors so a typo in a policy file
 // cannot silently fall back to defaults.
-func openRoute(spec policy.Spec, dir string, opts Options) (kv.Store, error) {
+func openRoute(spec policy.Spec, dir string, opts Options, pool *compaction.Pool) (kv.Store, error) {
 	switch spec.Kind {
 	case "lsm":
 		o := lsm.Options{
@@ -183,6 +199,8 @@ func openRoute(spec policy.Spec, dir string, opts Options) (kv.Store, error) {
 			L0CompactionTrigger: 4,
 			LevelBaseBytes:      1 << 20,
 			BlockCacheBytes:     opts.BlockCacheBytes,
+			CompactionWorkers:   opts.CompactionWorkers,
+			Pool:                pool,
 		}
 		for k, v := range spec.Options {
 			switch k {
@@ -196,6 +214,10 @@ func openRoute(spec policy.Spec, dir string, opts Options) (kv.Store, error) {
 				o.BlockCacheBytes = v << 20
 			case "compaction_table_kb":
 				o.CompactionTableBytes = int(v) << 10
+			case "compaction_workers":
+				// Per-route cap on concurrent compactions; the shared
+				// pool still bounds the process-wide total.
+				o.CompactionWorkers = int(v)
 			default:
 				return nil, fmt.Errorf("unknown lsm option %q", k)
 			}

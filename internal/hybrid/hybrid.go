@@ -252,6 +252,18 @@ func (s *Store) Flush() error {
 	return nil
 }
 
+// Drain implements kv.Drainer by draining every backend that supports it,
+// returning the first error after attempting all.
+func (s *Store) Drain() error {
+	var first error
+	for _, b := range s.backends {
+		if err := kv.Drain(b.Store); err != nil && first == nil {
+			first = fmt.Errorf("route %s: drain: %w", b.Name, err)
+		}
+	}
+	return first
+}
+
 // Close closes every backend, returning the first error.
 func (s *Store) Close() error {
 	var first error

@@ -221,5 +221,8 @@ func (s *LazyStore) RegisterMetrics(r *obs.Registry, labels ...string) {
 	}
 }
 
+// Drain winds down the indexed tier's background work (staging is memory).
+func (s *LazyStore) Drain() error { return kv.Drain(s.indexed) }
+
 // Close shuts the indexed tier.
 func (s *LazyStore) Close() error { return s.indexed.Close() }

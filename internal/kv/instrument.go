@@ -144,6 +144,9 @@ func (s *instrumentedStore) Stats() Stats {
 	return Stats{}
 }
 
+// Drain forwards to the wrapped store when it supports draining.
+func (s *instrumentedStore) Drain() error { return Drain(s.store) }
+
 // Unwrap exposes the underlying store (tests, and callers needing
 // backend-specific APIs).
 func (s *instrumentedStore) Unwrap() Store { return s.store }
@@ -185,6 +188,10 @@ func RegisterStatsMetrics(r *obs.Registry, sp StatsProvider, labels ...string) {
 		{"live_data_bytes", func(s Stats) float64 { return float64(s.LiveDataBytes) }},
 		{"dead_data_bytes", func(s Stats) float64 { return float64(s.DeadDataBytes) }},
 		{"compaction_rewrites", func(s Stats) float64 { return float64(s.CompactionRewrites) }},
+		{"sub_compactions", func(s Stats) float64 { return float64(s.SubCompactions) }},
+		{"compaction_parallel_nanos", func(s Stats) float64 { return float64(s.CompactionParallelNanos) }},
+		{"max_concurrent_compactions", func(s Stats) float64 { return float64(s.MaxConcurrentCompactions) }},
+		{"compaction_debt_peak_bytes", func(s Stats) float64 { return float64(s.CompactionDebtPeak) }},
 		{"write_amplification", Stats.WriteAmplification},
 		{"read_amplification", Stats.ReadAmplification},
 		{"block_cache_hit_rate", Stats.BlockCacheHitRate},

@@ -97,6 +97,23 @@ type StatsProvider interface {
 	Stats() Stats
 }
 
+// Drainer is implemented by stores that run background work (compactions).
+// Drain stops scheduling new background work and waits for what is already
+// in flight, so a subsequent Close is bounded by running jobs rather than
+// the store's full compaction debt. Wrappers forward it to every child.
+type Drainer interface {
+	Drain() error
+}
+
+// Drain winds down s's background work if it supports draining; stores
+// without background work drain trivially.
+func Drain(s Store) error {
+	if d, ok := s.(Drainer); ok {
+		return d.Drain()
+	}
+	return nil
+}
+
 // Stats holds cumulative I/O counters for a store. Logical counters track
 // the operations issued by the client; physical counters track the bytes the
 // backend actually moved (including compaction), which exposes write
@@ -135,6 +152,14 @@ type Stats struct {
 	LiveDataBytes      uint64 // bytes of live records resident in value-log backends
 	DeadDataBytes      uint64 // bytes of dead records awaiting compaction (compaction debt)
 	CompactionRewrites uint64 // live records rewritten into a fresh generation by compaction
+
+	SubCompactions          uint64 // key-range sub-compaction units run by split merges
+	CompactionParallelNanos uint64 // wall nanoseconds with >= 2 compactions in flight
+	// High-water marks (merged by max across stores, not summed: the
+	// aggregate "most concurrent compactions" of a shard set is the worst
+	// single store, and a process-wide pool makes sums meaningless).
+	MaxConcurrentCompactions uint64 // peak compactions in flight at once
+	CompactionDebtPeak       uint64 // peak compaction debt bytes observed
 }
 
 // Merge adds every counter of o into s. Wrappers that aggregate multiple
@@ -175,6 +200,14 @@ func (s *Stats) MergePhysical(o Stats) {
 	s.LiveDataBytes += o.LiveDataBytes
 	s.DeadDataBytes += o.DeadDataBytes
 	s.CompactionRewrites += o.CompactionRewrites
+	s.SubCompactions += o.SubCompactions
+	s.CompactionParallelNanos += o.CompactionParallelNanos
+	if o.MaxConcurrentCompactions > s.MaxConcurrentCompactions {
+		s.MaxConcurrentCompactions = o.MaxConcurrentCompactions
+	}
+	if o.CompactionDebtPeak > s.CompactionDebtPeak {
+		s.CompactionDebtPeak = o.CompactionDebtPeak
+	}
 }
 
 // WriteAmplification returns physical/logical write ratio, or 0 if no

@@ -89,6 +89,10 @@ type Config struct {
 	// ShardMode selects the shard partition function: "hash" (default) or
 	// "class" (key-class routing; a class's range scans stay shard-local).
 	ShardMode string
+	// CompactionWorkers is the process-wide background compaction budget
+	// shared by every LSM instance of the run (0 = store default). Purely
+	// a scheduling knob: the trace and census are identical at any width.
+	CompactionWorkers int
 }
 
 // DefaultConfig returns a laptop-scale run mirroring the artifact's
@@ -278,10 +282,11 @@ func openBackend(cfg Config, dir string) (kv.Store, error) {
 		kind = "mem"
 	}
 	s, err := backends.Open(kind, dir, backends.Options{
-		BlockCacheBytes: cfg.BlockCacheBytes,
-		Shards:          cfg.Shards,
-		ShardMode:       cfg.ShardMode,
-		Policy:          cfg.Policy,
+		BlockCacheBytes:   cfg.BlockCacheBytes,
+		Shards:            cfg.Shards,
+		ShardMode:         cfg.ShardMode,
+		Policy:            cfg.Policy,
+		CompactionWorkers: cfg.CompactionWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lab: %w", err)

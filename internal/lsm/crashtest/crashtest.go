@@ -64,6 +64,14 @@ type Config struct {
 	// groups, so the verifier checks prefix consistency per (writer, shard)
 	// rather than per writer.
 	Shards int
+	// CompactionWorkers sets the LSM's background compaction width (0 = 1,
+	// the serial scheduler). At 1 the flush/compaction write schedule is
+	// deterministic, so single-writer replays stay bit-identical; at 2+
+	// the crash point lands while flushes and multiple range-disjoint
+	// compactions race on the injected filesystem, which is exactly the
+	// window where concurrent-compaction durability bugs would live.
+	// Ignored by the flat backend.
+	CompactionWorkers int
 }
 
 // op is one modelled mutation.
@@ -314,6 +322,13 @@ func runSharded(cfg Config, fail func(format string, args ...any)) Result {
 func openBackend(cfg Config, fsys faultfs.FS) (kv.Store, error) {
 	switch cfg.Backend {
 	case "", "lsm":
+		// Default to the serial scheduler: crash-point replay is only
+		// bit-identical when flushes and compactions share one write
+		// schedule. Concurrent widths opt in per seed.
+		cw := cfg.CompactionWorkers
+		if cw == 0 {
+			cw = 1
+		}
 		return lsm.Open("crashdb", lsm.Options{
 			MemtableBytes:         2 << 10,
 			MaxImmutableMemtables: 2,
@@ -326,6 +341,10 @@ func openBackend(cfg Config, fsys faultfs.FS) (kv.Store, error) {
 			RetryAttempts:         10,
 			RetryBackoff:          time.Microsecond,
 			BlockCacheBytes:       cfg.BlockCacheBytes,
+			CompactionWorkers:     cw,
+			// Tiny split threshold so even this workload's compactions
+			// fan into range sub-compactions under the fault plan.
+			SubCompactionBytes: 4 << 10,
 		})
 	case "flat":
 		return flatstore.Open("crashdb", flatstore.Options{

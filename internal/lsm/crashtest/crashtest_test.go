@@ -65,15 +65,18 @@ func TestCrashRecoverySeeds(t *testing.T) {
 // configFor spreads the seed space over concurrency widths and fault
 // mixes: a third single-writer, a third 2-way, a third 4-way; every other
 // seed adds transient write faults on top of the crash. The block-cache
-// budget rotates orthogonally (default, tiny, disabled) and every fourth
-// seed injects transient read faults, so the sweep also proves recovery
-// is cache-size-independent and read-retry-safe.
+// budget rotates orthogonally (default, tiny, disabled), every fourth
+// seed injects transient read faults, and the compaction scheduler width
+// rotates through 1/2/4 workers — so the sweep also proves recovery is
+// cache-size-independent, read-retry-safe, and holds when the crash lands
+// while multiple range-disjoint compactions are in flight.
 func configFor(seed int64) Config {
 	cfg := Config{
-		Seed:            seed,
-		Workers:         []int{1, 2, 4}[seed%3],
-		Units:           40,
-		BlockCacheBytes: []int64{0, 4 << 10, -1}[(seed/3)%3],
+		Seed:              seed,
+		Workers:           []int{1, 2, 4}[seed%3],
+		Units:             40,
+		BlockCacheBytes:   []int64{0, 4 << 10, -1}[(seed/3)%3],
+		CompactionWorkers: []int{1, 2, 4}[(seed/4)%3],
 	}
 	if seed%2 == 0 {
 		cfg.TransientProb = 0.05
@@ -275,6 +278,26 @@ func TestCrashRecoveryShardedWideBatches(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%03d", seed), func(t *testing.T) {
 			t.Parallel()
 			Run(Config{Seed: seed, Workers: 2, Units: 60, Shards: 4}, t.Fatalf)
+		})
+	}
+}
+
+// TestCrashRecoveryConcurrentCompactions pins the widest compaction
+// scheduler (4 workers, tiny sub-compaction threshold) under transient
+// write faults, so the seeded crash routinely lands while flushes and
+// multiple range-disjoint compactions race on the injected filesystem.
+// Prefix consistency must hold no matter which of the concurrent merges
+// the power loss tears.
+func TestCrashRecoveryConcurrentCompactions(t *testing.T) {
+	n := seedCount(t, 20)
+	for seed := int64(1101); seed < 1101+int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%04d", seed), func(t *testing.T) {
+			t.Parallel()
+			Run(Config{
+				Seed: seed, Workers: 2, Units: 60,
+				CompactionWorkers: 4, TransientProb: 0.05,
+			}, t.Fatalf)
 		})
 	}
 }

@@ -2,14 +2,21 @@
 // repository's stand-in for Pebble, the store Geth uses by default.
 //
 // Architecture: writes land in a WAL and a skiplist memtable; full memtables
-// rotate into an immutable queue that a background goroutine flushes to
-// level-0 SSTables and compacts into non-overlapping runs on L1+ with
-// exponentially growing level capacities — Put/Delete never block on table
-// I/O, they only stall when the flush queue is full (write-stall
-// backpressure, counted in Stats). Deletes write tombstones that survive
-// until they compact into the bottom level — exactly the cost model the
-// paper's Finding 5 critiques. The store tracks logical vs physical I/O so
-// experiments can report write/read amplification.
+// rotate into an immutable queue that background jobs flush to level-0
+// SSTables and compact into non-overlapping runs on L1+ with exponentially
+// growing level capacities — Put/Delete never block on table I/O, they only
+// stall when the flush queue is full (write-stall backpressure, counted in
+// Stats). Deletes write tombstones that survive until they compact into the
+// bottom level — exactly the cost model the paper's Finding 5 critiques. The
+// store tracks logical vs physical I/O so experiments can report write/read
+// amplification.
+//
+// Background work runs on a compaction scheduler (see maybeScheduleLocked):
+// flushes and compactions occupy separate jobs so a long merge never blocks
+// memtable rotation, range- and level-disjoint compactions run concurrently
+// with per-table claims, large merges split into key-range sub-compactions,
+// and all jobs draw goroutines from a compaction.Pool that may be shared
+// across DB instances for a process-wide concurrency budget.
 package lsm
 
 import (
@@ -17,6 +24,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -24,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ethkv/internal/compaction"
 	"ethkv/internal/faultfs"
 	"ethkv/internal/kv"
 )
@@ -71,6 +80,35 @@ type Options struct {
 	// to the filesystem). Index and bloom sections are pinned per open
 	// table outside this budget.
 	BlockCacheBytes int64
+	// CompactionWorkers caps how many compactions this DB runs
+	// concurrently, and how many goroutines a split merge fans its
+	// sub-compactions across. 0 selects the default (4). 1 restores the
+	// fully serial pre-scheduler behavior: one background job at a time,
+	// flushes prioritized over compactions — crash tests rely on that
+	// mode for a deterministic filesystem write order. At 2+, one flush
+	// job additionally runs alongside the compactions so memtable
+	// rotation never waits behind a long merge.
+	CompactionWorkers int
+	// L0StallTrigger is the L0 table count at which writers stall until
+	// compaction catches up (the write-stop backpressure of leveled
+	// stores). Every L0 table widens point reads and lets the store defer
+	// unbounded compaction debt, so ingest must not outrun the scheduler
+	// indefinitely. 0 selects 4x L0CompactionTrigger; negative disables
+	// the stall. Ignored while draining (shutdown must not block writers
+	// on merges that will never be scheduled).
+	L0StallTrigger int
+	// SubCompactionBytes is the input-size threshold past which one
+	// compaction splits into key-range sub-compactions (one range per
+	// SubCompactionBytes of input, capped). 0 selects 4x
+	// CompactionTableBytes. The split boundaries depend only on the
+	// planned inputs — never on worker count — so the concatenated
+	// outputs are byte-identical no matter how many goroutines ran.
+	SubCompactionBytes int64
+	// Pool, when set, shares a process-wide background worker budget
+	// across DB instances: all flushes and compactions of every DB on the
+	// pool compete for its slots, highest compaction debt first. Nil
+	// gives this DB a private pool of CompactionWorkers slots.
+	Pool *compaction.Pool
 }
 
 // withDefaults fills unset options.
@@ -112,6 +150,18 @@ func (o Options) withDefaults() Options {
 	if o.BlockCacheBytes == 0 {
 		o.BlockCacheBytes = 32 << 20
 	}
+	if o.CompactionWorkers == 0 {
+		o.CompactionWorkers = compaction.DefaultWorkers
+	}
+	if o.CompactionWorkers < 1 {
+		o.CompactionWorkers = 1
+	}
+	if o.SubCompactionBytes == 0 {
+		o.SubCompactionBytes = 4 * int64(o.CompactionTableBytes)
+	}
+	if o.L0StallTrigger == 0 {
+		o.L0StallTrigger = 4 * o.L0CompactionTrigger
+	}
 	return o
 }
 
@@ -150,13 +200,30 @@ type DB struct {
 	next   atomic.Uint64 // next file number
 	closed bool
 
-	// Background worker plumbing: bgC (capacity 1) kicks the worker, which
-	// drains the flush queue and runs due compactions, broadcasting on cond
-	// after each install. bgErr latches the first background failure;
+	// Background scheduler state, guarded by mu. maybeScheduleLocked
+	// submits flush and compaction jobs to pool; each job broadcasts on
+	// cond when it installs. bgErr latches the first background failure;
 	// writers surface it.
-	bgC      chan struct{}
-	bgWG     sync.WaitGroup
-	bgActive bool
+	pool     *compaction.Pool
+	bgWG     sync.WaitGroup // tracks every submitted job to its very end
+	flushing bool           // a flush job is submitted or running
+	// claimed marks tables (by file number) owned by an in-flight
+	// compaction; plan selection never touches a claimed table.
+	claimed map[uint64]struct{}
+	// jobs holds the key range and level pair of every in-flight
+	// compaction, for the disjointness admission check.
+	jobs   map[int]compactJob
+	jobSeq int
+	// inFlight counts submitted-but-unfinished background jobs (the flush
+	// job plus compactions); settleLocked waits for it to reach zero.
+	inFlight        int
+	compactInFlight int
+	// parallelSince is the instant compactInFlight last rose to 2; the
+	// elapsed span lands in CompactionParallelNanos when it drops back.
+	parallelSince time.Time
+	// draining suppresses new compaction scheduling (Drain/shutdown);
+	// flushes and already-running compactions still complete.
+	draining bool
 	bgErr    error
 	// degradedErr latches the first permanent storage failure; once set
 	// the store is read-only: writes return kv.ErrDegraded, reads keep
@@ -185,6 +252,10 @@ type dbStats struct {
 	writeStalls, writeStallNanos          atomic.Uint64
 	ioRetries, degraded                   atomic.Uint64
 	bloomNegatives, bloomFalsePositives   atomic.Uint64
+	subCompactions                        atomic.Uint64
+	compactionParallelNanos               atomic.Uint64
+	maxConcurrentCompactions              atomic.Uint64
+	compactionDebtPeak                    atomic.Uint64
 }
 
 var _ kv.Store = (*DB)(nil)
@@ -194,14 +265,19 @@ var _ kv.StatsProvider = (*DB)(nil)
 func Open(dir string, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	db := &DB{
-		opts:   opts,
-		dir:    dir,
-		fs:     opts.FS,
-		mem:    newMemtable(opts.Seed),
-		levels: make([][]tableMeta, opts.MaxLevels),
-		open:   make(map[uint64]*tableReader),
-		cache:  newBlockCache(opts.BlockCacheBytes),
-		bgC:    make(chan struct{}, 1),
+		opts:    opts,
+		dir:     dir,
+		fs:      opts.FS,
+		mem:     newMemtable(opts.Seed),
+		levels:  make([][]tableMeta, opts.MaxLevels),
+		open:    make(map[uint64]*tableReader),
+		cache:   newBlockCache(opts.BlockCacheBytes),
+		claimed: make(map[uint64]struct{}),
+		jobs:    make(map[int]compactJob),
+		pool:    opts.Pool,
+	}
+	if db.pool == nil {
+		db.pool = compaction.NewPool(opts.CompactionWorkers)
 	}
 	if err := db.retryIO(func() error { return db.fs.MkdirAll(dir) }); err != nil {
 		return nil, err
@@ -222,9 +298,10 @@ func Open(dir string, opts Options) (*DB, error) {
 		}
 		db.wal = w
 	}
-	db.bgWG.Add(1)
-	go db.background()
-	db.kickLocked() // pick up any compaction debt left by recovery
+	// Pick up any compaction debt left by recovery.
+	db.mu.Lock()
+	db.maybeScheduleLocked()
+	db.mu.Unlock()
 	return db, nil
 }
 
@@ -366,14 +443,223 @@ func (db *DB) activeWALPath() string {
 	return db.walFile(db.walSeq)
 }
 
-// kickLocked wakes the background worker (non-blocking; the channel holds
-// one pending token). Callers hold db.mu, except Open before the DB is
-// shared.
-func (db *DB) kickLocked() {
-	select {
-	case db.bgC <- struct{}{}:
-	default:
+// compactJob is the admission-control record of one in-flight compaction:
+// which adjacent level pair it reads and writes, and the key span (source
+// tables plus overlapping destination tables) it owns.
+type compactJob struct {
+	level, dst int
+	lo, hi     []byte
+}
+
+// flushPriority outranks any realistic compaction debt so a queued flush
+// always drains before queued merges: flushes are what unblock stalled
+// writers.
+const flushPriority = math.MaxUint64
+
+// maybeScheduleLocked is the compaction scheduler: it launches background
+// jobs for all currently runnable work and returns without blocking. Called
+// with db.mu held at every state transition that can create or unblock work
+// (rotation, job completion, Open, settle).
+//
+// Scheduling rules:
+//   - at most one flush job, looping until the immutable queue empties;
+//   - up to Options.CompactionWorkers concurrent compactions, each planned
+//     by tryPlanLevelLocked under the disjointness rule;
+//   - with CompactionWorkers == 1 the flush job and compactions additionally
+//     exclude each other, restoring the serial single-worker write order
+//     (flushes first) that deterministic crash tests depend on.
+func (db *DB) maybeScheduleLocked() {
+	if db.closed || db.bgErr != nil || db.degradedErr != nil {
+		return
 	}
+	db.noteDebtLocked()
+	serial := db.opts.CompactionWorkers <= 1
+	if !db.flushing && len(db.imm) > 0 && !(serial && db.compactInFlight > 0) {
+		db.flushing = true
+		db.inFlight++
+		db.bgWG.Add(1)
+		db.pool.Submit(flushPriority, db.runFlushJob)
+	}
+	if db.draining && !db.forceCompact {
+		return
+	}
+	for db.compactInFlight < db.opts.CompactionWorkers && !(serial && db.flushing) {
+		plan, ok := db.planNextCompactionLocked()
+		if !ok {
+			return
+		}
+		db.startCompactionLocked(plan)
+	}
+}
+
+// failLocked latches the first background failure and degrades the store.
+func (db *DB) failLocked(err error) {
+	if db.bgErr == nil {
+		db.bgErr = err
+	}
+	db.setDegradedLocked(err)
+}
+
+// noteDebtLocked records the current compaction debt into its high-water
+// stat and returns it (the pool's priority key).
+func (db *DB) noteDebtLocked() uint64 {
+	debt := uint64(db.compactionDebtLocked())
+	for {
+		cur := db.stats.compactionDebtPeak.Load()
+		if debt <= cur || db.stats.compactionDebtPeak.CompareAndSwap(cur, debt) {
+			return debt
+		}
+	}
+}
+
+// runFlushJob drains the immutable memtable queue, oldest first: write L0
+// table, install, save manifest, retire the flushed WAL generation. Table
+// I/O happens with db.mu released so readers and writers proceed
+// concurrently; only the installs take the exclusive lock. One instance
+// runs at a time (db.flushing).
+func (db *DB) runFlushJob() {
+	defer db.bgWG.Done()
+	db.mu.Lock()
+	for db.bgErr == nil && db.degradedErr == nil && !db.closed && len(db.imm) > 0 {
+		task := db.imm[0]
+		num := db.next.Add(1) - 1
+		db.mu.Unlock()
+		meta, err := db.writeTableRetrying(num, 0, task.mem.entries())
+		db.mu.Lock()
+		if err != nil {
+			db.failLocked(err)
+			break
+		}
+		db.stats.physicalBytesWrite.Add(uint64(meta.size))
+		db.stats.flushCount.Add(1)
+		db.levels[0] = append(db.levels[0], meta)
+		db.imm = db.imm[1:]
+		if err := db.saveManifest(); err != nil {
+			db.failLocked(err)
+			break
+		}
+		db.cond.Broadcast()
+		if task.walSeq != 0 {
+			// The flushed state is durable in the SSTable; its log is
+			// obsolete. A failed removal is NOT ignorable: a stale
+			// generation would replay on the next open, so a log we
+			// cannot retire is a storage failure like any other.
+			db.mu.Unlock()
+			rerr := db.retryIO(func() error {
+				err := db.fs.Remove(db.walFile(task.walSeq))
+				if errors.Is(err, os.ErrNotExist) {
+					return nil
+				}
+				return err
+			})
+			db.mu.Lock()
+			if rerr != nil {
+				db.failLocked(rerr)
+				break
+			}
+		}
+	}
+	db.flushing = false
+	db.inFlight--
+	db.maybeScheduleLocked()
+	db.cond.Broadcast()
+	db.mu.Unlock()
+}
+
+// startCompactionLocked registers plan as an in-flight job — claiming its
+// tables, recording its level pair and key span for admission checks — and
+// submits it to the worker pool at the store's current debt priority.
+func (db *DB) startCompactionLocked(plan compactionPlan) {
+	db.jobSeq++
+	id := db.jobSeq
+	db.jobs[id] = compactJob{level: plan.level, dst: plan.dst, lo: plan.lo, hi: plan.hi}
+	for _, m := range plan.srcMetas {
+		db.claimed[m.num] = struct{}{}
+	}
+	for _, m := range plan.dstIn {
+		db.claimed[m.num] = struct{}{}
+	}
+	db.inFlight++
+	db.compactInFlight++
+	if n := uint64(db.compactInFlight); n > db.stats.maxConcurrentCompactions.Load() {
+		db.stats.maxConcurrentCompactions.Store(n)
+	}
+	if db.compactInFlight == 2 {
+		db.parallelSince = time.Now()
+	}
+	debt := db.noteDebtLocked()
+	db.bgWG.Add(1)
+	db.pool.Submit(debt, func() { db.runCompactionJob(id, plan) })
+}
+
+// finishCompactionLocked unwinds startCompactionLocked's bookkeeping.
+func (db *DB) finishCompactionLocked(id int, plan compactionPlan) {
+	delete(db.jobs, id)
+	for _, m := range plan.srcMetas {
+		delete(db.claimed, m.num)
+	}
+	for _, m := range plan.dstIn {
+		delete(db.claimed, m.num)
+	}
+	db.inFlight--
+	db.compactInFlight--
+	if db.compactInFlight == 1 {
+		db.stats.compactionParallelNanos.Add(uint64(time.Since(db.parallelSince)))
+	}
+}
+
+// runCompactionJob executes one planned compaction on a pool goroutine:
+// merge with the lock released, then install + manifest save under db.mu.
+func (db *DB) runCompactionJob(id int, plan compactionPlan) {
+	defer db.bgWG.Done()
+	db.mu.Lock()
+	if db.bgErr != nil || db.degradedErr != nil || db.closed {
+		db.finishCompactionLocked(id, plan)
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		return
+	}
+	hook := db.compactionHook
+	db.mu.Unlock()
+
+	newMetas, readBytes, err := db.runCompaction(plan, hook)
+
+	db.mu.Lock()
+	if err != nil {
+		db.failLocked(err)
+		db.finishCompactionLocked(id, plan)
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		return
+	}
+	obsolete := db.installCompactionLocked(plan, newMetas, readBytes)
+	db.finishCompactionLocked(id, plan)
+	if err := db.saveManifest(); err != nil {
+		db.failLocked(err)
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		return
+	}
+	db.maybeScheduleLocked()
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	db.removeObsolete(obsolete)
+}
+
+// Drain latches the store into draining mode — no new compactions are
+// scheduled (flushes still run) — and waits for the flush queue and every
+// in-flight compaction to finish. Servers call this before Close so
+// shutdown is bounded by the merges already running, not by the full
+// compaction debt. The latch persists: a subsequent Close settles promptly
+// and the next Open picks the remaining debt back up.
+func (db *DB) Drain() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return kv.ErrClosed
+	}
+	db.draining = true
+	return db.settleLocked()
 }
 
 // Put implements kv.Writer.
@@ -534,7 +820,30 @@ func (db *DB) maybeRotateLocked() error {
 		start := time.Now()
 		for len(db.imm) >= db.opts.MaxImmutableMemtables &&
 			db.bgErr == nil && db.degradedErr == nil && !db.closed {
-			db.kickLocked()
+			db.maybeScheduleLocked()
+			db.cond.Wait()
+		}
+		db.stats.writeStallNanos.Add(uint64(time.Since(start)))
+		if db.degradedErr != nil {
+			return kv.ErrDegraded
+		}
+		if db.bgErr != nil {
+			return db.bgErr
+		}
+		if db.closed {
+			return kv.ErrClosed
+		}
+	}
+	// L0 write stop: an overfull L0 means ingest has outrun compaction;
+	// stalling here bounds the debt a fast writer can defer (and keeps L0
+	// point-read fan-out bounded). Skipped while draining — shutdown
+	// suppresses the very compactions that would clear the stall.
+	if stop := db.opts.L0StallTrigger; stop > 0 && len(db.levels[0]) >= stop && !db.draining {
+		db.stats.writeStalls.Add(1)
+		start := time.Now()
+		for len(db.levels[0]) >= stop && !db.draining &&
+			db.bgErr == nil && db.degradedErr == nil && !db.closed {
+			db.maybeScheduleLocked()
 			db.cond.Wait()
 		}
 		db.stats.writeStallNanos.Add(uint64(time.Since(start)))
@@ -552,7 +861,7 @@ func (db *DB) maybeRotateLocked() error {
 }
 
 // rotateLocked freezes the current memtable into the flush queue, starts a
-// fresh WAL generation for its successor, and kicks the background worker.
+// fresh WAL generation for its successor, and schedules a flush job.
 func (db *DB) rotateLocked() error {
 	if db.mem.count() == 0 {
 		return nil
@@ -583,106 +892,13 @@ func (db *DB) rotateLocked() error {
 	db.imm = append(db.imm, task)
 	db.memSeq++
 	db.mem = newMemtable(db.opts.Seed + db.memSeq)
-	db.kickLocked()
+	db.maybeScheduleLocked()
 	return nil
 }
 
-// background is the worker goroutine: each token on bgC triggers one pass
-// of bgWork. It exits when bgC closes (Close).
-func (db *DB) background() {
-	defer db.bgWG.Done()
-	for range db.bgC {
-		db.bgWork()
-	}
-}
-
-// bgWork drains the flush queue, then runs compactions until every level
-// invariant holds. Table I/O (flush writes, compaction merges) happens with
-// db.mu released so readers and writers proceed concurrently; only the
-// version installs take the exclusive lock.
-func (db *DB) bgWork() {
-	db.mu.Lock()
-	db.bgActive = true
-	for db.bgErr == nil && db.degradedErr == nil && !db.closed {
-		if len(db.imm) > 0 {
-			task := db.imm[0]
-			num := db.next.Add(1) - 1
-			db.mu.Unlock()
-			meta, err := db.writeTableRetrying(num, 0, task.mem.entries())
-			db.mu.Lock()
-			if err != nil {
-				db.bgErr = err
-				db.setDegradedLocked(err)
-				break
-			}
-			db.stats.physicalBytesWrite.Add(uint64(meta.size))
-			db.stats.flushCount.Add(1)
-			db.levels[0] = append(db.levels[0], meta)
-			db.imm = db.imm[1:]
-			if err := db.saveManifest(); err != nil {
-				db.bgErr = err
-				db.setDegradedLocked(err)
-				break
-			}
-			db.cond.Broadcast()
-			if task.walSeq != 0 {
-				// The flushed state is durable in the SSTable; its log is
-				// obsolete. A failed removal is NOT ignorable: a stale
-				// generation would replay on the next open, so a log we
-				// cannot retire is a storage failure like any other.
-				db.mu.Unlock()
-				rerr := db.retryIO(func() error {
-					err := db.fs.Remove(db.walFile(task.walSeq))
-					if errors.Is(err, os.ErrNotExist) {
-						return nil
-					}
-					return err
-				})
-				db.mu.Lock()
-				if rerr != nil {
-					db.bgErr = rerr
-					db.setDegradedLocked(rerr)
-					break
-				}
-			}
-			continue
-		}
-		level := db.pickCompaction()
-		if level < 0 {
-			break
-		}
-		plan, ok := db.planCompactionLocked(level)
-		if !ok {
-			break
-		}
-		hook := db.compactionHook
-		db.mu.Unlock()
-		newMetas, readBytes, err := db.runCompaction(plan, hook)
-		db.mu.Lock()
-		if err != nil {
-			db.bgErr = err
-			db.setDegradedLocked(err)
-			break
-		}
-		obsolete := db.installCompactionLocked(plan, newMetas, readBytes)
-		if err := db.saveManifest(); err != nil {
-			db.bgErr = err
-			db.setDegradedLocked(err)
-			break
-		}
-		db.cond.Broadcast()
-		db.mu.Unlock()
-		db.removeObsolete(obsolete)
-		db.mu.Lock()
-	}
-	db.bgActive = false
-	db.cond.Broadcast()
-	db.mu.Unlock()
-}
-
 // settleLocked rotates any pending writes into the flush queue and waits
-// for the background worker to drain every flush and due compaction.
-// Called with db.mu held.
+// for the scheduler to drain every flush, every in-flight job, and all due
+// compaction work. Called with db.mu held.
 func (db *DB) settleLocked() error {
 	if db.degradedErr != nil {
 		return kv.ErrDegraded
@@ -691,8 +907,8 @@ func (db *DB) settleLocked() error {
 		return err
 	}
 	for db.bgErr == nil && db.degradedErr == nil &&
-		(len(db.imm) > 0 || db.bgActive || db.pickCompaction() >= 0) {
-		db.kickLocked()
+		(len(db.imm) > 0 || db.inFlight > 0 || db.hasCompactionWorkLocked()) {
+		db.maybeScheduleLocked()
 		db.cond.Wait()
 	}
 	if db.degradedErr != nil {
@@ -712,59 +928,138 @@ func (db *DB) Flush() error {
 	return db.settleLocked()
 }
 
-// pickCompaction returns the most urgent level to compact, or -1.
-func (db *DB) pickCompaction() int {
-	if db.forceCompact {
-		for level := 0; level < len(db.levels)-1; level++ {
-			if len(db.levels[level]) > 0 {
-				return level
-			}
-		}
-		return -1
-	}
-	if len(db.levels[0]) >= db.opts.L0CompactionTrigger {
-		return 0
-	}
-	target := db.opts.LevelBaseBytes
-	for level := 1; level < len(db.levels)-1; level++ {
-		var size int64
-		for _, m := range db.levels[level] {
+// unclaimedLocked reports whether no in-flight compaction owns table m.
+func (db *DB) unclaimedLocked(m tableMeta) bool {
+	_, claimed := db.claimed[m.num]
+	return !claimed
+}
+
+// levelNeedsCompactionLocked reports whether level's unclaimed tables put it
+// over its invariant. Claimed tables are excluded on both sides: they are
+// already being compacted away, so counting them would schedule jobs that
+// cannot pick any input.
+func (db *DB) levelNeedsCompactionLocked(level int) bool {
+	unclaimed := 0
+	var size int64
+	for _, m := range db.levels[level] {
+		if db.unclaimedLocked(m) {
+			unclaimed++
 			size += m.size
 		}
-		if size > target {
-			return level
-		}
+	}
+	if db.forceCompact {
+		return unclaimed > 0
+	}
+	if level == 0 {
+		return unclaimed >= db.opts.L0CompactionTrigger
+	}
+	target := db.opts.LevelBaseBytes
+	for l := 1; l < level; l++ {
 		target *= db.opts.LevelMultiplier
 	}
-	return -1
+	return size > target
+}
+
+// hasCompactionWorkLocked reports whether any level currently warrants a
+// compaction (ignoring admission: claimed-table conflicts resolve as the
+// owning jobs finish, and settleLocked re-checks on every broadcast).
+func (db *DB) hasCompactionWorkLocked() bool {
+	if db.draining && !db.forceCompact {
+		return false
+	}
+	for level := 0; level < len(db.levels)-1; level++ {
+		if db.levelNeedsCompactionLocked(level) {
+			return true
+		}
+	}
+	return false
 }
 
 // compactionPlan captures, under db.mu, everything a merge needs so the
-// merge itself can run with the lock released. Only the background worker
-// mutates levels, so the planned tables cannot change underneath the merge.
+// merge itself can run with the lock released. The planned tables are
+// claimed until the job finishes, so no other job mutates or re-reads them
+// underneath the merge.
 type compactionPlan struct {
 	level, dst     int
-	srcMetas       []tableMeta // all tables of the source level
+	srcMetas       []tableMeta // source-level tables joining the merge
 	dstIn          []tableMeta // destination tables joining the merge
-	dstOut         []tableMeta // destination tables outside the key range
+	lo, hi         []byte      // key span of srcMetas + dstIn (admission range)
 	dropTombstones bool
 }
 
-// planCompactionLocked prepares the merge of level into level+1.
-func (db *DB) planCompactionLocked(level int) (compactionPlan, bool) {
+// maxCompactionSrcBytes bounds one job's source-run size (in units of
+// CompactionTableBytes) so an overflowing level drains in several
+// range-disjoint jobs that can proceed in parallel rather than one
+// monolithic merge.
+const maxCompactionSrcTables = 8
+
+// planNextCompactionLocked finds the next admissible compaction, scanning
+// levels most-urgent-first (L0, then shallow to deep).
+func (db *DB) planNextCompactionLocked() (compactionPlan, bool) {
+	for level := 0; level < len(db.levels)-1; level++ {
+		if !db.levelNeedsCompactionLocked(level) {
+			continue
+		}
+		if plan, ok := db.tryPlanLevelLocked(level); ok {
+			return plan, true
+		}
+	}
+	return compactionPlan{}, false
+}
+
+// tryPlanLevelLocked prepares a merge of (part of) level into level+1,
+// subject to the concurrency admission rules:
+//
+//   - Source tables must be unclaimed. L0 jobs take every unclaimed L0
+//     table (keeping recency order); Ln jobs take the first contiguous run
+//     of unclaimed tables, capped at maxCompactionSrcTables times the
+//     output table size.
+//   - Every destination table overlapping the source span must be
+//     unclaimed; they join the merge (dstIn).
+//   - Disjointness rule: the job's key span (sources + dstIn) must not
+//     overlap the span of any in-flight job that shares a level with it.
+//     Jobs on disjoint level pairs may overlap in keyspace; jobs touching a
+//     common level must be range-disjoint, which keeps installs commutative
+//     and prevents a deeper merge from re-exposing keys whose tombstones a
+//     shallower merge is concurrently dropping.
+func (db *DB) tryPlanLevelLocked(level int) (compactionPlan, bool) {
 	dst := level + 1
-	if dst >= len(db.levels) || len(db.levels[level]) == 0 {
+	if dst >= len(db.levels) {
 		return compactionPlan{}, false
 	}
-	plan := compactionPlan{
-		level:    level,
-		dst:      dst,
-		srcMetas: append([]tableMeta(nil), db.levels[level]...),
+	var src []tableMeta
+	if level == 0 {
+		for _, m := range db.levels[0] {
+			if db.unclaimedLocked(m) {
+				src = append(src, m)
+			}
+		}
+	} else {
+		maxBytes := int64(db.opts.CompactionTableBytes) * maxCompactionSrcTables
+		var run []tableMeta
+		var runBytes int64
+		for _, m := range db.levels[level] {
+			if !db.unclaimedLocked(m) {
+				if len(run) > 0 {
+					break
+				}
+				continue
+			}
+			run = append(run, m)
+			runBytes += m.size
+			if runBytes >= maxBytes {
+				break
+			}
+		}
+		src = run
 	}
-	// Key range of the source level.
-	lo := plan.srcMetas[0].smallest
-	hi := plan.srcMetas[0].largest
-	for _, m := range plan.srcMetas[1:] {
+	if len(src) == 0 {
+		return compactionPlan{}, false
+	}
+	// Key span of the sources.
+	lo := src[0].smallest
+	hi := src[0].largest
+	for _, m := range src[1:] {
 		if bytes.Compare(m.smallest, lo) < 0 {
 			lo = m.smallest
 		}
@@ -772,26 +1067,163 @@ func (db *DB) planCompactionLocked(level int) (compactionPlan, bool) {
 			hi = m.largest
 		}
 	}
-	// Overlapping destination tables join the merge.
+	// Destination tables overlapping the source span join the merge; a
+	// claimed one means another job owns part of our key range on dst.
+	var dstIn []tableMeta
 	for _, m := range db.levels[dst] {
 		if bytes.Compare(m.largest, lo) < 0 || bytes.Compare(m.smallest, hi) > 0 {
-			plan.dstOut = append(plan.dstOut, m)
-		} else {
-			plan.dstIn = append(plan.dstIn, m)
+			continue
+		}
+		if !db.unclaimedLocked(m) {
+			return compactionPlan{}, false
+		}
+		dstIn = append(dstIn, m)
+		if bytes.Compare(m.smallest, lo) < 0 {
+			lo = m.smallest
+		}
+		if bytes.Compare(m.largest, hi) > 0 {
+			hi = m.largest
 		}
 	}
-	plan.dropTombstones = db.bottomMostLocked(dst, lo, hi)
-	return plan, true
+	// Disjointness against every in-flight job sharing a level.
+	for _, j := range db.jobs {
+		sharesLevel := j.level == level || j.level == dst || j.dst == level || j.dst == dst
+		if sharesLevel && bytes.Compare(j.lo, hi) <= 0 && bytes.Compare(lo, j.hi) <= 0 {
+			return compactionPlan{}, false
+		}
+	}
+	return compactionPlan{
+		level:          level,
+		dst:            dst,
+		srcMetas:       src,
+		dstIn:          dstIn,
+		lo:             append([]byte(nil), lo...),
+		hi:             append([]byte(nil), hi...),
+		dropTombstones: db.bottomMostLocked(dst, lo, hi),
+	}, true
 }
 
 // runCompaction merges the planned tables into new non-overlapping tables
 // on the destination level. Runs WITHOUT db.mu: reads and writes proceed
 // concurrently with the merge I/O. Compacting into the bottom level drops
 // tombstones.
+//
+// Large inputs split into key-range sub-compactions. The split boundaries
+// are a pure function of the plan (subCompactionBounds), and every range
+// merge is independent and deterministic, so the concatenated outputs are
+// byte-for-byte identical whether the ranges run on one goroutine or many —
+// only the file numbers (assigned at write time) differ. The ranges fan out
+// across at most Options.CompactionWorkers goroutines.
 func (db *DB) runCompaction(plan compactionPlan, hook func()) (newMetas []tableMeta, readBytes int64, err error) {
 	if hook != nil {
 		hook()
 	}
+	bounds := db.subCompactionBounds(plan)
+	if len(bounds) == 0 {
+		return db.compactRange(plan, nil, nil)
+	}
+	ranges := len(bounds) + 1
+	db.stats.subCompactions.Add(uint64(ranges))
+	type rangeResult struct {
+		metas []tableMeta
+		read  int64
+		err   error
+	}
+	results := make([]rangeResult, ranges)
+	workers := db.opts.CompactionWorkers
+	if workers > ranges {
+		workers = ranges
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < ranges; i++ {
+		var lo, hi []byte
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		if i < len(bounds) {
+			hi = bounds[i]
+		}
+		wg.Add(1)
+		go func(i int, lo, hi []byte) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := &results[i]
+			r.metas, r.read, r.err = db.compactRange(plan, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, 0, r.err
+		}
+		newMetas = append(newMetas, r.metas...)
+		readBytes += r.read
+	}
+	return newMetas, readBytes, nil
+}
+
+// subCompactionBounds returns the interior key boundaries splitting plan
+// into sub-compaction ranges: range i covers [bounds[i-1], bounds[i])
+// (unbounded at the ends). Empty means run unsplit. Boundaries are drawn
+// from the input tables' smallest keys — deterministic plan metadata —
+// never from worker count or timing.
+func (db *DB) subCompactionBounds(plan compactionPlan) [][]byte {
+	const maxSubCompactions = 16
+	span := db.opts.SubCompactionBytes
+	if span <= 0 {
+		return nil
+	}
+	inputs := make([]tableMeta, 0, len(plan.srcMetas)+len(plan.dstIn))
+	inputs = append(inputs, plan.srcMetas...)
+	inputs = append(inputs, plan.dstIn...)
+	var total int64
+	for _, m := range inputs {
+		total += m.size
+	}
+	want := int(total / span)
+	if want <= 1 {
+		return nil
+	}
+	if want > maxSubCompactions {
+		want = maxSubCompactions
+	}
+	// Candidate boundaries: distinct table start keys past the global
+	// minimum (a boundary at the minimum would make the first range empty).
+	starts := make([][]byte, 0, len(inputs))
+	for _, m := range inputs {
+		starts = append(starts, m.smallest)
+	}
+	sort.Slice(starts, func(i, j int) bool { return bytes.Compare(starts[i], starts[j]) < 0 })
+	var cands [][]byte
+	for i := 1; i < len(starts); i++ {
+		if !bytes.Equal(starts[i], starts[i-1]) {
+			cands = append(cands, starts[i])
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	if want > len(cands)+1 {
+		want = len(cands) + 1
+	}
+	// want ranges need want-1 boundaries, spaced evenly over the candidates.
+	var bounds [][]byte
+	for i := 1; i < want; i++ {
+		b := cands[i*len(cands)/want]
+		if len(bounds) > 0 && bytes.Equal(bounds[len(bounds)-1], b) {
+			continue
+		}
+		bounds = append(bounds, append([]byte(nil), b...))
+	}
+	return bounds
+}
+
+// compactRange merges the plan's inputs restricted to keys in [lo, hi) —
+// nil bounds are unbounded. Output tables cut at CompactionTableBytes and,
+// by construction, at the range boundary.
+func (db *DB) compactRange(plan compactionPlan, lo, hi []byte) (newMetas []tableMeta, readBytes int64, err error) {
 	// Build merge sources newest-first: L0 files are newest-last on disk,
 	// so reverse them; destination tables are oldest. Sources bypass the
 	// block cache (newTableSourceBypass): a merge streams every block of
@@ -807,21 +1239,32 @@ func (db *DB) runCompaction(plan compactionPlan, hook func()) (newMetas []tableM
 			t.unref()
 		}
 	}()
-	for i := len(plan.srcMetas) - 1; i >= 0; i-- {
-		t, err := db.reader(plan.srcMetas[i])
-		if err != nil {
-			return nil, 0, err
+	addSource := func(m tableMeta) error {
+		// Skip tables entirely outside the range: every key of a skipped
+		// table belongs to (and is read by) some other range's merge.
+		if hi != nil && bytes.Compare(m.smallest, hi) >= 0 {
+			return nil
 		}
-		readers = append(readers, t)
-		sources = append(sources, newTableSourceBypass(t, nil))
-	}
-	for _, m := range plan.dstIn {
+		if lo != nil && bytes.Compare(m.largest, lo) < 0 {
+			return nil
+		}
 		t, err := db.reader(m)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
 		readers = append(readers, t)
-		sources = append(sources, newTableSourceBypass(t, nil))
+		sources = append(sources, newTableSourceBypass(t, lo))
+		return nil
+	}
+	for i := len(plan.srcMetas) - 1; i >= 0; i-- {
+		if err := addSource(plan.srcMetas[i]); err != nil {
+			return nil, 0, err
+		}
+	}
+	for _, m := range plan.dstIn {
+		if err := addSource(m); err != nil {
+			return nil, 0, err
+		}
 	}
 
 	merged := newMergeIterator(sources)
@@ -847,6 +1290,9 @@ func (db *DB) runCompaction(plan compactionPlan, hook func()) (newMetas []tableM
 	}
 	for merged.next() {
 		e := merged.entry()
+		if hi != nil && bytes.Compare(e.key, hi) >= 0 {
+			break
+		}
 		if e.tombstone && plan.dropTombstones {
 			// Saturating decrement: compaction may drop tombstones
 			// recovered from disk that this process never counted.
@@ -886,17 +1332,38 @@ func (db *DB) runCompaction(plan compactionPlan, hook func()) (newMetas []tableM
 }
 
 // installCompactionLocked swaps the merged tables into the version and
-// returns the tables made obsolete. Called with db.mu held.
+// returns the tables made obsolete. Called with db.mu held. The edit is
+// incremental — exactly the job's inputs leave, its outputs enter — so the
+// installs of concurrent range-disjoint jobs commute.
 func (db *DB) installCompactionLocked(plan compactionPlan, newMetas []tableMeta, readBytes int64) []tableMeta {
 	db.stats.physicalBytesRead.Add(uint64(readBytes))
 	db.stats.compactionCount.Add(1)
-	db.levels[plan.level] = nil
-	newLevel := append(append([]tableMeta(nil), plan.dstOut...), newMetas...)
-	sort.Slice(newLevel, func(i, j int) bool {
-		return bytes.Compare(newLevel[i].smallest, newLevel[j].smallest) < 0
+	db.levels[plan.level] = removeTables(db.levels[plan.level], plan.srcMetas)
+	newDst := append(removeTables(db.levels[plan.dst], plan.dstIn), newMetas...)
+	sort.Slice(newDst, func(i, j int) bool {
+		return bytes.Compare(newDst[i].smallest, newDst[j].smallest) < 0
 	})
-	db.levels[plan.dst] = newLevel
+	db.levels[plan.dst] = newDst
 	return append(append([]tableMeta(nil), plan.srcMetas...), plan.dstIn...)
+}
+
+// removeTables returns level without the tables in gone, preserving order
+// (L0 recency order matters).
+func removeTables(level, gone []tableMeta) []tableMeta {
+	if len(gone) == 0 {
+		return level
+	}
+	goneNums := make(map[uint64]struct{}, len(gone))
+	for _, m := range gone {
+		goneNums[m.num] = struct{}{}
+	}
+	kept := make([]tableMeta, 0, len(level))
+	for _, m := range level {
+		if _, ok := goneNums[m.num]; !ok {
+			kept = append(kept, m)
+		}
+	}
+	return kept
 }
 
 // removeObsolete drops the open map's references and deletes the files of
@@ -1206,6 +1673,11 @@ func (db *DB) Stats() kv.Stats {
 		Degraded:            db.stats.degraded.Load(),
 		BloomNegatives:      db.stats.bloomNegatives.Load(),
 		BloomFalsePositives: db.stats.bloomFalsePositives.Load(),
+		SubCompactions:      db.stats.subCompactions.Load(),
+
+		CompactionParallelNanos:  db.stats.compactionParallelNanos.Load(),
+		MaxConcurrentCompactions: db.stats.maxConcurrentCompactions.Load(),
+		CompactionDebtPeak:       db.stats.compactionDebtPeak.Load(),
 	}
 	if db.cache != nil {
 		s.BlockCacheHits = db.cache.hits.Load()
@@ -1236,8 +1708,8 @@ func (db *DB) LevelSizes() []struct {
 	return out
 }
 
-// Close flushes buffered writes, stops the background worker, and releases
-// resources.
+// Close flushes buffered writes, waits for background jobs to finish, and
+// releases resources.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	if db.closed {
@@ -1248,7 +1720,8 @@ func (db *DB) Close() error {
 	db.closed = true
 	db.cond.Broadcast()
 	db.mu.Unlock()
-	close(db.bgC)
+	// settleLocked left no runnable work; wait out the job tails (obsolete
+	// file removal runs after the install broadcast).
 	db.bgWG.Wait()
 	// Drop the open map's table references; outstanding iterators keep
 	// theirs and the handles close on their Release.

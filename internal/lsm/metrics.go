@@ -43,6 +43,11 @@ func (db *DB) RegisterMetrics(r *obs.Registry, labels ...string) {
 		defer db.mu.RUnlock()
 		return float64(len(db.imm))
 	})
+	r.GaugeFunc(obs.Name("ethkv_lsm_compactions_inflight", labels...), func() float64 {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return float64(db.compactInFlight)
+	})
 	r.GaugeFunc(obs.Name("ethkv_lsm_open_tables", labels...), func() float64 {
 		db.openMu.Lock()
 		defer db.openMu.Unlock()
@@ -75,6 +80,12 @@ func (db *DB) levelShape(level int) (tables int, bytes int64) {
 func (db *DB) compactionDebt() int64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.compactionDebtLocked()
+}
+
+// compactionDebtLocked is compactionDebt for callers already holding db.mu
+// (either mode); the scheduler uses it as the pool's priority key.
+func (db *DB) compactionDebtLocked() int64 {
 	var debt int64
 	if len(db.levels) == 0 {
 		return 0

@@ -39,7 +39,9 @@ type Spec struct {
 	Kind string `json:"kind"`
 	// Options are integer tuning knobs applied by internal/backends.
 	// lsm: memtable_kb, l0_compaction_trigger, level_base_kb,
-	// block_cache_mb, compaction_table_kb. flat: compact_after_dead_kb.
+	// block_cache_mb, compaction_table_kb, compaction_workers (per-route
+	// cap on concurrent compactions; the process-wide worker pool still
+	// bounds the total). flat: compact_after_dead_kb.
 	Options map[string]int64 `json:"options,omitempty"`
 }
 

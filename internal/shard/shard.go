@@ -187,6 +187,19 @@ func (r *Router) Flush() error {
 	return first
 }
 
+// Drain implements kv.Drainer: every child stops scheduling new background
+// work and settles what is in flight. The first error wins but every child
+// drains regardless.
+func (r *Router) Drain() error {
+	var first error
+	for i, c := range r.children {
+		if err := kv.Drain(c); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: drain: %w", i, err)
+		}
+	}
+	return first
+}
+
 // Close implements kv.Store, closing every child. The first error wins but
 // every child is closed regardless.
 func (r *Router) Close() error {
